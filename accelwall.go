@@ -1,0 +1,54 @@
+// Package accelwall reproduces "The Accelerator Wall: Limits of Chip
+// Specialization" (Fuchs & Wentzlaff, HPCA 2019) as a Go library.
+//
+// The package is a thin facade over the internal model packages; it exposes
+// everything a downstream user needs to run the paper's analyses:
+//
+//   - NewStudy / NewPublishedStudy construct the CMOS potential model
+//     (Section III) from a datasheet corpus or from the paper's published
+//     regression constants;
+//   - Experiments / ExperimentByID enumerate and run every table and
+//     figure of the paper, returning rendered rows;
+//   - Simulate runs the Aladdin-style accelerator simulator (Section VI)
+//     on one of the sixteen Table IV workloads.
+//
+// For finer-grained access (DFG construction, custom datasets, projection
+// internals) import the focused packages under internal/ from within this
+// module, or lift them out of internal/ in a fork.
+package accelwall
+
+import (
+	"accelwall/internal/aladdin"
+	"accelwall/internal/core"
+)
+
+// Study is the top-level handle: a fitted CMOS potential model plus the
+// sweep configuration used by the design-space experiments.
+type Study = core.Study
+
+// Experiment is one reproducible table or figure.
+type Experiment = core.Experiment
+
+// Design is one accelerator design point for the Section VI simulator.
+type Design = aladdin.Design
+
+// Result is the simulator's pre-RTL estimate for a (workload, design) pair.
+type Result = aladdin.Result
+
+// NewStudy builds a study over the synthetic datasheet corpus with the
+// given seed (the paper's corpus: 1612 CPUs + 1001 GPUs).
+func NewStudy(seed int64) (*Study, error) { return core.New(seed) }
+
+// NewPublishedStudy builds a study from the paper's published regression
+// constants, skipping corpus fitting.
+func NewPublishedStudy() *Study { return core.NewPublished() }
+
+// Experiments returns every reproducible table and figure in paper order.
+func Experiments() []Experiment { return core.Experiments() }
+
+// ExperimentByID resolves one experiment by its identifier (e.g. "fig15").
+func ExperimentByID(id string) (Experiment, error) { return core.ExperimentByID(id) }
+
+// Simulate runs the accelerator simulator on a Table IV workload (by
+// abbreviation, e.g. "S3D") at its default problem size.
+func Simulate(workload string, d Design) (Result, error) { return core.Bench(workload, d) }

@@ -1,0 +1,56 @@
+package accelwall_test
+
+import (
+	"strings"
+	"testing"
+
+	accelwall "accelwall"
+)
+
+func TestFacadeStudy(t *testing.T) {
+	s, err := accelwall.NewStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Budget == nil || s.Gains == nil {
+		t.Fatal("study missing models")
+	}
+	pub := accelwall.NewPublishedStudy()
+	if pub.Budget == nil {
+		t.Fatal("published study missing budget model")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	exps := accelwall.Experiments()
+	if len(exps) != 28 {
+		t.Fatalf("facade exposes %d experiments, want 28", len(exps))
+	}
+	e, err := accelwall.ExperimentByID("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(accelwall.NewPublishedStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Bitcoin") {
+		t.Errorf("table5 output missing Bitcoin row:\n%s", out)
+	}
+	if _, err := accelwall.ExperimentByID("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	r, err := accelwall.Simulate("GMM", accelwall.Design{NodeNM: 16, Partition: 32, Simplification: 2, Fusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.Energy <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+	if _, err := accelwall.Simulate("XXX", accelwall.Design{NodeNM: 16, Partition: 1, Simplification: 1}); err == nil {
+		t.Error("unknown workload should error")
+	}
+}

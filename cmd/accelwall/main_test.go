@@ -1,0 +1,185 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f while intercepting stdout. The pipe is drained
+// concurrently so outputs larger than the kernel pipe buffer cannot
+// deadlock the writer.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	type readResult struct {
+		out string
+	}
+	ch := make(chan readResult, 1)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		ch <- readResult{sb.String()}
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	res := <-ch
+	return res.out, runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig1", "fig16", "table2", "table5", "ext-dark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"table5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Bitcoin Mining") || !strings.Contains(out, "=== table5") {
+		t.Errorf("table5 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunPublishedMode(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-published", "fig3d"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "power-capped") {
+		t.Errorf("fig3d output unexpected:\n%s", out)
+	}
+	// Corpus-dependent experiment must fail in published mode.
+	if _, err := capture(t, func() error { return run([]string{"-published", "fig3b"}) }); err == nil {
+		t.Error("fig3b in published mode should error")
+	}
+}
+
+func TestRunSeedFlag(t *testing.T) {
+	a, err := capture(t, func() error { return run([]string{"-seed", "7", "fig3b"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture(t, func() error { return run([]string{"-seed", "7", "fig3b"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+	c, err := capture(t, func() error { return run([]string{"-seed", "8", "fig3b"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical corpus fits (suspicious)")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{}) }); err == nil {
+		t.Error("no arguments should error")
+	}
+	if _, err := capture(t, func() error { return run([]string{"fig99"}) }); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-bogusflag"}) }); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fig3a", "table5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== fig3a") || !strings.Contains(out, "=== table5") {
+		t.Errorf("multi-experiment output missing sections:\n%s", out)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	for _, kernel := range []string{"S3D", "GMM/strassen", "SHA256d"} {
+		out, err := capture(t, func() error { return run([]string{"dot", kernel}) })
+		if err != nil {
+			t.Fatalf("dot %s: %v", kernel, err)
+		}
+		if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "->") {
+			t.Errorf("dot %s output malformed:\n%.200s", kernel, out)
+		}
+	}
+	if _, err := capture(t, func() error { return run([]string{"dot", "NOPE"}) }); err == nil {
+		t.Error("dot of unknown kernel should error")
+	}
+	if _, err := capture(t, func() error { return run([]string{"dot"}) }); err == nil {
+		t.Error("dot without kernel should error")
+	}
+}
+
+func TestRunCorpus(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"corpus"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2614 { // header + 2613 chips
+		t.Errorf("corpus CSV has %d lines, want 2614", lines)
+	}
+	if !strings.HasPrefix(out, "name,kind,node_nm") {
+		t.Errorf("corpus CSV header wrong: %.80s", out)
+	}
+}
+
+func TestRunExt(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"ext"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ext-dark", "ext-sustain", "ext-asicboost", "ext-fit-ci", "ext-algo", "ext-domains", "ext-sensitivity"} {
+		if !strings.Contains(out, "=== "+want) {
+			t.Errorf("ext output missing %s", want)
+		}
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := t.TempDir() + "/report.md"
+	if _, err := capture(t, func() error { return run([]string{"report", path}) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{"# The Accelerator Wall", "## fig1:", "## fig16:", "# Extensions", "## ext-sustain:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every registered experiment appears.
+	if got := strings.Count(report, "\n## "); got < 30 {
+		t.Errorf("report has %d sections, want >= 30", got)
+	}
+}

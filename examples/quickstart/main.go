@@ -1,0 +1,55 @@
+// Quickstart: build the accelerator-wall study and reproduce the paper's
+// headline results — the Bitcoin ASIC evolution (Figure 1) and the
+// accelerator wall projections (Figures 15/16) — in under a second.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/core"
+	"accelwall/internal/projection"
+)
+
+func main() {
+	// A Study owns the CMOS potential model. New(seed) fits it from the
+	// synthetic datasheet corpus (2613 chips, as in the paper).
+	study, err := core.New(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== The fitted transistor budget model (Figure 3b) ==")
+	fmt.Printf("TC(D) = %s   (paper: 4.99e9 * D^0.877)\n\n", study.Budget.TC)
+
+	fmt.Println("== Bitcoin mining ASICs (Figure 1) ==")
+	out, err := study.Fig1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	fmt.Println("== The accelerator wall (Figures 15 & 16) ==")
+	for _, run := range []func() ([]projection.Projection, error){projection.Fig15, projection.Fig16} {
+		projs, err := run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range projs {
+			fmt.Printf("%-18s %-28s headroom %.1f-%.1fx  (wall at %.4g %s)\n",
+				p.Domain, p.Target, p.RemainLog, p.RemainLinear, p.ProjLinear*p.BaselineAbs, p.Unit)
+		}
+		fmt.Println()
+	}
+
+	// The same data is available as typed rows for programmatic use.
+	rows, err := casestudy.Fig1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("Takeaway: the best mining ASIC improved %.0fx, but %.0fx of that is\n"+
+		"transistor physics — the chip-specialization return is only %.1fx.\n",
+		last.RelPerformance, last.TransistorPerformance, last.CSR)
+}

@@ -1,0 +1,72 @@
+// Stencildse explores the 3D-stencil accelerator design space of
+// Section VI (Figures 12–14): it sweeps partitioning, simplification,
+// fusion, and CMOS process with the Aladdin-style simulator, locates the
+// energy-efficiency optimum, and decomposes the gain into the four
+// sources of Figure 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+)
+
+func main() {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := spec.Build(4) // 4x4x4 interior, 7-point stencil (Figure 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := g.ComputeStats()
+	fmt.Printf("3D stencil DFG: |V|=%d |E|=%d depth=%d max working set=%d paths=%.3g\n\n",
+		stats.V, stats.E, stats.Depth, stats.MaxWS, stats.Paths)
+
+	fmt.Println("== Table II bounds for this kernel ==")
+	bounds, err := dfg.LimitTable(stats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bounds {
+		fmt.Printf("%-14s %-15s time %-22s space %s\n", b.Component, b.Concept, b.TimeExpr, b.SpaceExpr)
+	}
+
+	// Sweep the Table III space (reduced grid; pass sweep.Default() for
+	// the full 20x13x7x2 grid).
+	params := sweep.Reduced()
+	fmt.Println("\n== Partitioning sweep at 45nm (the Figure 13 runtime axis) ==")
+	for _, p := range []int{1, 16, 256, 4096, 65536} {
+		r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 45, Partition: p, Simplification: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partition %6d: %5d cycles, power %7.3f, energy %8.1f\n", p, r.Cycles, r.Power, r.Energy)
+	}
+
+	_, best, err := sweep.Fig13(g, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenergy-efficiency optimum: %gnm, partition %d, simplification %d, fusion %v\n",
+		best.Design.NodeNM, best.Design.Partition, best.Design.Simplification, best.Design.Fusion)
+
+	fmt.Println("\n== Gain attribution (Figure 14) ==")
+	for _, objective := range []sweep.Objective{sweep.Performance, sweep.Efficiency} {
+		a, err := sweep.Attribute("S3D", g, params, objective)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: total %.0fx  (partitioning %.0f%%, heterogeneity %.0f%%, simplification %.0f%%, CMOS %.0f%%)  CSR %.2fx\n",
+			objective, a.Total, a.PctPartitioning, a.PctHeterogeneity, a.PctSimplification, a.PctCMOS, a.CSR)
+	}
+
+	fmt.Println("\nInsight (Section VI): partitioning dominates performance and CMOS")
+	fmt.Println("saving dominates energy efficiency — both are transistor-driven, so")
+	fmt.Println("the CMOS-independent specialization return stays low.")
+}

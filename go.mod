@@ -1,0 +1,3 @@
+module accelwall
+
+go 1.22

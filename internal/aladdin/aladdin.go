@@ -1,0 +1,461 @@
+// Package aladdin implements the pre-RTL accelerator simulator used for the
+// specialization design-space exploration of Section VI.
+//
+// Like the original Aladdin tool the paper builds on, the simulator takes a
+// workload's dataflow graph and an accelerator design point and produces
+// pre-RTL estimates of runtime, power, energy, and area. The design knobs
+// are exactly the specialization concepts of Section V as swept in
+// Table III:
+//
+//   - Partitioning: the number of replicated datapath/memory lanes, i.e.
+//     how many operations may issue per cycle. Swept 1, 2, 4, ... 524288.
+//   - Simplification: the degree of datapath/register/communication
+//     simplification, 1..13. Higher degrees shave switching energy and
+//     leakage area but add pipeline latency ("increased latency due to
+//     deep pipelining").
+//   - Heterogeneity: operation fusion — chains of dependent single-cycle
+//     operations packed into one cycle, with a chain window that widens on
+//     faster CMOS nodes ("more computation units are fused and scheduled
+//     in a cycle").
+//   - CMOS process: the node scales cycle time, per-op switching energy,
+//     and leakage through the device model of package cmos.
+//
+// The scheduler is a longest-path-first list scheduler over the DFG:
+// operations issue when their operands are ready and a lane is free;
+// functional units are fully pipelined. Runtime, dynamic energy, leakage
+// energy, power, and area fall out of the schedule; all values are in
+// consistent model units (cycle time in ns, energy in adder-cell units), so
+// ratios across design points — the only quantity the study consumes — are
+// meaningful.
+package aladdin
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"accelwall/internal/cmos"
+	"accelwall/internal/dfg"
+)
+
+// Table III sweep bounds.
+const (
+	MaxPartition      = 524288
+	MaxSimplification = 13
+)
+
+// leakPerAreaNS calibrates leakage: static power per area unit (in
+// adder-cell units) per nanosecond at the 45 nm reference node. The value
+// puts baseline leakage near 20% of dynamic power, the regime mid-2000s
+// accelerators operated in.
+const leakPerAreaNS = 0.002
+
+// regArea is the storage area (registers/SRAM cells) provisioned per
+// working-set variable, in adder-cell units.
+const regArea = 0.5
+
+// bankArea is the interface area of one memory bank (decoder, sense
+// amplifiers, port wiring), in adder-cell units.
+const bankArea = 2.0
+
+// fusedEnergyScale discounts the switching energy of a chained operation:
+// fusion removes its pipeline-register and control overhead.
+const fusedEnergyScale = 0.9
+
+// Design is one accelerator design point.
+type Design struct {
+	NodeNM         float64 // CMOS process node, nm
+	Partition      int     // lanes: operations issued per cycle (>= 1)
+	Simplification int     // simplification degree, 1..13
+	Fusion         bool    // heterogeneity: enable operation chaining
+	ClockGHz       float64 // reference clock at 45 nm; 0 selects 1 GHz
+	// MemoryBanks bounds concurrent memory operations (loads/stores) per
+	// cycle — the memory-partitioning concept of Table I. Zero means
+	// "banked with the datapath": banks equal the partition factor, which
+	// is how the original Aladdin flow couples memory banking to
+	// unrolling. Explicit values model asymmetric designs (wide datapath
+	// on a narrow memory system and vice versa).
+	MemoryBanks int
+}
+
+// Validate reports the first problem with the design point.
+func (d Design) Validate() error {
+	if d.Partition < 1 || d.Partition > MaxPartition {
+		return fmt.Errorf("aladdin: partition factor %d outside [1, %d]", d.Partition, MaxPartition)
+	}
+	if d.Simplification < 1 || d.Simplification > MaxSimplification {
+		return fmt.Errorf("aladdin: simplification degree %d outside [1, %d]", d.Simplification, MaxSimplification)
+	}
+	if d.ClockGHz < 0 {
+		return fmt.Errorf("aladdin: negative clock %g", d.ClockGHz)
+	}
+	if d.MemoryBanks < 0 || d.MemoryBanks > MaxPartition {
+		return fmt.Errorf("aladdin: memory banks %d outside [0, %d]", d.MemoryBanks, MaxPartition)
+	}
+	if _, err := cmos.Lookup(d.NodeNM); err != nil {
+		return err
+	}
+	return nil
+}
+
+// energyScale returns the per-op switching-energy factor of a
+// simplification degree: each degree narrows datapaths and registers for a
+// compounding 8% saving.
+func energyScale(deg int) float64 { return math.Pow(0.92, float64(deg-1)) }
+
+// areaScale returns the unit-area factor of a simplification degree.
+func areaScale(deg int) float64 { return math.Pow(0.94, float64(deg-1)) }
+
+// extraLatency returns the pipeline-depth penalty of a simplification
+// degree in cycles, added to every operation. This is the "diminishing
+// returns (i.e., increased latency due to deep pipelining)" at high
+// degrees.
+func extraLatency(deg int) int { return (deg - 1) / 4 }
+
+// fusionWindow returns how many dependent single-cycle operations fit in
+// one cycle on the node: faster transistors chain deeper. Without fusion
+// the window is 1 (no chaining).
+func fusionWindow(node cmos.Node, fusion bool) int {
+	if !fusion {
+		return 1
+	}
+	w := int(node.Freq * 2)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Result is the simulator's estimate for one (workload, design) pair.
+type Result struct {
+	Design Design
+
+	Cycles      int     // schedule length
+	RuntimeNS   float64 // Cycles × cycle time
+	DynEnergy   float64 // switching energy, adder-cell units
+	LeakEnergy  float64 // static energy over the runtime
+	Energy      float64 // DynEnergy + LeakEnergy
+	Power       float64 // Energy / RuntimeNS
+	Area        float64 // lanes + storage, adder-cell units
+	Utilization float64 // issued ops / (lanes × cycles)
+	FusedOps    int     // operations that issued by chaining
+}
+
+// Throughput returns kernel executions per nanosecond — the performance
+// target function of the sweep.
+func (r Result) Throughput() float64 { return 1 / r.RuntimeNS }
+
+// EnergyEfficiency returns kernel executions per energy unit — the
+// efficiency target function of the sweep.
+func (r Result) EnergyEfficiency() float64 { return 1 / r.Energy }
+
+// item is a ready operation in the scheduler's priority queue.
+type item struct {
+	id       dfg.NodeID
+	earliest int // earliest issue cycle (all operands ready)
+	priority int // length of the longest downstream path (critical path first)
+}
+
+type readyQueue []item
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].earliest != q[j].earliest {
+		return q[i].earliest < q[j].earliest
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].id < q[j].id
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(item)) }
+func (q *readyQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Simulate schedules the graph onto the design point and returns the
+// pre-RTL estimates. The graph must be valid (workload builders guarantee
+// this); the design is validated here.
+func Simulate(g *dfg.Graph, d Design) (Result, error) {
+	res, _, err := simulate(g, d, false)
+	return res, err
+}
+
+// simulate is the shared scheduling core behind Simulate and Trace; with
+// capture set it records per-operation slots.
+func simulate(g *dfg.Graph, d Design, capture bool) (Result, []OpSlot, error) {
+	if g == nil {
+		return Result{}, nil, errors.New("aladdin: nil graph")
+	}
+	if err := d.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if d.ClockGHz == 0 {
+		d.ClockGHz = 1
+	}
+	node := cmos.MustLookup(d.NodeNM)
+	window := fusionWindow(node, d.Fusion)
+	extra := extraLatency(d.Simplification)
+	banks := d.MemoryBanks
+	if banks == 0 {
+		banks = d.Partition
+	}
+
+	nodes := g.Nodes()
+	n := len(nodes)
+	latency := make([]int, n)
+	for _, nd := range nodes {
+		if nd.Op.IsCompute() {
+			latency[nd.ID] = nd.Op.Latency() + extra
+		}
+	}
+	// Critical-path priorities: longest downstream latency sum, computed in
+	// reverse topological order.
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		id := nodes[i].ID
+		best := 0
+		for _, s := range g.Succs(id) {
+			if p := prio[s]; p > best {
+				best = p
+			}
+		}
+		prio[id] = best + latency[id]
+	}
+
+	start := make([]int, n)
+	finish := make([]int, n)
+	chain := make([]int, n) // chained ops executed in the same cycle so far
+	pendingPreds := make([]int, n)
+	scheduled := make([]bool, n)
+	var q readyQueue
+	for _, nd := range nodes {
+		pendingPreds[nd.ID] = len(g.Preds(nd.ID))
+	}
+	for _, nd := range nodes {
+		if pendingPreds[nd.ID] != 0 {
+			continue
+		}
+		// Inputs are available at cycle 0.
+		scheduled[nd.ID] = true
+		start[nd.ID], finish[nd.ID], chain[nd.ID] = 0, 0, 0
+		for _, s := range g.Succs(nd.ID) {
+			pendingPreds[s]--
+			if pendingPreds[s] == 0 {
+				heap.Push(&q, item{id: s, earliest: 0, priority: prio[s]})
+			}
+		}
+	}
+
+	// release computes the issue constraints of an op whose operands are
+	// all scheduled: the earliest cycle it can issue normally, and — when
+	// chaining applies — the cycle and chain depth it could ride.
+	cheap := func(id dfg.NodeID) bool {
+		return nodes[id].Op.IsCompute() && nodes[id].Op.Latency() == 1
+	}
+
+	maxCycle := 0
+	issuedAt := make(map[int]int)    // cycle -> lanes used
+	memIssuedAt := make(map[int]int) // cycle -> memory bank ports used
+	issuedOps := 0
+	fusedOps := 0
+
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(item)
+		id := it.id
+		if nodes[id].Op == dfg.OpOutput {
+			// Outputs materialize when their producer finishes; no lane use.
+			p := g.Preds(id)[0]
+			start[id], finish[id] = finish[p], finish[p]
+			scheduled[id] = true
+			if finish[id] > maxCycle {
+				maxCycle = finish[id]
+			}
+			continue
+		}
+		// Earliest normal issue: all operand values available.
+		earliest := 0
+		for _, p := range g.Preds(id) {
+			if finish[p] > earliest {
+				earliest = finish[p]
+			}
+		}
+		// Chaining (heterogeneity): a cheap op may issue in the same cycle
+		// as cheap predecessors — a combinational cascade — provided every
+		// operand is either already finished by that cycle or is itself a
+		// same-cycle chain link, and the total cascade depth stays within
+		// the node's window. Deep-pipelined designs (extra latency) cannot
+		// chain: their units are registered.
+		chained := false
+		issue := earliest
+		if window > 1 && cheap(id) && extra == 0 {
+			// Candidate cycle: treat chain-eligible cheap operands as
+			// available at their start cycle rather than their finish.
+			candidate := 0
+			for _, p := range g.Preds(id) {
+				a := finish[p]
+				if cheap(p) && chain[p]+1 < window {
+					a = start[p]
+				}
+				if a > candidate {
+					candidate = a
+				}
+			}
+			if candidate < earliest {
+				pos, feasible := 0, true
+				for _, p := range g.Preds(id) {
+					switch {
+					case finish[p] <= candidate:
+						// Operand ready before the cycle starts.
+					case start[p] == candidate && cheap(p) && chain[p]+1 < window:
+						if chain[p]+1 > pos {
+							pos = chain[p] + 1
+						}
+					default:
+						feasible = false
+					}
+				}
+				if feasible && pos > 0 {
+					chained = true
+					issue = candidate
+					chain[id] = pos
+				}
+			}
+		}
+		isMem := nodes[id].Op == dfg.OpLoad || nodes[id].Op == dfg.OpStore
+		if !chained {
+			// Find a cycle at or after earliest with a free lane — and,
+			// for memory operations, a free bank port.
+			for issuedAt[issue] >= d.Partition || (isMem && memIssuedAt[issue] >= banks) {
+				issue++
+			}
+			issuedAt[issue]++
+			if isMem {
+				memIssuedAt[issue]++
+			}
+			chain[id] = 0
+		} else {
+			fusedOps++
+		}
+		issuedOps++
+		start[id] = issue
+		if chained {
+			// A chained op completes within the shared cycle.
+			finish[id] = issue + 1
+		} else {
+			finish[id] = issue + latency[id]
+		}
+		scheduled[id] = true
+		if finish[id] > maxCycle {
+			maxCycle = finish[id]
+		}
+		for _, s := range g.Succs(id) {
+			pendingPreds[s]--
+			if pendingPreds[s] == 0 {
+				heap.Push(&q, item{id: s, earliest: finish[id], priority: prio[s]})
+			}
+		}
+	}
+	for i := range scheduled {
+		if !scheduled[i] {
+			return Result{}, nil, fmt.Errorf("aladdin: scheduler failed to place vertex %d (graph not validated?)", i)
+		}
+	}
+	if maxCycle < 1 {
+		maxCycle = 1
+	}
+
+	// Energy, area, power from the schedule.
+	eScale := energyScale(d.Simplification) * node.DynEnergy()
+	var dynEnergy float64
+	for _, nd := range nodes {
+		if !nd.Op.IsCompute() {
+			continue
+		}
+		e := nd.Op.Energy() * eScale
+		if chain[nd.ID] > 0 {
+			e *= fusedEnergyScale
+		}
+		dynEnergy += e
+	}
+	stats := g.ComputeStats()
+	// Lane area: each lane carries the workload's average functional-unit
+	// mix; storage covers the largest working set.
+	var mixArea float64
+	if stats.VCmp > 0 {
+		mixArea = g.TotalArea() / float64(stats.VCmp)
+	}
+	area := (float64(d.Partition)*mixArea + float64(banks)*bankArea + float64(stats.MaxWS)*regArea) * areaScale(d.Simplification)
+
+	cycleNS := 1 / (d.ClockGHz * node.Freq)
+	runtime := float64(maxCycle) * cycleNS
+	leakEnergy := leakPerAreaNS * area * node.LeakPower() * runtime
+	energy := dynEnergy + leakEnergy
+
+	util := 0.0
+	if maxCycle > 0 && d.Partition > 0 {
+		util = float64(issuedOps-fusedOps) / (float64(d.Partition) * float64(maxCycle))
+	}
+
+	var slots []OpSlot
+	if capture {
+		slots = make([]OpSlot, 0, issuedOps)
+		for _, nd := range nodes {
+			if !nd.Op.IsCompute() {
+				continue
+			}
+			slots = append(slots, OpSlot{
+				ID:      nd.ID,
+				Op:      nd.Op,
+				Start:   start[nd.ID],
+				Finish:  finish[nd.ID],
+				Chained: chain[nd.ID] > 0,
+			})
+		}
+	}
+	return Result{
+		Design:      d,
+		Cycles:      maxCycle,
+		RuntimeNS:   runtime,
+		DynEnergy:   dynEnergy,
+		LeakEnergy:  leakEnergy,
+		Energy:      energy,
+		Power:       energy / runtime,
+		Area:        area,
+		Utilization: util,
+		FusedOps:    fusedOps,
+	}, slots, nil
+}
+
+// CriticalPathCycles returns the schedule-independent lower bound on cycles
+// for the graph under a design's latency model: the longest latency path.
+// Partitioning can never beat it; the sweep uses it to find the taper point.
+func CriticalPathCycles(g *dfg.Graph, d Design) (int, error) {
+	if g == nil {
+		return 0, errors.New("aladdin: nil graph")
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	extra := extraLatency(d.Simplification)
+	nodes := g.Nodes()
+	dist := make([]int, len(nodes))
+	best := 0
+	for _, nd := range nodes {
+		lat := 0
+		if nd.Op.IsCompute() {
+			lat = nd.Op.Latency() + extra
+		}
+		d0 := 0
+		for _, p := range g.Preds(nd.ID) {
+			if dist[p] > d0 {
+				d0 = dist[p]
+			}
+		}
+		dist[nd.ID] = d0 + lat
+		if dist[nd.ID] > best {
+			best = dist[nd.ID]
+		}
+	}
+	return best, nil
+}

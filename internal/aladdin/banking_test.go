@@ -1,0 +1,158 @@
+package aladdin
+
+import (
+	"testing"
+
+	"accelwall/internal/dfg"
+	"accelwall/internal/workloads"
+)
+
+// TRD is a streaming kernel: two loads per element. With a wide datapath
+// but a single memory bank, the memory system must serialize it.
+func TestMemoryBankBottleneck(t *testing.T) {
+	spec, err := workloads.ByAbbrev("TRD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := Design{NodeNM: 45, Partition: 4096, Simplification: 1}
+	narrow := wide
+	narrow.MemoryBanks = 1
+	rWide, err := Simulate(g, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNarrow, err := Simulate(g, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 elements × 3 memory ops each (2 loads + 1 store) through one bank
+	// port need at least 192 issue cycles.
+	if rNarrow.Cycles < 192 {
+		t.Errorf("single-bank schedule = %d cycles, want >= 192 (memory serialized)", rNarrow.Cycles)
+	}
+	if rWide.Cycles >= rNarrow.Cycles {
+		t.Errorf("banked design (%d cycles) should beat single bank (%d)", rWide.Cycles, rNarrow.Cycles)
+	}
+}
+
+// More banks never slow a schedule down, and beyond the workload's memory
+// parallelism they plateau.
+func TestMemoryBanksMonotone(t *testing.T) {
+	spec, err := workloads.ByAbbrev("SMV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	var plateau int
+	for _, banks := range []int{1, 2, 4, 16, 256, 4096} {
+		r, err := Simulate(g, Design{NodeNM: 45, Partition: 4096, Simplification: 1, MemoryBanks: banks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles > prev {
+			t.Errorf("banks %d: cycles grew %d -> %d", banks, prev, r.Cycles)
+		}
+		prev = r.Cycles
+		plateau = r.Cycles
+	}
+	unconstrained, err := Simulate(g, Design{NodeNM: 45, Partition: 4096, Simplification: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plateau != unconstrained.Cycles {
+		t.Errorf("huge bank count (%d cycles) should match banks=partition (%d)", plateau, unconstrained.Cycles)
+	}
+}
+
+// Banks contribute area: a memory-heavy bank provision must cost more.
+func TestMemoryBanksAddArea(t *testing.T) {
+	spec, err := workloads.ByAbbrev("RED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := Simulate(g, Design{NodeNM: 45, Partition: 8, Simplification: 1, MemoryBanks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Simulate(g, Design{NodeNM: 45, Partition: 8, Simplification: 1, MemoryBanks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Area <= few.Area {
+		t.Errorf("512 banks area %g should exceed 1 bank area %g", many.Area, few.Area)
+	}
+}
+
+func TestMemoryBanksValidation(t *testing.T) {
+	bad := Design{NodeNM: 45, Partition: 1, Simplification: 1, MemoryBanks: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative banks should be invalid")
+	}
+	bad.MemoryBanks = MaxPartition + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("excessive banks should be invalid")
+	}
+}
+
+// Cross-check between the two heterogeneity implementations: scheduling
+// the FuseChains-transformed graph without chaining must not beat (in
+// cycles) the chained schedule of the original graph by more than the
+// conservative-grouping slack, and both must beat the unfused baseline on
+// a chain-heavy kernel.
+func TestFusionTransformVsSchedulerChaining(t *testing.T) {
+	spec, err := workloads.ByAbbrev("AES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := 4
+	fusedGraph, absorbed, err := dfg.FuseChains(g, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absorbed == 0 {
+		t.Fatal("AES should have fusable chains")
+	}
+	base := Design{NodeNM: 10, Partition: MaxPartition, Simplification: 1} // window(10nm) = 4
+	plain, err := Simulate(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainedDesign := base
+	chainedDesign.Fusion = true
+	chained, err := Simulate(g, chainedDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transformed, err := Simulate(fusedGraph, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.Cycles >= plain.Cycles {
+		t.Errorf("scheduler chaining did not help: %d vs %d", chained.Cycles, plain.Cycles)
+	}
+	if transformed.Cycles >= plain.Cycles {
+		t.Errorf("graph fusion did not help: %d vs %d", transformed.Cycles, plain.Cycles)
+	}
+	// The scheduler's chaining is at least as aggressive as the
+	// conservative graph transform.
+	if chained.Cycles > transformed.Cycles {
+		t.Errorf("scheduler chaining (%d cycles) should not lose to the conservative transform (%d)",
+			chained.Cycles, transformed.Cycles)
+	}
+}

@@ -1,0 +1,138 @@
+package aladdin
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"accelwall/internal/dfg"
+)
+
+// OpSlot records when one operation executed in a schedule.
+type OpSlot struct {
+	ID      dfg.NodeID
+	Op      dfg.Op
+	Start   int
+	Finish  int
+	Chained bool // issued inside a predecessor's cycle via fusion
+}
+
+// Schedule is the full per-operation timing of one simulation, for
+// inspection, visualization, and schedule-level testing. It is produced by
+// Trace, which runs the same scheduler as Simulate.
+type Schedule struct {
+	Result Result
+	Slots  []OpSlot // compute operations only, ordered by (Start, ID)
+}
+
+// Trace simulates the graph like Simulate but additionally returns the
+// per-operation schedule.
+func Trace(g *dfg.Graph, d Design) (Schedule, error) {
+	// Re-run the scheduler capturing timings. Simulate's internal arrays
+	// are not exposed, so Trace performs the simulation itself through the
+	// shared scheduling routine below.
+	res, slots, err := simulate(g, d, true)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].Start != slots[j].Start {
+			return slots[i].Start < slots[j].Start
+		}
+		return slots[i].ID < slots[j].ID
+	})
+	return Schedule{Result: res, Slots: slots}, nil
+}
+
+// Validate checks the structural invariants of a schedule against its
+// graph: every compute op appears exactly once, no op starts before its
+// operands are available (chained ops may share their producer's cycle),
+// and per-cycle lane/bank limits hold.
+func (s Schedule) Validate(g *dfg.Graph, d Design) error {
+	if g == nil {
+		return errors.New("aladdin: nil graph")
+	}
+	if d.ClockGHz == 0 {
+		d.ClockGHz = 1
+	}
+	banks := d.MemoryBanks
+	if banks == 0 {
+		banks = d.Partition
+	}
+	byID := make(map[dfg.NodeID]OpSlot, len(s.Slots))
+	laneUse := make(map[int]int)
+	bankUse := make(map[int]int)
+	for _, slot := range s.Slots {
+		if _, dup := byID[slot.ID]; dup {
+			return fmt.Errorf("aladdin: op %d scheduled twice", slot.ID)
+		}
+		byID[slot.ID] = slot
+		if !slot.Chained {
+			laneUse[slot.Start]++
+			if slot.Op == dfg.OpLoad || slot.Op == dfg.OpStore {
+				bankUse[slot.Start]++
+			}
+		}
+	}
+	compute := 0
+	for _, nd := range g.Nodes() {
+		if !nd.Op.IsCompute() {
+			continue
+		}
+		compute++
+		slot, ok := byID[nd.ID]
+		if !ok {
+			return fmt.Errorf("aladdin: op %d missing from schedule", nd.ID)
+		}
+		for _, p := range g.Preds(nd.ID) {
+			ps, isOp := byID[p]
+			if !isOp {
+				continue // input vertex: available at cycle 0
+			}
+			if slot.Chained {
+				if slot.Start < ps.Start {
+					return fmt.Errorf("aladdin: chained op %d starts before producer %d", nd.ID, p)
+				}
+				continue
+			}
+			if slot.Start < ps.Finish {
+				return fmt.Errorf("aladdin: op %d starts at %d before operand %d finishes at %d",
+					nd.ID, slot.Start, p, ps.Finish)
+			}
+		}
+	}
+	if compute != len(s.Slots) {
+		return fmt.Errorf("aladdin: schedule has %d slots for %d compute ops", len(s.Slots), compute)
+	}
+	for cycle, used := range laneUse {
+		if used > d.Partition {
+			return fmt.Errorf("aladdin: cycle %d uses %d lanes of %d", cycle, used, d.Partition)
+		}
+	}
+	for cycle, used := range bankUse {
+		if used > banks {
+			return fmt.Errorf("aladdin: cycle %d uses %d bank ports of %d", cycle, used, banks)
+		}
+	}
+	return nil
+}
+
+// WriteGantt emits a compact textual Gantt chart of the schedule's first
+// maxOps operations, one line per op.
+func (s Schedule) WriteGantt(w io.Writer, maxOps int) error {
+	if maxOps <= 0 || maxOps > len(s.Slots) {
+		maxOps = len(s.Slots)
+	}
+	for _, slot := range s.Slots[:maxOps] {
+		mark := ""
+		if slot.Chained {
+			mark = " (chained)"
+		}
+		if _, err := fmt.Fprintf(w, "op %-5d %-9s cycles %d..%d%s\n",
+			slot.ID, slot.Op, slot.Start, slot.Finish, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package aladdin
+
+import (
+	"strings"
+	"testing"
+
+	"accelwall/internal/workloads"
+)
+
+func TestTraceMatchesSimulate(t *testing.T) {
+	spec, err := workloads.ByAbbrev("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := design(16, 32, 3, true)
+	r, err := Simulate(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Trace(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Result.Cycles != r.Cycles || sched.Result.Energy != r.Energy {
+		t.Errorf("Trace result diverged from Simulate: %+v vs %+v", sched.Result, r)
+	}
+	if len(sched.Slots) != g.ComputeStats().VCmp {
+		t.Errorf("slots = %d, want one per compute op (%d)", len(sched.Slots), g.ComputeStats().VCmp)
+	}
+	// Slots are ordered by start cycle.
+	for i := 1; i < len(sched.Slots); i++ {
+		if sched.Slots[i].Start < sched.Slots[i-1].Start {
+			t.Fatal("slots not ordered by start cycle")
+		}
+	}
+}
+
+// Every schedule the simulator produces must satisfy its own structural
+// validator across the knob space — dependence ordering, lane limits, and
+// bank limits.
+func TestScheduleValidates(t *testing.T) {
+	for _, app := range []string{"RED", "AES", "SMV", "TRD"} {
+		spec, err := workloads.ByAbbrev(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Build(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []Design{
+			design(45, 1, 1, false),
+			design(45, 8, 1, false),
+			design(7, 64, 5, true),
+			{NodeNM: 16, Partition: 128, Simplification: 2, Fusion: true, MemoryBanks: 2},
+		} {
+			sched, err := Trace(g, d)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", app, d, err)
+			}
+			if err := sched.Validate(g, d); err != nil {
+				t.Errorf("%s %+v: invalid schedule: %v", app, d, err)
+			}
+		}
+	}
+}
+
+func TestScheduleValidateCatchesCorruption(t *testing.T) {
+	spec, err := workloads.ByAbbrev("RED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := design(45, 2, 1, false)
+	sched, err := Trace(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a dependence: move the last op before everything.
+	bad := sched
+	bad.Slots = append([]OpSlot(nil), sched.Slots...)
+	last := &bad.Slots[len(bad.Slots)-1]
+	last.Start, last.Finish = 0, 1
+	if err := bad.Validate(g, d); err == nil {
+		t.Error("validator missed a dependence violation")
+	}
+	// Duplicate an op.
+	dup := sched
+	dup.Slots = append(append([]OpSlot(nil), sched.Slots...), sched.Slots[0])
+	if err := dup.Validate(g, d); err == nil {
+		t.Error("validator missed a duplicated op")
+	}
+	// Drop an op.
+	short := sched
+	short.Slots = sched.Slots[:len(sched.Slots)-1]
+	if err := short.Validate(g, d); err == nil {
+		t.Error("validator missed a missing op")
+	}
+	// Nil graph.
+	if err := sched.Validate(nil, d); err == nil {
+		t.Error("validator accepted nil graph")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := Trace(nil, design(45, 1, 1, false)); err == nil {
+		t.Error("nil graph should error")
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	spec, err := workloads.ByAbbrev("RED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Trace(g, design(5, 4, 1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sched.WriteGantt(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\n") != 5 {
+		t.Errorf("Gantt should show 5 lines:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("Gantt output malformed:\n%s", out)
+	}
+	// maxOps <= 0 prints everything.
+	sb.Reset()
+	if err := sched.WriteGantt(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != len(sched.Slots) {
+		t.Error("Gantt with maxOps=0 should print all slots")
+	}
+}

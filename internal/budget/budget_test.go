@@ -1,0 +1,346 @@
+package budget
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accelwall/internal/chipdb"
+	"accelwall/internal/cmos"
+)
+
+func corpus() *chipdb.Corpus { return chipdb.Synthetic(1) }
+
+func TestFitRecoversPublishedShape(t *testing.T) {
+	m, err := Fit(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TC.B-chipdb.TCFitB) > 0.03 {
+		t.Errorf("area model exponent = %g, want %g ± 0.03", m.TC.B, chipdb.TCFitB)
+	}
+	if len(m.ByEra) != 5 {
+		t.Errorf("fitted %d era curves, want 5", len(m.ByEra))
+	}
+	// Exponents must decline toward newer eras (dark-silicon flattening).
+	prev := math.Inf(1)
+	for _, era := range cmos.Eras()[1:] { // 180-90 era shares the oldest curve by construction
+		f, ok := m.ByEra[era]
+		if !ok {
+			t.Fatalf("missing era %v", era)
+		}
+		if f.Curve.B >= prev {
+			t.Errorf("era %v exponent %g did not decline (prev %g)", era, f.Curve.B, prev)
+		}
+		prev = f.Curve.B
+	}
+}
+
+func TestFitRejectsSmallCorpus(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("Fit(nil) should error")
+	}
+	if _, err := Fit(&chipdb.Corpus{}); err == nil {
+		t.Error("Fit(empty) should error")
+	}
+}
+
+func TestPublishedConstants(t *testing.T) {
+	m := Published()
+	if m.TC.A != chipdb.TCFitA || m.TC.B != chipdb.TCFitB {
+		t.Errorf("published TC model = %v", m.TC)
+	}
+	// All five eras must resolve (180-90 falls back to the oldest curve).
+	for _, era := range cmos.Eras() {
+		if _, ok := m.ByEra[era]; !ok {
+			t.Errorf("published model missing era %v", era)
+		}
+	}
+}
+
+func TestTransistorsFromArea(t *testing.T) {
+	m := Published()
+	// Paper: for large 5 nm chips (D >= 30) the count can reach 100 billion.
+	tc, err := m.TransistorsFromArea(5, 800) // D = 800/25 = 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc < 80e9 || tc > 130e9 {
+		t.Errorf("5nm 800mm² transistor count = %g, want ~100e9", tc)
+	}
+	// A 45 nm 263 mm² chip should be sub-billion-to-about-a-billion scale.
+	tc, err = m.TransistorsFromArea(45, 263)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc < 0.4e9 || tc > 2e9 {
+		t.Errorf("45nm 263mm² transistor count = %g, want ~1e9", tc)
+	}
+	if _, err := m.TransistorsFromArea(0, 100); err == nil {
+		t.Error("zero node should error")
+	}
+	if _, err := m.TransistorsFromArea(45, -1); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+func TestActiveTransistorsMonotonicInTDP(t *testing.T) {
+	m := Published()
+	prev := 0.0
+	for _, tdp := range []float64{10, 50, 100, 300, 800} {
+		tc, err := m.ActiveTransistors(7, tdp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc <= prev {
+			t.Errorf("active transistors not increasing in TDP: %g W -> %g", tdp, tc)
+		}
+		prev = tc
+	}
+}
+
+func TestActiveTransistorsDecreasesWithFrequency(t *testing.T) {
+	m := Published()
+	lo, err := m.ActiveTransistors(7, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.ActiveTransistors(7, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Errorf("doubling frequency should halve active transistors: %g vs %g", lo, hi)
+	}
+	if math.Abs(lo*2-hi) > 1e-6*hi {
+		t.Errorf("active transistors not inverse in frequency: %g vs %g", lo*2, hi)
+	}
+}
+
+func TestActiveTransistorsRejectsBadInputs(t *testing.T) {
+	m := Published()
+	if _, err := m.ActiveTransistors(7, 0, 1); err == nil {
+		t.Error("zero TDP should error")
+	}
+	if _, err := m.ActiveTransistors(7, 100, 0); err == nil {
+		t.Error("zero frequency should error")
+	}
+	if _, err := m.ActiveTransistors(500, 100, 1); err == nil {
+		t.Error("node out of range should error")
+	}
+}
+
+func TestEraFallback(t *testing.T) {
+	// A model missing the 10-5 era must fall back to the nearest fitted era.
+	m, err := Fit(corpus().Filter(func(ch chipdb.Chip) bool { return ch.NodeNM > 10 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ByEra[cmos.Era10to5]; ok {
+		t.Fatal("filtered corpus should not contain the 10-5 era")
+	}
+	got, err := m.ActiveTransistors(7, 100, 1)
+	if err != nil {
+		t.Fatalf("fallback lookup failed: %v", err)
+	}
+	want := m.ByEra[cmos.Era16to12].Curve.Eval(100) * 1e9
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("fallback used wrong era: got %g, want %g (16-12nm curve)", got, want)
+	}
+}
+
+func TestEraFallbackNoFits(t *testing.T) {
+	m := &Model{ByEra: map[cmos.Era]EraFit{}}
+	if _, err := m.ActiveTransistors(7, 100, 1); !errors.Is(err, ErrNoEraData) {
+		t.Errorf("empty model err = %v, want ErrNoEraData", err)
+	}
+}
+
+func TestBudgetTransistorsIsMin(t *testing.T) {
+	m := Published()
+	// Large 5 nm die at tiny TDP: power-capped.
+	b, err := m.BudgetTransistors(5, 800, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, _ := m.ActiveTransistors(5, 10, 1)
+	if b != active {
+		t.Errorf("tiny-TDP budget = %g, want power-limited %g", b, active)
+	}
+	capped, err := m.PowerCapped(5, 800, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped {
+		t.Error("800mm² 5nm chip at 10W should be power-capped")
+	}
+	// Tiny die at huge TDP: area-capped.
+	b, err = m.BudgetTransistors(45, 25, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, _ := m.TransistorsFromArea(45, 25)
+	if b != area {
+		t.Errorf("huge-TDP budget = %g, want area-limited %g", b, area)
+	}
+	capped, err = m.PowerCapped(45, 25, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped {
+		t.Error("25mm² 45nm chip at 800W should be area-capped")
+	}
+}
+
+func TestBudgetTransistorsPropagatesErrors(t *testing.T) {
+	m := Published()
+	if _, err := m.BudgetTransistors(0, 100, 100, 1); err == nil {
+		t.Error("bad node should error")
+	}
+	if _, err := m.BudgetTransistors(45, 100, 0, 1); err == nil {
+		t.Error("bad TDP should error")
+	}
+	if _, err := m.PowerCapped(0, 100, 100, 1); err == nil {
+		t.Error("PowerCapped bad node should error")
+	}
+	if _, err := m.PowerCapped(45, 100, 0, 1); err == nil {
+		t.Error("PowerCapped bad TDP should error")
+	}
+}
+
+// Invariant: the budget never exceeds either limit, for any sane inputs.
+func TestBudgetIsMinProperty(t *testing.T) {
+	m := Published()
+	f := func(rn, ra, rt, rf float64) bool {
+		node := 5 + math.Mod(math.Abs(rn), 175)
+		area := 1 + math.Mod(math.Abs(ra), 799)
+		tdp := 1 + math.Mod(math.Abs(rt), 899)
+		freq := 0.1 + math.Mod(math.Abs(rf), 4)
+		if math.IsNaN(node) || math.IsNaN(area) || math.IsNaN(tdp) || math.IsNaN(freq) {
+			return true
+		}
+		b, err := m.BudgetTransistors(node, area, tdp, freq)
+		if err != nil {
+			return false
+		}
+		areaTC, _ := m.TransistorsFromArea(node, area)
+		activeTC, _ := m.ActiveTransistors(node, tdp, freq)
+		return b <= areaTC && b <= activeTC && (b == areaTC || b == activeTC)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig3bRows(t *testing.T) {
+	c := corpus()
+	rows, fit, err := Fig3b(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != c.Len() {
+		t.Errorf("Fig3b rows = %d, want %d", len(rows), c.Len())
+	}
+	for i, r := range rows[:50] {
+		want := fit.Eval(r.D)
+		if math.Abs(r.Predicted-want) > 1e-9*want {
+			t.Fatalf("row %d predicted %g, want %g", i, r.Predicted, want)
+		}
+	}
+}
+
+func TestFig3cRows(t *testing.T) {
+	rows, err := Fig3c(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Fig3c rows = %d, want 5", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Era <= rows[i-1].Era {
+			t.Error("Fig3c rows not in chronological era order")
+		}
+	}
+	for _, r := range rows {
+		if r.Projection != (r.Era == cmos.Era10to5) {
+			t.Errorf("era %v projection flag = %v", r.Era, r.Projection)
+		}
+		if r.N == 0 {
+			t.Errorf("era %v has zero backing chips", r.Era)
+		}
+	}
+}
+
+func TestFig3ErrorsOnEmptyCorpus(t *testing.T) {
+	if _, _, err := Fig3b(&chipdb.Corpus{}); err == nil {
+		t.Error("Fig3b(empty) should error")
+	}
+	if _, err := Fig3c(&chipdb.Corpus{}); err == nil {
+		t.Error("Fig3c(empty) should error")
+	}
+}
+
+func TestDarkFraction(t *testing.T) {
+	m := Published()
+	// Small old chip with generous TDP: fully lit.
+	d, err := m.DarkFraction(45, 25, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("45nm 25mm² at 200W dark fraction = %g, want 0", d)
+	}
+	// Huge 5nm chip under a tight envelope: mostly dark.
+	d, err = m.DarkFraction(5, 800, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.8 || d >= 1 {
+		t.Errorf("5nm 800mm² at 100W dark fraction = %g, want >= 0.8", d)
+	}
+	if _, err := m.DarkFraction(0, 1, 1, 1); err == nil {
+		t.Error("bad node should error")
+	}
+	if _, err := m.DarkFraction(45, 100, 0, 1); err == nil {
+		t.Error("bad TDP should error")
+	}
+}
+
+func TestDarkFractionGrowsTowardNewNodes(t *testing.T) {
+	m := Published()
+	prev := -1.0
+	for _, node := range []float64{45, 28, 16, 10, 7, 5} {
+		d, err := m.DarkFraction(node, 400, 150, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev {
+			t.Errorf("dark fraction shrank at %gnm: %g -> %g", node, prev, d)
+		}
+		prev = d
+	}
+	if prev < 0.5 {
+		t.Errorf("final-node dark fraction = %g, want the majority of the die dark", prev)
+	}
+}
+
+func TestDarkSiliconGrid(t *testing.T) {
+	m := Published()
+	rows, err := m.DarkSilicon([]float64{45, 5}, []float64{25, 800}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("grid rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dark < 0 || r.Dark >= 1 {
+			t.Errorf("dark fraction %g outside [0, 1)", r.Dark)
+		}
+	}
+	if _, err := m.DarkSilicon([]float64{0}, []float64{25}, 150); err == nil {
+		t.Error("bad node in grid should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Package casestudy reproduces the empirical specialization-return studies
+// of Section IV: Bitcoin mining ASICs (Figures 1 and 9), video decoder
+// ASICs (Figure 4), GPU graphics rendering (Figures 5–7), and FPGA
+// convolutional neural networks (Figure 8).
+//
+// The paper's inputs are published measurements — ISSCC/JSSC decoder
+// papers, AnandTech GPU benchmark tables, FPGA-conference CNN papers, and
+// Bitcoin-wiki miner databases. Those sources are embedded here as curated
+// datasets whose chips, nodes, years, and gain magnitudes match the values
+// the paper reports (e.g. 64× decoder throughput, 4–6× GPU frame rate,
+// ~600× Bitcoin performance per area), so every Section IV analysis —
+// normalization, quadratic trend fits, CSR decomposition, architecture
+// relation matrices — runs over data with the published shape.
+package casestudy
+
+import (
+	"fmt"
+
+	"accelwall/internal/cmos"
+	"accelwall/internal/gains"
+)
+
+// DevicePotential is the physical model used for per-area metrics such as
+// Bitcoin's GHash/s/mm² (Section IV-D): throughput potential per mm² is
+// transistor density × switching speed, and efficiency potential is the
+// reciprocal of per-operation dynamic energy. Unlike the full chip model of
+// package gains it deliberately ignores die size and TDP, because the
+// metric already normalizes area away and miner ASICs are deployed in
+// arbitrarily large farms.
+type DevicePotential struct{}
+
+// Ratio implements the csr.Physical interface over raw device scaling.
+func (DevicePotential) Ratio(target gains.Target, a, b gains.Config) (float64, error) {
+	na, err := cmos.Lookup(a.NodeNM)
+	if err != nil {
+		return 0, fmt.Errorf("casestudy: chip a: %w", err)
+	}
+	nb, err := cmos.Lookup(b.NodeNM)
+	if err != nil {
+		return 0, fmt.Errorf("casestudy: chip b: %w", err)
+	}
+	if a.FreqGHz <= 0 || b.FreqGHz <= 0 {
+		return 0, fmt.Errorf("casestudy: non-positive frequency (%g, %g)", a.FreqGHz, b.FreqGHz)
+	}
+	switch target {
+	case gains.TargetEfficiency:
+		// Operations per joule scale with the reciprocal of C·V² energy.
+		return nb.DynEnergy() / na.DynEnergy(), nil
+	default:
+		// Operations per second per mm² scale with density × speed.
+		return (na.Density() * a.FreqGHz) / (nb.Density() * b.FreqGHz), nil
+	}
+}
+
+// Domain identifies one of the four Section IV case studies.
+type Domain int
+
+// The four case-study domains.
+const (
+	DomainBitcoin Domain = iota
+	DomainVideoDecode
+	DomainGPUGraphics
+	DomainFPGACNN
+)
+
+var domainNames = [...]string{"Bitcoin Mining", "Video Decoding", "Gaming/Graphics", "Convolutional NN"}
+
+// String returns the domain name as used in Table V.
+func (d Domain) String() string {
+	if d >= 0 && int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("Domain(%d)", int(d))
+}
+
+// Domains returns the four case-study domains in Section IV order
+// (Figures 4, 5–7, 8, 9 cover them; Table V summarizes them).
+func Domains() []Domain {
+	return []Domain{DomainVideoDecode, DomainGPUGraphics, DomainFPGACNN, DomainBitcoin}
+}

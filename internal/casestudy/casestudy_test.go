@@ -1,0 +1,538 @@
+package casestudy
+
+import (
+	"math"
+	"testing"
+
+	"accelwall/internal/chipdb"
+	"accelwall/internal/gains"
+)
+
+func TestDevicePotentialRatio(t *testing.T) {
+	dp := DevicePotential{}
+	a := gains.Config{NodeNM: 16, DieMM2: 25, TDPW: 50, FreqGHz: 1.4}
+	b := gains.Config{NodeNM: 130, DieMM2: 25, TDPW: 50, FreqGHz: 0.3}
+	r, err := dp.Ratio(gains.TargetThroughput, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density (130/16)² ≈ 66× times frequency 4.67× ≈ 308×: the Figure 1
+	// transistor-performance magnitude.
+	if r < 280 || r < 0 || r > 340 {
+		t.Errorf("device potential ratio = %g, want ~308", r)
+	}
+	inv, err := dp.Ratio(gains.TargetThroughput, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r*inv-1) > 1e-9 {
+		t.Error("device potential ratio not reciprocal")
+	}
+	eff, err := dp.Ratio(gains.TargetEfficiency, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 1 {
+		t.Errorf("16nm should beat 130nm on energy, got %g", eff)
+	}
+	if _, err := dp.Ratio(gains.TargetThroughput, gains.Config{NodeNM: 999, FreqGHz: 1}, b); err == nil {
+		t.Error("bad node should error")
+	}
+	if _, err := dp.Ratio(gains.TargetThroughput, a, gains.Config{NodeNM: 999, FreqGHz: 1}); err == nil {
+		t.Error("bad node (denominator) should error")
+	}
+	if _, err := dp.Ratio(gains.TargetThroughput, gains.Config{NodeNM: 45}, b); err == nil {
+		t.Error("zero frequency should error")
+	}
+}
+
+func TestDomainStrings(t *testing.T) {
+	if len(Domains()) != 4 {
+		t.Fatalf("want 4 case-study domains")
+	}
+	for _, d := range Domains() {
+		if d.String() == "" {
+			t.Errorf("domain %d has empty name", int(d))
+		}
+	}
+	if Domain(9).String() != "Domain(9)" {
+		t.Errorf("unknown domain = %q", Domain(9).String())
+	}
+}
+
+// Figure 1 headline: ASIC performance/area improves ~600×, transistor
+// performance ~300×, so CSR lands near 2× — and CSR stops improving over
+// the final two years.
+func TestFig1Headline(t *testing.T) {
+	rows, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("Fig1 has %d ASICs, want the full progression", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.RelPerformance != 1 || first.TransistorPerformance != 1 {
+		t.Errorf("baseline row not normalized: %+v", first)
+	}
+	if last.RelPerformance < 480 || last.RelPerformance > 720 {
+		t.Errorf("final relative performance = %.0f×, want ~600×", last.RelPerformance)
+	}
+	if last.TransistorPerformance < 260 || last.TransistorPerformance > 360 {
+		t.Errorf("final transistor performance = %.0f×, want ~307×", last.TransistorPerformance)
+	}
+	if last.CSR < 1.4 || last.CSR > 2.6 {
+		t.Errorf("final CSR = %.2f×, want ~2×", last.CSR)
+	}
+	// CSR flat over the last two years: no point after 2014.5 exceeds
+	// twice any other in that window.
+	var lateMin, lateMax float64 = math.Inf(1), 0
+	for _, r := range rows {
+		if r.Year >= 2014.5 {
+			lateMin = math.Min(lateMin, r.CSR)
+			lateMax = math.Max(lateMax, r.CSR)
+		}
+	}
+	if lateMax/lateMin > 2.3 {
+		t.Errorf("late-period CSR swings %0.2f–%0.2f; paper reports no improvement", lateMin, lateMax)
+	}
+}
+
+// Equation 1 invariant on the Bitcoin rows.
+func TestFig1EquationOne(t *testing.T) {
+	rows, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.CSR*r.TransistorPerformance-r.RelPerformance) > 1e-9*r.RelPerformance {
+			t.Errorf("%s: CSR × phys != gain", r.Name)
+		}
+	}
+}
+
+// Figure 9 headlines: ASICs beat the CPU by ~600,000× in performance per
+// area; platform transitions deliver the non-recurring CSR boosts; the
+// energy-efficiency series shows the two CSR regions with a sharp decline
+// between them.
+func TestFig9Perf(t *testing.T) {
+	rows, err := Fig9(gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Fig9Row, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	best := rows[len(rows)-1]
+	if best.RelGain < 4e5 || best.RelGain > 8e5 {
+		t.Errorf("best ASIC vs CPU = %.0f×, want ~600,000×", best.RelGain)
+	}
+	// Platform transitions (CPU->GPU->FPGA->ASIC) each jump CSR.
+	cpu := byName["Athlon64-CPU"]
+	gpu := byName["HD5870-GPU"]
+	fpga := byName["Spartan6-FPGA"]
+	asic := byName["ASIC-130nm"]
+	if !(cpu.CSR < gpu.CSR && gpu.CSR < fpga.CSR && fpga.CSR < asic.CSR) {
+		t.Errorf("platform CSR ladder broken: CPU %.2g GPU %.2g FPGA %.2g ASIC %.2g",
+			cpu.CSR, gpu.CSR, fpga.CSR, asic.CSR)
+	}
+}
+
+func TestFig9EfficiencyRegions(t *testing.T) {
+	rows, err := Fig9(gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Fig9Row, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Region 1: CSR improves across the early (130 nm -> 110 nm) ASICs.
+	if byName["ASIC-110nm"].CSR <= byName["ASIC-130nm"].CSR {
+		t.Error("region 1: early ASIC CSR should improve")
+	}
+	// Sharp decline at the 110 nm -> 28 nm transition.
+	if byName["ASIC-28nm-a"].CSR >= byName["ASIC-110nm"].CSR*0.6 {
+		t.Errorf("no sharp CSR decline at the node jump: %.2f vs %.2f",
+			byName["ASIC-28nm-a"].CSR, byName["ASIC-110nm"].CSR)
+	}
+	// Region 2: CSR improves again across the modern ASICs.
+	if byName["ASIC-28nm-c"].CSR <= byName["ASIC-28nm-a"].CSR {
+		t.Error("region 2: modern ASIC CSR should improve")
+	}
+}
+
+// Figure 4 headlines: up to 64× decoding throughput and 34× energy
+// efficiency, while CSR never exceeds ~1.5 and is below 1 for the
+// best-performing chips.
+func TestFig4Throughput(t *testing.T) {
+	rows, err := Fig4(gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("Fig4 has %d decoders, want 12", len(rows))
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.RelGain > best.RelGain {
+			best = r
+		}
+		if r.CSR > 1.6 {
+			t.Errorf("%s: CSR %.2f exceeds the ~1.5 ceiling", r.Pub, r.CSR)
+		}
+	}
+	if best.RelGain < 55 || best.RelGain > 75 {
+		t.Errorf("best throughput gain = %.0f×, want ~64×", best.RelGain)
+	}
+	if best.CSR >= 1 {
+		t.Errorf("best decoder CSR = %.2f, paper reports < 1", best.CSR)
+	}
+}
+
+func TestFig4Efficiency(t *testing.T) {
+	rows, err := Fig4(gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.RelGain > best.RelGain {
+			best = r
+		}
+	}
+	if best.RelGain < 28 || best.RelGain > 40 {
+		t.Errorf("best efficiency gain = %.0f×, want ~34×", best.RelGain)
+	}
+	for _, r := range rows {
+		if r.CSR > 1.6 {
+			t.Errorf("%s: efficiency CSR %.2f exceeds the ~1.5 ceiling", r.Pub, r.CSR)
+		}
+	}
+}
+
+func TestFig4b(t *testing.T) {
+	rows, err := Fig4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two publications withheld SRAM sizes.
+	if len(rows) != 10 {
+		t.Fatalf("Fig4b has %d chips, want 10 (two withheld SRAM data)", len(rows))
+	}
+	var last Fig4bRow
+	for _, r := range rows {
+		if r.Pub == "JSSC2017" {
+			last = r
+		}
+	}
+	// "JSSC2017 has ~36× more transistors".
+	if last.RelTransistors < 30 || last.RelTransistors > 42 {
+		t.Errorf("JSSC2017 relative transistors = %.1f×, want ~36×", last.RelTransistors)
+	}
+	if rows[0].RelTransistors != 1 {
+		t.Errorf("baseline relative transistors = %g, want 1", rows[0].RelTransistors)
+	}
+}
+
+// Figure 5 headlines: six years of GPUs improve frame rates 4–6× and
+// efficiency 4.5–7.5×, but CSR stays around 1 (0.95–1.47).
+func TestFig5Throughput(t *testing.T) {
+	series, err := Fig5(gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("Fig5 has %d apps, want 5", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) < 10 {
+			t.Errorf("%s: only %d GPUs", s.App.Name, len(s.Points))
+		}
+		if s.TotalGain < 3.5 || s.TotalGain > 7.5 {
+			t.Errorf("%s: total gain %.2f×, want 4–6×", s.App.Name, s.TotalGain)
+		}
+		if s.FinalCSR < 0.8 || s.FinalCSR > 1.7 {
+			t.Errorf("%s: final CSR %.2f, want ~1 (0.95–1.44)", s.App.Name, s.FinalCSR)
+		}
+		// Within each app the final CSR should land near its target.
+		if math.Abs(s.FinalCSR-s.App.FinalCSR) > 0.15 {
+			t.Errorf("%s: final CSR %.2f, target %.2f", s.App.Name, s.FinalCSR, s.App.FinalCSR)
+		}
+		// The quadratic trend exists and explains the data reasonably.
+		if s.TrendRel.R2 < 0.6 {
+			t.Errorf("%s: frame-rate trend R² = %.2f", s.App.Name, s.TrendRel.R2)
+		}
+	}
+}
+
+func TestFig5Efficiency(t *testing.T) {
+	series, err := Fig5(gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.TotalGain < 3.5 || s.TotalGain > 8.5 {
+			t.Errorf("%s: efficiency gain %.2f×, want 4.5–7.5×", s.App.Name, s.TotalGain)
+		}
+		if math.Abs(s.FinalCSR-s.App.FinalCSREff) > 0.2 {
+			t.Errorf("%s: final efficiency CSR %.2f, target %.2f", s.App.Name, s.FinalCSR, s.App.FinalCSREff)
+		}
+	}
+}
+
+// Figures 6/7 headlines: overall frame-rate gains reach 13–16× while CSR
+// stays within 1.0–1.6; first architectures on a new node dip below their
+// predecessors; Pascal's CSR roughly equals Tesla's.
+func TestFig6ArchScaling(t *testing.T) {
+	points, err := ArchScaling(gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 11 {
+		t.Fatalf("Fig6 has %d architecture points, want 11", len(points))
+	}
+	byKey := make(map[string]ArchPoint)
+	for _, p := range points {
+		byKey[p.Arch+"@"+itoa(int(p.NodeNM))] = p
+	}
+	tesla := byKey["Tesla@65"]
+	pascal := byKey["Pascal@16"]
+	if tesla.RelGain != 1 {
+		t.Errorf("Tesla baseline gain = %g, want 1", tesla.RelGain)
+	}
+	if pascal.RelGain < 12 || pascal.RelGain > 18 {
+		t.Errorf("Pascal gain = %.1f×, want 13–16×", pascal.RelGain)
+	}
+	// CSR(Pascal@16nm) ≈ CSR(Tesla@65nm).
+	if math.Abs(pascal.CSR-tesla.CSR) > 0.25 {
+		t.Errorf("Pascal CSR %.2f should roughly equal Tesla's %.2f", pascal.CSR, tesla.CSR)
+	}
+	// Node-transition dips: Fermi (first 40 nm) below Tesla 2 @55;
+	// Pascal (first 16 nm) below Maxwell 2 @28.
+	if byKey["Fermi@40"].CSR >= byKey["Tesla 2@55"].CSR {
+		t.Error("Fermi@40 should dip below Tesla 2@55 in CSR")
+	}
+	if byKey["Pascal@16"].CSR >= byKey["Maxwell 2@28"].CSR {
+		t.Error("Pascal@16 should dip below Maxwell 2@28 in CSR")
+	}
+	// Within 28 nm, newer architectures deliver better absolute gains.
+	if byKey["Maxwell 2@28"].RelGain <= byKey["GCN 1@28"].RelGain {
+		t.Error("newer 28nm architecture should have higher absolute gain")
+	}
+}
+
+func TestFig7ArchScalingEfficiency(t *testing.T) {
+	points, err := ArchScaling(gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]ArchPoint)
+	for _, p := range points {
+		byKey[p.Arch+"@"+itoa(int(p.NodeNM))] = p
+	}
+	if byKey["Pascal@16"].RelGain <= byKey["Tesla@65"].RelGain*6 {
+		t.Errorf("Pascal efficiency gain = %.1f×, want order 10×+", byKey["Pascal@16"].RelGain)
+	}
+	// Maxwell 2 is the efficiency-CSR standout of Figure 7b.
+	max := byKey["Maxwell 2@28"]
+	for key, p := range byKey {
+		if key == "Maxwell 2@28" {
+			continue
+		}
+		if p.CSR >= max.CSR {
+			t.Errorf("%s CSR %.2f >= Maxwell 2 %.2f; Maxwell should lead", key, p.CSR, max.CSR)
+		}
+	}
+}
+
+func itoa(v int) string { return fmtInt(v) }
+
+func fmtInt(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Figure 8 headlines: AlexNet improves ~24×/14×, VGG-16 ~9×/7×; CSR rises
+// over the series (an emerging domain) but is not maximal for the best
+// absolute performer.
+func TestFig8AlexNet(t *testing.T) {
+	rows, err := Fig8(AlexNet, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("AlexNet has %d implementations, want 11", len(rows))
+	}
+	best, maxCSR := rows[0], rows[0]
+	for _, r := range rows {
+		if r.RelGain > best.RelGain {
+			best = r
+		}
+		if r.CSR > maxCSR.CSR {
+			maxCSR = r
+		}
+	}
+	if best.RelGain < 20 || best.RelGain > 28 {
+		t.Errorf("best AlexNet gain = %.1f×, want ~24×", best.RelGain)
+	}
+	if maxCSR.CSR < 2 {
+		t.Errorf("max AlexNet CSR = %.2f, want a clear rise (emerging domain)", maxCSR.CSR)
+	}
+	if best.Pub == maxCSR.Pub {
+		t.Error("the best absolute performer should not hold the max CSR (its edge is utilization)")
+	}
+}
+
+func TestFig8VGG(t *testing.T) {
+	rows, err := Fig8(VGG16, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.RelGain > best.RelGain {
+			best = r
+		}
+	}
+	if best.RelGain < 7.5 || best.RelGain > 11 {
+		t.Errorf("best VGG-16 gain = %.1f×, want ~9×", best.RelGain)
+	}
+	// VGG improves less than AlexNet (the model is 3× larger).
+	alex, err := Fig8(AlexNet, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestAlex := 0.0
+	for _, r := range alex {
+		bestAlex = math.Max(bestAlex, r.RelGain)
+	}
+	if best.RelGain >= bestAlex {
+		t.Error("VGG-16 should improve less than AlexNet")
+	}
+}
+
+func TestFig8Efficiency(t *testing.T) {
+	alex, err := Fig8(AlexNet, gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgg, err := Fig8(VGG16, gains.TargetEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestOf := func(rows []Fig8Row) float64 {
+		best := 0.0
+		for _, r := range rows {
+			best = math.Max(best, r.RelGain)
+		}
+		return best
+	}
+	if g := bestOf(alex); g < 11 || g > 17 {
+		t.Errorf("AlexNet efficiency gain = %.1f×, want ~14×", g)
+	}
+	if g := bestOf(vgg); g < 5.5 || g > 9 {
+		t.Errorf("VGG-16 efficiency gain = %.1f×, want ~7×", g)
+	}
+}
+
+func TestFig8b(t *testing.T) {
+	for _, model := range []CNNModel{AlexNet, VGG16} {
+		rows := Fig8b(model)
+		if len(rows) == 0 {
+			t.Fatalf("%v: no Fig8b rows", model)
+		}
+		for _, r := range rows {
+			if r.UtilLUT <= 0 || r.UtilLUT > 100 || r.UtilDSP <= 0 || r.UtilDSP > 100 || r.UtilBRAM <= 0 || r.UtilBRAM > 100 {
+				t.Errorf("%s: utilization out of range: %+v", r.Pub, r)
+			}
+			if r.FreqMHz < 50 || r.FreqMHz > 500 {
+				t.Errorf("%s: frequency %.0f MHz implausible", r.Pub, r.FreqMHz)
+			}
+		}
+	}
+	if AlexNet.String() != "AlexNet" || VGG16.String() != "VGG-16" {
+		t.Error("CNN model names wrong")
+	}
+}
+
+func TestMinersDatasetSanity(t *testing.T) {
+	miners := Miners()
+	kinds := make(map[chipdb.Kind]int)
+	for i, m := range miners {
+		kinds[m.Kind]++
+		if m.PerfGHsMM2 <= 0 || m.EffGHsJ <= 0 || m.FreqGHz <= 0 {
+			t.Errorf("miner %s has non-positive metrics", m.Name)
+		}
+		if i > 0 && m.Year < miners[i-1].Year {
+			t.Error("miners not in chronological order")
+		}
+	}
+	for _, k := range []chipdb.Kind{chipdb.CPU, chipdb.GPU, chipdb.FPGA, chipdb.ASIC} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v miners in dataset", k)
+		}
+	}
+}
+
+func TestDecodersDatasetSanity(t *testing.T) {
+	decs := Decoders()
+	for _, d := range decs {
+		if d.MPixS <= 0 || d.MPixJ <= 0 || d.PowerW <= 0 {
+			t.Errorf("%s has non-positive metrics", d.Pub)
+		}
+		// Self-consistency: MPix/J should approximate MPix/s ÷ W within 3×
+		// (measurement conditions differ between papers).
+		implied := d.MPixS / d.PowerW
+		if d.MPixJ > implied*3 || d.MPixJ < implied/3 {
+			t.Errorf("%s: MPix/J %.0f vs implied %.0f — inconsistent by >3×", d.Pub, d.MPixJ, implied)
+		}
+	}
+}
+
+// The ASICBoost extension: a one-time 20% algorithmic gain lands entirely
+// in CSR, exactly once, leaving earlier chips untouched.
+func TestFig1ASICBoost(t *testing.T) {
+	base, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Fig1ASICBoost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(boosted) {
+		t.Fatal("row counts differ")
+	}
+	for i := range base {
+		b, bb := base[i], boosted[i]
+		if bb.TransistorPerformance != b.TransistorPerformance {
+			t.Errorf("%s: physical potential changed under ASICBoost", b.Name)
+		}
+		if b.Year < ASICBoostYear {
+			if bb.CSR != b.CSR || bb.RelPerformance != b.RelPerformance {
+				t.Errorf("%s: pre-2016 chip changed", b.Name)
+			}
+			continue
+		}
+		if math.Abs(bb.CSR-b.CSR*1.2) > 1e-12*b.CSR {
+			t.Errorf("%s: CSR %.3f, want %.3f (+20%%)", b.Name, bb.CSR, b.CSR*1.2)
+		}
+	}
+	// Equation 1 still holds on the boosted rows.
+	for _, r := range boosted {
+		if math.Abs(r.CSR*r.TransistorPerformance-r.RelPerformance) > 1e-9*r.RelPerformance {
+			t.Errorf("%s: Eq1 violated after boost", r.Name)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package chipdb
+
+// Reference returns a small corpus of well-known real chips with
+// publicly documented specifications, spanning 180 nm to 5 nm. It is far
+// too small to fit the Figure 3b/3c regressions on (the paper used 2613
+// datasheets for good reason), but it anchors the synthetic corpus and the
+// budget model against reality: tests check that the synthetic fits
+// predict these parts within a small factor, and users can eyeball model
+// behaviour on chips they know.
+//
+// Transistor counts, die sizes, TDPs, and frequencies are the commonly
+// published figures; minor disagreement between sources is irrelevant at
+// the factor-level precision the models operate at.
+func Reference() *Corpus {
+	return &Corpus{Chips: []Chip{
+		// CPUs.
+		{Name: "Pentium 4 Willamette", Kind: CPU, NodeNM: 180, DieMM2: 217, FreqGHz: 1.5, TDPW: 55, Transistors: 42e6, Year: 2000},
+		{Name: "Pentium 4 Northwood", Kind: CPU, NodeNM: 130, DieMM2: 146, FreqGHz: 2.2, TDPW: 57, Transistors: 55e6, Year: 2002},
+		{Name: "Athlon 64", Kind: CPU, NodeNM: 130, DieMM2: 144, FreqGHz: 2.0, TDPW: 89, Transistors: 106e6, Year: 2003},
+		{Name: "Pentium D 940", Kind: CPU, NodeNM: 65, DieMM2: 162, FreqGHz: 3.2, TDPW: 130, Transistors: 376e6, Year: 2006},
+		{Name: "Core 2 Duo E6600", Kind: CPU, NodeNM: 65, DieMM2: 143, FreqGHz: 2.4, TDPW: 65, Transistors: 291e6, Year: 2006},
+		{Name: "Core i7-920", Kind: CPU, NodeNM: 45, DieMM2: 263, FreqGHz: 2.66, TDPW: 130, Transistors: 731e6, Year: 2008},
+		{Name: "Core i7-2600K", Kind: CPU, NodeNM: 32, DieMM2: 216, FreqGHz: 3.4, TDPW: 95, Transistors: 1.16e9, Year: 2011},
+		{Name: "Core i7-4770K", Kind: CPU, NodeNM: 22, DieMM2: 177, FreqGHz: 3.5, TDPW: 84, Transistors: 1.4e9, Year: 2013},
+		{Name: "Core i7-6700K", Kind: CPU, NodeNM: 14, DieMM2: 122, FreqGHz: 4.0, TDPW: 91, Transistors: 1.75e9, Year: 2015},
+		{Name: "Ryzen 7 1800X", Kind: CPU, NodeNM: 14, DieMM2: 213, FreqGHz: 3.6, TDPW: 95, Transistors: 4.8e9, Year: 2017},
+		{Name: "Apple A12", Kind: CPU, NodeNM: 7, DieMM2: 83, FreqGHz: 2.5, TDPW: 6, Transistors: 6.9e9, Year: 2018},
+		{Name: "Apple M1", Kind: CPU, NodeNM: 5, DieMM2: 119, FreqGHz: 3.2, TDPW: 30, Transistors: 16e9, Year: 2020},
+		// GPUs.
+		{Name: "GeForce 6800 Ultra", Kind: GPU, NodeNM: 130, DieMM2: 287, FreqGHz: 0.4, TDPW: 81, Transistors: 222e6, Year: 2004},
+		{Name: "GeForce 8800 GTX", Kind: GPU, NodeNM: 90, DieMM2: 484, FreqGHz: 0.575, TDPW: 145, Transistors: 681e6, Year: 2006},
+		{Name: "GTX 280", Kind: GPU, NodeNM: 65, DieMM2: 576, FreqGHz: 0.602, TDPW: 236, Transistors: 1.4e9, Year: 2008},
+		{Name: "GTX 480", Kind: GPU, NodeNM: 40, DieMM2: 529, FreqGHz: 0.7, TDPW: 250, Transistors: 3.0e9, Year: 2010},
+		{Name: "HD 7970", Kind: GPU, NodeNM: 28, DieMM2: 352, FreqGHz: 0.925, TDPW: 250, Transistors: 4.31e9, Year: 2012},
+		{Name: "GTX 980", Kind: GPU, NodeNM: 28, DieMM2: 398, FreqGHz: 1.13, TDPW: 165, Transistors: 5.2e9, Year: 2014},
+		{Name: "GTX 1080", Kind: GPU, NodeNM: 16, DieMM2: 314, FreqGHz: 1.61, TDPW: 180, Transistors: 7.2e9, Year: 2016},
+		{Name: "Titan V", Kind: GPU, NodeNM: 12, DieMM2: 815, FreqGHz: 1.2, TDPW: 250, Transistors: 21.1e9, Year: 2017},
+		{Name: "A100", Kind: GPU, NodeNM: 7, DieMM2: 826, FreqGHz: 1.41, TDPW: 400, Transistors: 54.2e9, Year: 2020},
+	}}
+}

@@ -1,0 +1,58 @@
+package chipdb
+
+import (
+	"math"
+	"testing"
+
+	"accelwall/internal/stats"
+)
+
+func TestReferenceCorpusValid(t *testing.T) {
+	c := Reference()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 20 {
+		t.Errorf("reference corpus has %d chips, want >= 20", c.Len())
+	}
+	// Spans the full modeled node range.
+	nodes := c.Nodes()
+	if nodes[0] != 180 || nodes[len(nodes)-1] != 5 {
+		t.Errorf("reference corpus spans %g..%g nm, want 180..5", nodes[0], nodes[len(nodes)-1])
+	}
+	// Covers both CPU and GPU platforms.
+	if c.OfKind(CPU).Len() == 0 || c.OfKind(GPU).Len() == 0 {
+		t.Error("reference corpus missing a platform")
+	}
+}
+
+// The real chips obey the published power law to within realistic scatter:
+// fitting TC(D) on the reference corpus alone lands within ±0.1 of the
+// paper's exponent, anchoring the synthetic corpus to reality.
+func TestReferenceCorpusFitsPublishedShape(t *testing.T) {
+	c := Reference()
+	xs := make([]float64, 0, c.Len())
+	ys := make([]float64, 0, c.Len())
+	for _, ch := range c.Chips {
+		xs = append(xs, ch.DensityFactor())
+		ys = append(ys, ch.Transistors)
+	}
+	fit, err := stats.FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-TCFitB) > 0.1 {
+		t.Errorf("reference-corpus exponent = %.3f, want %.3f ± 0.1", fit.B, TCFitB)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("reference fit R² = %.3f, want >= 0.9 (real chips track the law)", fit.R2)
+	}
+	// The synthetic TC law predicts each real chip within a factor of 4.
+	for _, ch := range c.Chips {
+		pred := TCFitA * math.Pow(ch.DensityFactor(), TCFitB)
+		ratio := pred / ch.Transistors
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("%s: published law predicts %.2g vs real %.2g (%.2fx)", ch.Name, pred, ch.Transistors, ratio)
+		}
+	}
+}

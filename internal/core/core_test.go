@@ -1,0 +1,269 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+	"accelwall/internal/sweep"
+)
+
+// testStudy builds a study with a very small sweep grid so the Table III
+// experiments stay fast under `go test`.
+func testStudy(t *testing.T) *Study {
+	t.Helper()
+	s, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sweep = sweep.Params{
+		Nodes:           []float64{45, 5},
+		Partitions:      []int{1, 64, 4096},
+		Simplifications: []int{1, 7},
+		Fusion:          []bool{false, true},
+	}
+	return s
+}
+
+func TestNewFitsModels(t *testing.T) {
+	s, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Corpus == nil || s.Budget == nil || s.Gains == nil {
+		t.Fatal("study missing models")
+	}
+	if s.Corpus.Len() != 2613 {
+		t.Errorf("corpus size = %d, want 2613", s.Corpus.Len())
+	}
+}
+
+func TestNewPublished(t *testing.T) {
+	s := NewPublished()
+	if s.Corpus != nil {
+		t.Error("published study should have no corpus")
+	}
+	if s.Budget == nil || s.Gains == nil {
+		t.Fatal("published study missing models")
+	}
+	// Corpus-dependent experiments must fail cleanly.
+	if _, err := s.Fig3b(); err == nil {
+		t.Error("Fig3b without corpus should error")
+	}
+	if _, err := s.Fig3c(); err == nil {
+		t.Error("Fig3c without corpus should error")
+	}
+}
+
+// Every registered experiment must run green and produce non-trivial
+// output containing its table header.
+func TestAllExperimentsRun(t *testing.T) {
+	s := testStudy(t)
+	wantSubstring := map[string]string{
+		"fig1":   "transistor-perf",
+		"fig2":   "specialization stack",
+		"fig11":  "computation paths",
+		"fig3a":  "Leakage Power",
+		"fig3b":  "TC(D)",
+		"fig3c":  "TDP^",
+		"fig3d":  "power-capped",
+		"fig4a":  "ISSCC2006",
+		"fig4b":  "JSSC2017",
+		"fig4c":  "ESSCIRC2016",
+		"fig5a":  "Crysis 3 FHD",
+		"fig5b":  "GTA V FHD",
+		"fig6":   "Pascal",
+		"fig7":   "Maxwell 2",
+		"fig8a":  "AlexNet",
+		"fig8b":  "%DSP",
+		"fig8c":  "VGG-16",
+		"fig9a":  "Athlon64-CPU",
+		"fig9b":  "ASIC-16nm-b",
+		"table1": "systolic",
+		"table2": "max|WS|",
+		"table3": "Partitioning Factor",
+		"table4": "Needleman-Wunsch",
+		"fig13":  "best energy efficiency",
+		"fig14":  "%CMOS",
+		"table5": "die min/max",
+		"fig15":  "headroom",
+		"fig16":  "headroom",
+	}
+	ids := make(map[string]bool)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if ids[e.ID] {
+				t.Fatalf("duplicate experiment id %q", e.ID)
+			}
+			ids[e.ID] = true
+			if e.Title == "" {
+				t.Error("empty title")
+			}
+			out, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(out) < 40 {
+				t.Fatalf("suspiciously short output: %q", out)
+			}
+			if want := wantSubstring[e.ID]; want != "" && !strings.Contains(out, want) {
+				t.Errorf("output of %s missing %q:\n%s", e.ID, want, out)
+			}
+		})
+	}
+	if len(ids) != 28 {
+		t.Errorf("registered %d experiments, want 28 (all tables and figures)", len(ids))
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	e, err := ExperimentByID("fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig15" {
+		t.Errorf("resolved wrong experiment %q", e.ID)
+	}
+	if _, err := ExperimentByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestFig14AttributionsIncludesAverage(t *testing.T) {
+	s := testStudy(t)
+	attrs, err := s.Fig14Attributions(sweep.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 17 {
+		t.Fatalf("attributions = %d rows, want 16 apps + AVG", len(attrs))
+	}
+	avg := attrs[len(attrs)-1]
+	if avg.App != "AVG" {
+		t.Fatalf("last row = %q, want AVG", avg.App)
+	}
+	if avg.Total <= 1 {
+		t.Errorf("average total gain = %g, want > 1", avg.Total)
+	}
+	sum := avg.PctCMOS + avg.PctHeterogeneity + avg.PctSimplification + avg.PctPartitioning
+	if sum < 95 || sum > 105 {
+		t.Errorf("average shares sum to %.1f%%", sum)
+	}
+}
+
+func TestBenchHelper(t *testing.T) {
+	r, err := Bench("RED", aladdin.Design{NodeNM: 45, Partition: 16, Simplification: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Errorf("bench result degenerate: %+v", r)
+	}
+	if _, err := Bench("NOPE", aladdin.Design{NodeNM: 45, Partition: 1, Simplification: 1}); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, err := Bench("RED", aladdin.Design{}); err == nil {
+		t.Error("invalid design should error")
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	s := testStudy(t)
+	want := map[string]string{
+		"ext-dark":        "dark fraction",
+		"ext-sustain":     "required CSR",
+		"ext-asicboost":   "boosted",
+		"ext-fit-ci":      "95% CI",
+		"ext-algo":        "winograd",
+		"ext-domains":     "SHA256d",
+		"ext-sensitivity": "90% interval",
+	}
+	exts := Extensions()
+	if len(exts) != 7 {
+		t.Fatalf("extensions = %d, want 7", len(exts))
+	}
+	for _, e := range exts {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out, want[e.ID]) {
+				t.Errorf("output missing %q:\n%s", want[e.ID], out)
+			}
+		})
+	}
+	// Extensions resolve through ExperimentByID too.
+	if _, err := ExperimentByID("ext-dark"); err != nil {
+		t.Errorf("ext-dark not resolvable: %v", err)
+	}
+	// Corpus-dependent extension fails cleanly on a published study.
+	if _, err := NewPublished().ExtFitCI(); err == nil {
+		t.Error("ExtFitCI without corpus should error")
+	}
+}
+
+// The algorithm-innovation extension reproduces known hardware results:
+// Winograd convolution and radix-4 FFT beat their bases at a fixed design
+// point, while Strassen's extra additions make it a net loss on massively
+// parallel hardware.
+func TestExtAlgorithmsShape(t *testing.T) {
+	s := testStudy(t)
+	out, err := s.ExtAlgorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "S2D/winograd"):
+			if strings.Contains(line, "0.") && !strings.Contains(line, "1.") {
+				t.Errorf("Winograd should win: %s", line)
+			}
+		case strings.HasPrefix(line, "GMM/strassen"):
+			if !strings.Contains(line, "0.") {
+				t.Errorf("Strassen should lose on parallel hardware: %s", line)
+			}
+		}
+	}
+}
+
+func TestPlots(t *testing.T) {
+	s := testStudy(t)
+	plots := Plots()
+	if len(plots) != 4 {
+		t.Fatalf("plots = %d, want 4", len(plots))
+	}
+	for id, draw := range plots {
+		out, err := draw(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "|") || !strings.Contains(out, "+----") {
+			t.Errorf("%s: output does not look like a plot:\n%.200s", id, out)
+		}
+	}
+	// Fig 1's plot shows its three series.
+	fig1, err := s.PlotFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P performance", "t transistor performance", "c chip-specialization return"} {
+		if !strings.Contains(fig1, want) {
+			t.Errorf("fig1 plot missing legend %q", want)
+		}
+	}
+	// Wall plots include the projection curves and the wall marker.
+	wall, err := PlotWall(casestudy.DomainGPUGraphics, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Pareto frontier", "Eq 5", "Eq 6", "5nm wall", "W"} {
+		if !strings.Contains(wall, want) {
+			t.Errorf("wall plot missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"accelwall/internal/dfg"
+)
+
+// Fig2 renders the abstraction-layer comparison of Figure 2: the
+// traditional computing stack beside the accelerator-centric taxonomy,
+// with the dashed specialization-stack grouping the paper's CSR metric
+// isolates (everything between the fixed computation domain and the
+// physical layer).
+func (s *Study) Fig2() (string, error) {
+	type layer struct {
+		traditional string
+		accelerated string
+		examples    string
+		inStack     bool
+	}
+	layers := []layer{
+		{"Application", "Computation Domain (fixed)", "deep learning, graph processing", false},
+		{"Algorithm", "Algorithm", "AlexNet, VGG, LSTM; BFS, PageRank", true},
+		{"Prog. Language / OS / ISA", "Programming Framework", "CUDA, HLS", true},
+		{"Microarchitecture", "Accelerator Platform", "ASIC, FPGA", true},
+		{"RTL / Circuits", "Chip Engineering", "design methodologies, CAD tools", true},
+		{"Gate Level / Devices / Technology", "Physical Properties", "45nm CMOS, 100mm² die", false},
+	}
+	return table("traditional\taccelerator-centric\texamples\tspecialization stack", func(w *tabwriter.Writer) {
+		for _, l := range layers {
+			mark := ""
+			if l.inStack {
+				mark = "yes (CSR isolates this)"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", l.traditional, l.accelerated, l.examples, mark)
+		}
+	}), nil
+}
+
+// Fig11 renders the example dataflow graph of Figure 11 — three inputs,
+// two computation stages, two outputs — with the DFG definitions of
+// Section V-B evaluated on it, plus its DOT form for visualization.
+func (s *Study) Fig11() (string, error) {
+	g := dfg.New("fig11")
+	d1 := g.AddInput("D_IN,1")
+	d2 := g.AddInput("D_IN,2")
+	d3 := g.AddInput("D_IN,3")
+	add1 := g.MustOp(dfg.OpAdd, d1, d2)
+	div1 := g.MustOp(dfg.OpDiv, d2, d3)
+	add2 := g.MustOp(dfg.OpAdd, add1, div1)
+	sub2 := g.MustOp(dfg.OpSub, div1, d3)
+	g.MustOutput("D_OUT,1", add2)
+	g.MustOutput("D_OUT,2", sub2)
+	if err := g.Validate(); err != nil {
+		return "", err
+	}
+	st := g.ComputeStats()
+	head := table("definition\tsymbol\tvalue", func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "vertices\t|V|\t%d\n", st.V)
+		fmt.Fprintf(w, "edges\t|E|\t%d\n", st.E)
+		fmt.Fprintf(w, "input variables\t|V_IN|\t%d\n", st.VIn)
+		fmt.Fprintf(w, "output variables\t|V_OUT|\t%d\n", st.VOut)
+		fmt.Fprintf(w, "computation nodes\t|V_CMP|\t%d\n", st.VCmp)
+		fmt.Fprintf(w, "DFG depth\tD\t%d\n", st.Depth)
+		fmt.Fprintf(w, "max working set\tmax|WS|\t%d\n", st.MaxWS)
+		fmt.Fprintf(w, "computation paths\t|P|\t%.0f\n", st.Paths)
+	})
+	var dot strings.Builder
+	if err := g.WriteDOT(&dot); err != nil {
+		return "", err
+	}
+	return head + "\n" + dot.String(), nil
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenIDs lists the experiments whose rendered output is pinned byte-for
+// byte. They depend only on embedded datasets and published constants, so
+// any diff is a real behaviour change. Corpus- and sweep-dependent
+// experiments are excluded (seeds and grids are configurable).
+var goldenIDs = []string{"fig1", "fig2", "fig3a", "fig3d", "fig4a", "fig4b", "fig4c", "fig9a", "fig9b", "fig11", "table1", "table2", "table5", "fig15", "fig16"}
+
+func TestGoldenOutputs(t *testing.T) {
+	s := NewPublished()
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ExperimentByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := e.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != out {
+				t.Errorf("output of %s diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", id, out, want)
+			}
+		})
+	}
+}

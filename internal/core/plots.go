@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+	"accelwall/internal/projection"
+	"accelwall/internal/render"
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+)
+
+// PlotFig1 draws the Figure 1 panel: Bitcoin ASIC relative performance and
+// transistor performance over time on a log axis, the paper's iconic
+// opening plot.
+func (s *Study) PlotFig1() (string, error) {
+	rows, err := casestudy.Fig1()
+	if err != nil {
+		return "", err
+	}
+	perf := render.Series{Name: "performance", Marker: 'P'}
+	phys := render.Series{Name: "transistor performance", Marker: 't'}
+	csrS := render.Series{Name: "chip-specialization return", Marker: 'c'}
+	for _, r := range rows {
+		perf.X = append(perf.X, r.Year)
+		perf.Y = append(perf.Y, r.RelPerformance)
+		phys.X = append(phys.X, r.Year)
+		phys.Y = append(phys.Y, r.TransistorPerformance)
+		csrS.X = append(csrS.X, r.Year)
+		csrS.Y = append(csrS.Y, r.CSR)
+	}
+	p := render.Plot{
+		Title:  "Fig 1: Bitcoin mining ASICs, relative to the 130nm ASIC (log y)",
+		LogY:   true,
+		Series: []render.Series{perf, phys, csrS},
+	}
+	return p.String()
+}
+
+// PlotFig13 draws the Figure 13 design-space cloud: runtime vs power on
+// log-log axes, one marker per CMOS node, for the 3D stencil kernel.
+func (s *Study) PlotFig13() (string, error) {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		return "", err
+	}
+	g, err := spec.Build(0)
+	if err != nil {
+		return "", err
+	}
+	rows, best, err := sweep.Fig13(g, s.Sweep)
+	if err != nil {
+		return "", err
+	}
+	byNode := make(map[float64]*render.Series)
+	markers := map[float64]rune{45: '4', 32: '3', 22: '2', 14: '1', 10: '0', 7: '7', 5: '5'}
+	var series []*render.Series
+	for _, r := range rows {
+		sr, ok := byNode[r.NodeNM]
+		if !ok {
+			m := markers[r.NodeNM]
+			if m == 0 {
+				m = '.'
+			}
+			sr = &render.Series{Name: fmt.Sprintf("%gnm", r.NodeNM), Marker: m}
+			byNode[r.NodeNM] = sr
+			series = append(series, sr)
+		}
+		sr.X = append(sr.X, r.RuntimeNS)
+		sr.Y = append(sr.Y, r.PowerW)
+	}
+	p := render.Plot{
+		Title: fmt.Sprintf("Fig 13: 3D stencil runtime vs power (log-log); efficiency optimum at %gnm/p%d/s%d",
+			best.Design.NodeNM, best.Design.Partition, best.Design.Simplification),
+		LogX: true, LogY: true,
+	}
+	for _, sr := range series {
+		p.Series = append(p.Series, *sr)
+	}
+	return p.String()
+}
+
+// PlotWall draws one domain's accelerator-wall panel (Figures 15/16):
+// the observation cloud, its Pareto frontier, the two projection curves,
+// and the wall point at the 5 nm physical limit.
+func PlotWall(domain casestudy.Domain, target gains.Target) (string, error) {
+	proj, err := projection.Project(domain, target)
+	if err != nil {
+		return "", err
+	}
+	cloud := render.Series{Name: "chips", Marker: '.'}
+	for _, pt := range proj.Points {
+		cloud.X = append(cloud.X, pt.X)
+		cloud.Y = append(cloud.Y, pt.Y)
+	}
+	frontier := render.Series{Name: "Pareto frontier", Marker: 'o'}
+	for _, pt := range proj.Frontier {
+		frontier.X = append(frontier.X, pt.X)
+		frontier.Y = append(frontier.Y, pt.Y)
+	}
+	lo := proj.Frontier[0].X
+	hi := proj.PhysLimit
+	// The log model can dip below zero near the origin; clamp samples to
+	// half the baseline gain so the log-y panel keeps a sensible range.
+	clampPos := func(f func(float64) float64) func(float64) float64 {
+		return func(x float64) float64 {
+			v := f(x)
+			if v < 0.5 {
+				return 0.5
+			}
+			return v
+		}
+	}
+	linear := render.Curve("linear projection (Eq 5)", 'L', clampPos(proj.Linear.Eval), lo, hi, 48, true)
+	logc := render.Curve("log projection (Eq 6)", 'G', clampPos(proj.Log.Eval), lo, hi, 48, true)
+	wall := render.Series{Name: "5nm wall", Marker: 'W', X: []float64{hi, hi}, Y: []float64{proj.ProjLog, proj.ProjLinear}}
+	p := render.Plot{
+		Title: fmt.Sprintf("%s — %s: wall headroom %.1f-%.1fx (log-log)",
+			domain, target, proj.RemainLog, proj.RemainLinear),
+		LogX: true, LogY: true,
+		Series: []render.Series{cloud, frontier, linear, logc, wall},
+	}
+	return p.String()
+}
+
+// PlotFig15 draws all four performance wall panels.
+func (s *Study) PlotFig15() (string, error) { return plotWalls(gains.TargetThroughput) }
+
+// PlotFig16 draws all four efficiency wall panels.
+func (s *Study) PlotFig16() (string, error) { return plotWalls(gains.TargetEfficiency) }
+
+func plotWalls(target gains.Target) (string, error) {
+	var buf bytes.Buffer
+	for _, d := range casestudy.Domains() {
+		out, err := PlotWall(d, target)
+		if err != nil {
+			return "", err
+		}
+		buf.WriteString(out)
+		buf.WriteByte('\n')
+	}
+	return buf.String(), nil
+}
+
+// Plots maps experiment IDs to their figure renderers; the CLI's -plot
+// flag appends these to the tabular output.
+func Plots() map[string]func(*Study) (string, error) {
+	return map[string]func(*Study) (string, error){
+		"fig1":  (*Study).PlotFig1,
+		"fig13": (*Study).PlotFig13,
+		"fig15": (*Study).PlotFig15,
+		"fig16": (*Study).PlotFig16,
+	}
+}

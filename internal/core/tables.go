@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+)
+
+// Table1 renders the chip-specialization concept taxonomy with the TPU
+// examples of Table I / Figure 10: each of the three concepts applied to
+// each of the three processing components, as annotated on Google's
+// 28 nm Tensor Processing Unit.
+func (s *Study) Table1() (string, error) {
+	type cell struct{ component, concept, example string }
+	cells := []cell{
+		{"Memory", "Simplification", "simple DDR3 chips, interfaces, and physical memory space"},
+		{"Memory", "Partitioning", "memory module banking storing NN layer weights"},
+		{"Memory", "Heterogeneity", "hybrid memory for input and intermediary results"},
+		{"Communication", "Simplification", "simple FIFO communication"},
+		{"Communication", "Partitioning", "concurrent FIFOs for weights and systolic array data"},
+		{"Communication", "Heterogeneity", "software-defined DMA interface for chip I/O"},
+		{"Computation", "Simplification", "multiply+add units with small precision (8-bit integers)"},
+		{"Computation", "Partitioning", "parallel multiply+add paths and systolic array data reuse"},
+		{"Computation", "Heterogeneity", "non-linear activation unit (e.g. ReLU)"},
+	}
+	return table("component\tconcept\tTPU example", func(w *tabwriter.Writer) {
+		for _, c := range cells {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", c.component, c.concept, c.example)
+		}
+	}), nil
+}
+
+// Table3 renders the CMOS-specialization sweep parameters of Table III,
+// alongside the grid this study is currently configured with.
+func (s *Study) Table3() (string, error) {
+	full := sweep.Default()
+	return table("parameter\tTable III values\tconfigured grid", func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Partitioning Factor\t%d values: %d .. %d\t%d values\n",
+			len(full.Partitions), full.Partitions[0], full.Partitions[len(full.Partitions)-1], len(s.Sweep.Partitions))
+		fmt.Fprintf(w, "Simplification Degree\t%d values: %d .. %d\t%d values\n",
+			len(full.Simplifications), full.Simplifications[0], full.Simplifications[len(full.Simplifications)-1], len(s.Sweep.Simplifications))
+		fmt.Fprintf(w, "CMOS Process (nm)\t%v\t%v\n", full.Nodes, s.Sweep.Nodes)
+	}), nil
+}
+
+// Table4 renders the evaluated applications of Table IV together with the
+// structural statistics of each kernel's default dataflow graph — the
+// quantities the Table II bounds are expressed in.
+func (s *Study) Table4() (string, error) {
+	type row struct {
+		abbrev, name, domain          string
+		v, e, depth, maxWS, vin, vout int
+	}
+	var rows []row
+	for _, spec := range workloads.All() {
+		g, err := spec.Build(0)
+		if err != nil {
+			return "", fmt.Errorf("core: building %s: %w", spec.Abbrev, err)
+		}
+		st := g.ComputeStats()
+		rows = append(rows, row{spec.Abbrev, spec.Name, spec.Domain, st.V, st.E, st.Depth, st.MaxWS, st.VIn, st.VOut})
+	}
+	return table("abbrev\tapplication\tdomain\t|V|\t|E|\tD\tmax|WS|\t|Vin|\t|Vout|", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				r.abbrev, r.name, r.domain, r.v, r.e, r.depth, r.maxWS, r.vin, r.vout)
+		}
+	}), nil
+}

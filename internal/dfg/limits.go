@@ -1,0 +1,158 @@
+package dfg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Concept is one of the three chip-specialization concepts of Section V-A.
+type Concept int
+
+// The three specialization concepts.
+const (
+	Simplification Concept = iota
+	Partitioning
+	Heterogeneity
+)
+
+var conceptNames = [...]string{"Simplification", "Partitioning", "Heterogeneity"}
+
+// String returns the concept name.
+func (c Concept) String() string {
+	if c >= 0 && int(c) < len(conceptNames) {
+		return conceptNames[c]
+	}
+	return fmt.Sprintf("Concept(%d)", int(c))
+}
+
+// Concepts returns the three concepts in Table I column order.
+func Concepts() []Concept { return []Concept{Simplification, Partitioning, Heterogeneity} }
+
+// Component is one of the three processing components a concept applies to.
+type Component int
+
+// The three processing components.
+const (
+	Memory Component = iota
+	Communication
+	Computation
+)
+
+var componentNames = [...]string{"Memory", "Communication", "Computation"}
+
+// String returns the component name.
+func (c Component) String() string {
+	if c >= 0 && int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// Components returns the three components in Table I row order.
+func Components() []Component { return []Component{Memory, Communication, Computation} }
+
+// Bound is one Table II entry: the asymptotic time and space complexity of
+// applying a specialization concept to a processing component, both as the
+// symbolic Θ-expression the paper prints and as a numeric evaluation on a
+// concrete DFG.
+type Bound struct {
+	Concept   Concept
+	Component Component
+	TimeExpr  string  // e.g. "Θ(|V|·log(max|WS|))"
+	SpaceExpr string  // e.g. "Θ(max|WS|)"
+	Time      float64 // expression evaluated on the analyzed graph
+	Space     float64
+}
+
+// log2 guards against log(0) and log(1) degenerate working sets: lookup
+// cost is at least one unit.
+func log2(x float64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// LimitBound returns the Table II bound for one (concept, component) pair
+// evaluated on the graph's statistics.
+//
+// The numeric values instantiate the paper's Θ-expressions with the graph's
+// |V|, |E|, D, max|WS|, |V_IN| and |V_OUT|; they are comparable across
+// graphs and concepts but carry no units. The computation-heterogeneity
+// space bound 2^|V_IN|·|V_OUT| overflows to +Inf for graphs with more than
+// ~1000 input bits, faithfully signaling that a full lookup table is
+// physically unrealizable — which is the paper's point.
+func LimitBound(s Stats, concept Concept, component Component) (Bound, error) {
+	b := Bound{Concept: concept, Component: component}
+	v := float64(s.V)
+	e := float64(s.E)
+	d := float64(s.Depth)
+	ws := float64(s.MaxWS)
+	vin := float64(s.VIn)
+	vout := float64(s.VOut)
+	switch component {
+	case Memory:
+		switch concept {
+		case Simplification:
+			b.TimeExpr, b.Time = "Θ(|V|·log(max|WS|))", v*log2(ws)
+			b.SpaceExpr, b.Space = "Θ(max|WS|)", ws
+		case Heterogeneity:
+			b.TimeExpr, b.Time = "Θ(D)", d
+			b.SpaceExpr, b.Space = "Θ(|E|)", e
+		case Partitioning:
+			b.TimeExpr, b.Time = "Θ(D·log(max|WS|))", d*log2(ws)
+			b.SpaceExpr, b.Space = "Θ(max|WS|)", ws
+		default:
+			return Bound{}, fmt.Errorf("dfg: unknown concept %d", int(concept))
+		}
+	case Communication:
+		switch concept {
+		case Simplification:
+			b.TimeExpr, b.Time = "Θ(|E|)", e
+			b.SpaceExpr, b.Space = "Θ(|V|)", v
+		case Heterogeneity:
+			b.TimeExpr, b.Time = "Θ(D)", d
+			b.SpaceExpr, b.Space = "Θ(|E|)", e
+		case Partitioning:
+			b.TimeExpr, b.Time = "Θ(D)", d
+			b.SpaceExpr, b.Space = "Θ(max|WS|)", ws
+		default:
+			return Bound{}, fmt.Errorf("dfg: unknown concept %d", int(concept))
+		}
+	case Computation:
+		switch concept {
+		case Simplification:
+			b.TimeExpr, b.Time = "Θ(|E|)", e
+			b.SpaceExpr, b.Space = "Θ(1)", 1
+		case Heterogeneity:
+			b.TimeExpr, b.Time = "Θ(|V_IN|)", vin
+			b.SpaceExpr, b.Space = "Θ(2^|V_IN|·|V_OUT|)", math.Pow(2, vin)*vout
+		case Partitioning:
+			b.TimeExpr, b.Time = "Θ(D)", d
+			b.SpaceExpr, b.Space = "Θ(max|WS|)", ws
+		default:
+			return Bound{}, fmt.Errorf("dfg: unknown concept %d", int(concept))
+		}
+	default:
+		return Bound{}, fmt.Errorf("dfg: unknown component %d", int(component))
+	}
+	return b, nil
+}
+
+// LimitTable evaluates the full Table II (3 components × 3 concepts) on the
+// graph's statistics, rows in Table II order (memory, communication,
+// computation; simplification, heterogeneity, partitioning within each).
+func LimitTable(s Stats) ([]Bound, error) {
+	order := []Concept{Simplification, Heterogeneity, Partitioning}
+	var out []Bound
+	for _, comp := range Components() {
+		for _, con := range order {
+			b, err := LimitBound(s, con, comp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

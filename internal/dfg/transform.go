@@ -1,0 +1,236 @@
+package dfg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FuseChains applies computation heterogeneity as a graph transform: runs
+// of dependent single-cycle operations are collapsed into OpFused
+// supernodes of at most window members. It is the explicit-graph
+// counterpart of the scheduler's within-cycle chaining; having both lets
+// the test suite cross-check that fusing the graph and chaining the
+// schedule agree on the achievable depth reduction.
+//
+// Grouping is deliberately conservative so the transform is always sound
+// (no dependency edge is ever dropped and no cluster cycle can form): a
+// cheap (1-cycle) operation joins the group of a predecessor only when
+// every one of its other predecessors is either a member of that same
+// group or an input vertex created before the group's first member. The
+// supernode inherits the union of the group's external predecessors.
+//
+// The transform serves structural analysis (depth reduction, Table II
+// working sets); per-operation energy accounting of fused designs stays
+// with the simulator, whose chaining model retains member identities.
+func FuseChains(g *Graph, window int) (*Graph, int, error) {
+	if g == nil {
+		return nil, 0, fmt.Errorf("%w: nil graph", ErrBadGraph)
+	}
+	if window < 1 {
+		return nil, 0, fmt.Errorf("%w: fusion window %d < 1", ErrBadGraph, window)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := g.NumVertices()
+	group := make([]int, n) // group id per node; -1 = ungrouped
+	for i := range group {
+		group[i] = -1
+	}
+	type groupInfo struct {
+		rep     NodeID // first member (lowest ID)
+		size    int
+		preds   []NodeID        // external predecessors, original IDs
+		predSet map[NodeID]bool // dedup for preds
+	}
+	var groups []*groupInfo
+	cheap := func(id NodeID) bool {
+		nd := g.nodes[id]
+		return nd.Op.IsCompute() && nd.Op.Latency() == 1
+	}
+	addExternal := func(gi *groupInfo, p NodeID) {
+		if !gi.predSet[p] {
+			gi.predSet[p] = true
+			gi.preds = append(gi.preds, p)
+		}
+	}
+	if window > 1 {
+		for _, nd := range g.nodes {
+			if !cheap(nd.ID) {
+				continue
+			}
+			// Find the candidate group: the unique group among grouped
+			// predecessors; every remaining predecessor must be an input
+			// vertex older than the group's representative.
+			candidate := -1
+			joinable := true
+			for _, p := range g.Preds(nd.ID) {
+				if gid := group[p]; gid >= 0 {
+					if candidate == -1 {
+						candidate = gid
+					} else if candidate != gid {
+						joinable = false
+						break
+					}
+				}
+			}
+			if joinable && candidate >= 0 && groups[candidate].size < window {
+				gi := groups[candidate]
+				ok := true
+				for _, p := range g.Preds(nd.ID) {
+					if group[p] == candidate {
+						continue
+					}
+					if g.nodes[p].Op != OpInput || p >= gi.rep {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					group[nd.ID] = candidate
+					gi.size++
+					for _, p := range g.Preds(nd.ID) {
+						if group[p] != candidate {
+							addExternal(gi, p)
+						}
+					}
+					continue
+				}
+			}
+			// Start a new (potential) group with this node as representative.
+			gid := len(groups)
+			gi := &groupInfo{rep: nd.ID, size: 1, predSet: make(map[NodeID]bool)}
+			for _, p := range g.Preds(nd.ID) {
+				addExternal(gi, p)
+			}
+			groups = append(groups, gi)
+			group[nd.ID] = gid
+		}
+	}
+
+	// Rebuild. Multi-member groups become one OpFused node emitted at the
+	// representative's position; every external predecessor of the group
+	// has a lower original ID than the representative, so its mapped node
+	// already exists.
+	out := New(g.Name + "+fused")
+	mapped := make([]NodeID, n)
+	built := make(map[int]NodeID)
+	fusedOps := 0
+	mapPred := func(p NodeID) NodeID {
+		if gid := group[p]; gid >= 0 && groups[gid].size > 1 {
+			return built[gid]
+		}
+		return mapped[p]
+	}
+	for _, nd := range g.nodes {
+		gid := group[nd.ID]
+		if gid >= 0 && groups[gid].size > 1 {
+			fusedOps++
+			if _, ok := built[gid]; ok {
+				mapped[nd.ID] = built[gid] // later member, already emitted
+				continue
+			}
+			gi := groups[gid]
+			preds := make([]NodeID, 0, len(gi.preds))
+			seen := make(map[NodeID]bool)
+			for _, p := range gi.preds {
+				mp := mapPred(p)
+				if !seen[mp] {
+					seen[mp] = true
+					preds = append(preds, mp)
+				}
+			}
+			id, err := out.AddOp(OpFused, preds...)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dfg: emitting supernode: %w", err)
+			}
+			built[gid] = id
+			mapped[nd.ID] = id
+			continue
+		}
+		switch nd.Op {
+		case OpInput:
+			mapped[nd.ID] = out.AddInput(nd.Label)
+		case OpOutput:
+			id, err := out.AddOutput(nd.Label, mapPred(g.Preds(nd.ID)[0]))
+			if err != nil {
+				return nil, 0, err
+			}
+			mapped[nd.ID] = id
+		default:
+			preds := make([]NodeID, 0, len(g.Preds(nd.ID)))
+			seen := make(map[NodeID]bool)
+			for _, p := range g.Preds(nd.ID) {
+				mp := mapPred(p)
+				if !seen[mp] {
+					seen[mp] = true
+					preds = append(preds, mp)
+				}
+			}
+			id, err := out.AddOp(nd.Op, preds...)
+			if err != nil {
+				return nil, 0, err
+			}
+			mapped[nd.ID] = id
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("dfg: fused graph invalid: %w", err)
+	}
+	return out, fusedOps, nil
+}
+
+// WriteDOT emits the graph in Graphviz DOT format for visualization.
+// Inputs render as diamonds, outputs as double circles, computation nodes
+// as boxes labeled with their operation.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", sanitizeDOT(g.Name)); err != nil {
+		return err
+	}
+	for _, nd := range g.nodes {
+		shape := "box"
+		label := nd.Op.String()
+		switch nd.Op {
+		case OpInput:
+			shape = "diamond"
+			label = nd.Label
+		case OpOutput:
+			shape = "doublecircle"
+			label = nd.Label
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s,label=%q];\n", nd.ID, shape, sanitizeDOT(label)); err != nil {
+			return err
+		}
+	}
+	for _, nd := range g.nodes {
+		for _, s := range g.succ[nd.ID] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", nd.ID, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\\' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// OpMix summarizes a graph's operation histogram — the computation profile
+// Table IV workloads differ by.
+func (g *Graph) OpMix() map[Op]int {
+	mix := make(map[Op]int)
+	for _, nd := range g.nodes {
+		if nd.Op.IsCompute() {
+			mix[nd.Op]++
+		}
+	}
+	return mix
+}

@@ -1,0 +1,217 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainGraph builds in -> a -> b -> c -> out with 1-cycle logic ops — the
+// canonical fusable chain.
+func chainGraph(t *testing.T, length int) *Graph {
+	t.Helper()
+	g := New("chain")
+	cur := g.AddInput("in")
+	for i := 0; i < length; i++ {
+		cur = g.MustOp(OpLogic, cur)
+	}
+	g.MustOutput("out", cur)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFuseChainsCollapsesLinearChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	fused, n, err := FuseChains(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("absorbed %d ops, want 6", n)
+	}
+	// Six logic ops in windows of 3 -> two supernodes.
+	s := fused.ComputeStats()
+	if s.VCmp != 2 {
+		t.Errorf("fused graph has %d compute nodes, want 2", s.VCmp)
+	}
+	// Depth: in + 2 supernodes + out = 4 (original: 8).
+	if s.Depth != 4 {
+		t.Errorf("fused depth = %d, want 4", s.Depth)
+	}
+	if g.ComputeStats().Depth != 8 {
+		t.Errorf("original depth = %d, want 8", g.ComputeStats().Depth)
+	}
+}
+
+func TestFuseChainsWindowOneIsIdentity(t *testing.T) {
+	g := chainGraph(t, 4)
+	fused, n, err := FuseChains(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("window 1 absorbed %d ops, want 0", n)
+	}
+	if fused.NumVertices() != g.NumVertices() || fused.NumEdges() != g.NumEdges() {
+		t.Errorf("window-1 fusion changed the graph: %d/%d vs %d/%d",
+			fused.NumVertices(), fused.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestFuseChainsSkipsExpensiveOps(t *testing.T) {
+	g := New("mixed")
+	in := g.AddInput("x")
+	a := g.MustOp(OpLogic, in)
+	m := g.MustOp(OpMul, a) // 3-cycle op breaks the chain
+	b := g.MustOp(OpLogic, m)
+	c := g.MustOp(OpLogic, b)
+	g.MustOutput("out", c)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fused, n, err := FuseChains(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only b and c fuse; a stays alone (its chain has length 1) and the
+	// multiply is never fusable.
+	if n != 2 {
+		t.Errorf("absorbed %d ops, want 2 (b+c)", n)
+	}
+	mix := fused.OpMix()
+	if mix[OpMul] != 1 {
+		t.Errorf("multiply lost: mix = %v", mix)
+	}
+	if mix[OpFused] != 1 {
+		t.Errorf("expected one supernode, mix = %v", mix)
+	}
+}
+
+// The key soundness property: fusion must preserve every external
+// dependency. A later chain member consuming a non-input external value
+// must NOT be fused into a group created before that value exists.
+func TestFuseChainsPreservesExternalDependencies(t *testing.T) {
+	g := New("ext")
+	in := g.AddInput("x")
+	a := g.MustOp(OpLogic, in)   // chain head
+	x := g.MustOp(OpMul, in)     // external expensive value, ID > a
+	b := g.MustOp(OpLogic, a, x) // would ride a, but depends on x
+	g.MustOutput("o1", b)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fused, _, err := FuseChains(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b must not fuse into a's group (x is not an input older than a), so
+	// the multiply's value still reaches b's node.
+	s := fused.ComputeStats()
+	if s.Depth < 4 {
+		t.Errorf("fused depth %d lost the in->mul->b serialization", s.Depth)
+	}
+	// Levels: the node consuming the mul must sit after it.
+	if err := fused.Validate(); err != nil {
+		t.Fatalf("fused graph invalid: %v", err)
+	}
+}
+
+// Fusing every Table IV-style structure must keep graphs valid and never
+// increase depth; inputs/outputs are preserved exactly.
+func TestFuseChainsInvariantsOnKernels(t *testing.T) {
+	builders := map[string]func() *Graph{
+		"chain": func() *Graph { return chainGraph(t, 10) },
+		"paper": func() *Graph { return paperExample(t) },
+		"reduce": func() *Graph {
+			g := New("red")
+			var leaves []NodeID
+			for i := 0; i < 16; i++ {
+				leaves = append(leaves, g.AddInput("x"))
+			}
+			g.MustOutput("sum", reduceIDs(g, leaves))
+			return g
+		},
+	}
+	for name, build := range builders {
+		for _, window := range []int{1, 2, 4, 8} {
+			g := build()
+			before := g.ComputeStats()
+			fused, n, err := FuseChains(g, window)
+			if err != nil {
+				t.Fatalf("%s window %d: %v", name, window, err)
+			}
+			after := fused.ComputeStats()
+			if after.Depth > before.Depth {
+				t.Errorf("%s window %d: depth grew %d -> %d", name, window, before.Depth, after.Depth)
+			}
+			if after.VIn != before.VIn || after.VOut != before.VOut {
+				t.Errorf("%s window %d: io changed (%d/%d -> %d/%d)",
+					name, window, before.VIn, before.VOut, after.VIn, after.VOut)
+			}
+			if n < 0 || n > before.VCmp {
+				t.Errorf("%s window %d: absorbed %d of %d ops", name, window, n, before.VCmp)
+			}
+		}
+	}
+}
+
+func reduceIDs(g *Graph, ids []NodeID) NodeID {
+	for len(ids) > 1 {
+		var next []NodeID
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, g.MustOp(OpAdd, ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+func TestFuseChainsErrors(t *testing.T) {
+	if _, _, err := FuseChains(nil, 2); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, _, err := FuseChains(chainGraph(t, 2), 0); err == nil {
+		t.Error("window 0 should error")
+	}
+	broken := New("broken")
+	broken.AddInput("x")
+	if _, _, err := FuseChains(broken, 2); err == nil {
+		t.Error("invalid graph should error")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := paperExample(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "diamond", "doublecircle", "n0 ->", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// One node line per vertex, one edge line per edge.
+	if got := strings.Count(dot, "shape="); got != g.NumVertices() {
+		t.Errorf("DOT has %d node lines, want %d", got, g.NumVertices())
+	}
+	if got := strings.Count(dot, "->"); got != g.NumEdges() {
+		t.Errorf("DOT has %d edges, want %d", got, g.NumEdges())
+	}
+}
+
+func TestOpMix(t *testing.T) {
+	g := paperExample(t)
+	mix := g.OpMix()
+	if mix[OpAdd] != 2 || mix[OpDiv] != 1 || mix[OpSub] != 1 {
+		t.Errorf("OpMix = %v", mix)
+	}
+	if mix[OpInput] != 0 || mix[OpOutput] != 0 {
+		t.Error("OpMix should exclude structural vertices")
+	}
+}

@@ -1,0 +1,82 @@
+package gains
+
+import (
+	"testing"
+)
+
+// realChip is a historical part with its datasheet transistor count, used
+// to check the area model stays within a small factor of reality across
+// fifteen years of processes. The paper's model was fitted on exactly such
+// datasheets; ours must land in the same neighborhood for the physical
+// ratios (the quantity every CSR divides by) to be trustworthy.
+type realChip struct {
+	name        string
+	nodeNM      float64
+	dieMM2      float64
+	transistors float64
+}
+
+var realChips = []realChip{
+	{"Pentium 4 Willamette", 180, 217, 42e6},
+	{"Athlon 64", 130, 144, 106e6},
+	{"Core 2 Duo E6600", 65, 143, 291e6},
+	{"Core i7-920", 45, 263, 731e6},
+	{"GTX 480 (GF100)", 40, 529, 3.0e9},
+	{"GTX 680 (GK104)", 28, 294, 3.54e9},
+	{"GTX 1080 (GP104)", 16, 314, 7.2e9},
+	{"Apple A12", 7, 83, 6.9e9},
+	{"Apple M1", 5, 119, 16e9},
+}
+
+// The fitted TC(D) model should predict each real chip's transistor count
+// within a factor of 3.5 — good for a single power law spanning 180 nm to
+// 5 nm and three vendors.
+func TestAreaModelAgainstRealChips(t *testing.T) {
+	m := NewModel(nil)
+	for _, c := range realChips {
+		pred, err := m.Budget.TransistorsFromArea(c.nodeNM, c.dieMM2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		ratio := pred / c.transistors
+		if ratio < 1/3.5 || ratio > 3.5 {
+			t.Errorf("%s: predicted %.2g transistors vs real %.2g (%.2fx off)",
+				c.name, pred, c.transistors, ratio)
+		}
+	}
+}
+
+// Physical throughput ratios between real generations should match the
+// rough generational gains architects report: i7-920 over Pentium 4 is a
+// couple orders of magnitude; M1 over i7-920 well over an order.
+func TestGenerationalRatiosSane(t *testing.T) {
+	m := NewModel(nil)
+	cfg := func(c realChip, tdp, freq float64) Config {
+		return Config{NodeNM: c.nodeNM, DieMM2: c.dieMM2, TDPW: tdp, FreqGHz: freq}
+	}
+	p4 := cfg(realChips[0], 55, 1.5)
+	i7 := cfg(realChips[3], 130, 2.66)
+	m1 := cfg(realChips[8], 30, 3.2)
+	r1, err := m.Ratio(TargetThroughput, i7, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 < 5 || r1 > 200 {
+		t.Errorf("i7 over P4 physical ratio = %.1f, want tens", r1)
+	}
+	r2, err := m.Ratio(TargetThroughput, m1, i7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 5 || r2 > 300 {
+		t.Errorf("M1 over i7 physical ratio = %.1f, want tens", r2)
+	}
+	// Efficiency improves generation over generation too.
+	e, err := m.Ratio(TargetEfficiency, m1, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 5 {
+		t.Errorf("M1 over P4 efficiency ratio = %.1f, want > 5", e)
+	}
+}

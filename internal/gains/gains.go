@@ -1,0 +1,280 @@
+// Package gains implements the paper's physical chip-gain model
+// (Section III, Figure 3d): the CMOS-driven throughput and energy
+// efficiency a chip of given node, die size, TDP, and frequency can reach,
+// independent of what application runs on it.
+//
+// Throughput is modeled as active transistors × frequency — appropriate
+// because the paper "treat[s] chip throughput as the targeted performance
+// since we explore applications that possess high degrees of parallelism".
+// The active-transistor count is the area-limited count (Figure 3b model)
+// capped by the power-limited count (Figure 3c model), which is how "power
+// constraints cap the gains of large chips": an 800 mm² 5 nm chip has
+// ~1000× the baseline's transistors, but under an 800 W envelope only
+// ~300× of them can switch.
+//
+// Energy efficiency is throughput divided by power, where power combines
+// dynamic power of the active transistors (C·V²·f scaling per node) and
+// leakage of the whole die (per-transistor leakage × area-limited count).
+// Leakage makes small dies favorable for efficiency and old nodes appealing
+// for big power-capped dies, reproducing the right panel of Figure 3d.
+//
+// All gains are reported relative to the paper's baseline: a 25 mm² chip
+// fabricated in 45 nm CMOS running at 1 GHz.
+package gains
+
+import (
+	"fmt"
+
+	"accelwall/internal/budget"
+	"accelwall/internal/cmos"
+)
+
+// Config describes a chip to the physical model: the four inputs of the
+// paper's CMOS potential model.
+type Config struct {
+	NodeNM  float64 // CMOS node, nm
+	DieMM2  float64 // die size, mm²
+	TDPW    float64 // thermal design power, W
+	FreqGHz float64 // operating frequency, GHz
+}
+
+// Baseline is the normalization chip of Figure 3d: 25 mm² at 45 nm, 1 GHz.
+// Its 50 W envelope leaves it area-limited, so the baseline measures pure
+// transistor capability.
+func Baseline() Config {
+	return Config{NodeNM: cmos.ReferenceNode, DieMM2: 25, TDPW: 50, FreqGHz: 1}
+}
+
+// Model computes physical chip gains from a fitted transistor budget model.
+type Model struct {
+	Budget *budget.Model
+	// LeakShare is the leakage-to-dynamic power ratio at the baseline
+	// configuration; it calibrates how strongly static power penalizes
+	// large dies. The default of 0.25 reflects the mid-2000s 45 nm regime.
+	LeakShare float64
+}
+
+// NewModel returns a gains model over the given budget model with the
+// default leakage calibration. A nil budget model selects the published
+// regression constants.
+func NewModel(b *budget.Model) *Model {
+	if b == nil {
+		b = budget.Published()
+	}
+	return &Model{Budget: b, LeakShare: 0.25}
+}
+
+// validate rejects non-physical configurations.
+func validate(cfg Config) error {
+	if cfg.NodeNM <= 0 || cfg.DieMM2 <= 0 || cfg.TDPW <= 0 || cfg.FreqGHz <= 0 {
+		return fmt.Errorf("gains: non-positive config field: %+v", cfg)
+	}
+	return nil
+}
+
+// ActiveTransistors returns the usable transistor budget of cfg: the
+// area-limited count capped by the TDP-limited count.
+func (m *Model) ActiveTransistors(cfg Config) (float64, error) {
+	if err := validate(cfg); err != nil {
+		return 0, err
+	}
+	return m.Budget.BudgetTransistors(cfg.NodeNM, cfg.DieMM2, cfg.TDPW, cfg.FreqGHz)
+}
+
+// Throughput returns the physical throughput potential of cfg in abstract
+// operation units (active transistors × GHz). Only ratios of this quantity
+// are meaningful.
+func (m *Model) Throughput(cfg Config) (float64, error) {
+	act, err := m.ActiveTransistors(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return act * cfg.FreqGHz, nil
+}
+
+// Power returns the modeled chip power in abstract units: dynamic power of
+// the active transistors plus leakage of the full die.
+func (m *Model) Power(cfg Config) (float64, error) {
+	if err := validate(cfg); err != nil {
+		return 0, err
+	}
+	node, err := cmos.Lookup(cfg.NodeNM)
+	if err != nil {
+		return 0, err
+	}
+	act, err := m.Budget.BudgetTransistors(cfg.NodeNM, cfg.DieMM2, cfg.TDPW, cfg.FreqGHz)
+	if err != nil {
+		return 0, err
+	}
+	area, err := m.Budget.TransistorsFromArea(cfg.NodeNM, cfg.DieMM2)
+	if err != nil {
+		return 0, err
+	}
+	dyn := act * node.DynEnergy() * cfg.FreqGHz
+	leak := m.LeakShare * area * node.LeakPower()
+	return dyn + leak, nil
+}
+
+// EnergyEfficiency returns the physical energy-efficiency potential of cfg
+// (operations per joule, abstract units): throughput over power.
+func (m *Model) EnergyEfficiency(cfg Config) (float64, error) {
+	tp, err := m.Throughput(cfg)
+	if err != nil {
+		return 0, err
+	}
+	pw, err := m.Power(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if pw <= 0 {
+		return 0, fmt.Errorf("gains: non-positive modeled power %g for %+v", pw, cfg)
+	}
+	return tp / pw, nil
+}
+
+// RelativeThroughput returns cfg's throughput normalized to the Figure 3d
+// baseline (45 nm, 25 mm², 1 GHz).
+func (m *Model) RelativeThroughput(cfg Config) (float64, error) {
+	return m.relative(cfg, m.Throughput)
+}
+
+// RelativeEfficiency returns cfg's energy efficiency normalized to the
+// Figure 3d baseline.
+func (m *Model) RelativeEfficiency(cfg Config) (float64, error) {
+	return m.relative(cfg, m.EnergyEfficiency)
+}
+
+func (m *Model) relative(cfg Config, f func(Config) (float64, error)) (float64, error) {
+	v, err := f(cfg)
+	if err != nil {
+		return 0, err
+	}
+	base, err := f(Baseline())
+	if err != nil {
+		return 0, err
+	}
+	if base <= 0 {
+		return 0, fmt.Errorf("gains: non-positive baseline value %g", base)
+	}
+	return v / base, nil
+}
+
+// Ratio returns the physical gain of chip a over chip b for the given
+// target function — the Gain(Phy_A)/Gain(Phy_B) term of Equation 2.
+func Ratio(m *Model, target Target, a, b Config) (float64, error) {
+	return m.Ratio(target, a, b)
+}
+
+// Ratio returns the physical gain of chip a over chip b for the given
+// target function. It is the method form of the package-level Ratio,
+// satisfying the physical-potential interface of package csr.
+func (m *Model) Ratio(target Target, a, b Config) (float64, error) {
+	f := m.targetFunc(target)
+	va, err := f(a)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := f(b)
+	if err != nil {
+		return 0, err
+	}
+	if vb <= 0 {
+		return 0, fmt.Errorf("gains: non-positive denominator gain %g for %+v", vb, b)
+	}
+	return va / vb, nil
+}
+
+// Target selects the gain function a chip strives to maximize.
+type Target int
+
+// The two target functions the paper focuses on.
+const (
+	TargetThroughput Target = iota
+	TargetEfficiency
+)
+
+// String names the target as the Figure 3d panel titles do.
+func (t Target) String() string {
+	switch t {
+	case TargetThroughput:
+		return "Throughput (OP/s)"
+	case TargetEfficiency:
+		return "Energy Efficiency (OP/s/W)"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+func (m *Model) targetFunc(t Target) func(Config) (float64, error) {
+	if t == TargetEfficiency {
+		return m.EnergyEfficiency
+	}
+	return m.Throughput
+}
+
+// TDPZone is one of the power-envelope zones Figure 3d shades.
+type TDPZone struct {
+	Label string
+	TDPW  float64 // representative TDP used for the zone's bars
+}
+
+// TDPZones returns the four Figure 3d zones with representative envelope
+// values (each zone is evaluated at its cap; the open-ended top zone at
+// 1600 W).
+func TDPZones() []TDPZone {
+	return []TDPZone{
+		{Label: "<50W", TDPW: 50},
+		{Label: "50W-200W", TDPW: 200},
+		{Label: "200W-800W", TDPW: 800},
+		{Label: ">800W", TDPW: 1600},
+	}
+}
+
+// Fig3dDies lists the die sizes of the Figure 3d grid.
+func Fig3dDies() []float64 { return []float64{25, 50, 100, 200, 400, 800} }
+
+// Fig3dNodes lists the nodes of the Figure 3d grid.
+func Fig3dNodes() []float64 { return []float64{45, 28, 16, 10, 7, 5} }
+
+// Fig3dRow is one bar of the Figure 3d grid: the relative gain of a
+// (node, die, TDP zone) chip at 1 GHz.
+type Fig3dRow struct {
+	Target Target
+	NodeNM float64
+	DieMM2 float64
+	Zone   TDPZone
+	Gain   float64 // relative to the 45 nm / 25 mm² baseline
+	Capped bool    // true when the TDP envelope, not the die, limits the chip
+}
+
+// Fig3d reproduces the data behind Figure 3d: relative throughput and
+// energy efficiency across the node × die × TDP-zone grid at fChip = 1 GHz.
+func (m *Model) Fig3d() ([]Fig3dRow, error) {
+	var rows []Fig3dRow
+	for _, target := range []Target{TargetThroughput, TargetEfficiency} {
+		for _, nodeNM := range Fig3dNodes() {
+			for _, die := range Fig3dDies() {
+				for _, zone := range TDPZones() {
+					cfg := Config{NodeNM: nodeNM, DieMM2: die, TDPW: zone.TDPW, FreqGHz: 1}
+					gain, err := m.relative(cfg, m.targetFunc(target))
+					if err != nil {
+						return nil, err
+					}
+					capped, err := m.Budget.PowerCapped(cfg.NodeNM, cfg.DieMM2, cfg.TDPW, cfg.FreqGHz)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, Fig3dRow{
+						Target: target,
+						NodeNM: nodeNM,
+						DieMM2: die,
+						Zone:   zone,
+						Gain:   gain,
+						Capped: capped,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}

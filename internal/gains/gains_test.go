@@ -1,0 +1,272 @@
+package gains
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accelwall/internal/budget"
+	"accelwall/internal/chipdb"
+)
+
+func model() *Model { return NewModel(nil) }
+
+func TestNewModelDefaults(t *testing.T) {
+	m := NewModel(nil)
+	if m.Budget == nil {
+		t.Fatal("nil budget should default to published model")
+	}
+	if m.LeakShare != 0.25 {
+		t.Errorf("default leak share = %g, want 0.25", m.LeakShare)
+	}
+	b, _ := budget.Fit(chipdb.Synthetic(1))
+	if got := NewModel(b); got.Budget != b {
+		t.Error("explicit budget model not retained")
+	}
+}
+
+func TestBaselineIsUnity(t *testing.T) {
+	m := model()
+	tp, err := m.RelativeThroughput(Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp-1) > 1e-12 {
+		t.Errorf("baseline relative throughput = %g, want 1", tp)
+	}
+	ef, err := m.RelativeEfficiency(Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ef-1) > 1e-12 {
+		t.Errorf("baseline relative efficiency = %g, want 1", ef)
+	}
+}
+
+// The headline Figure 3d claim: an 800 mm² 5 nm chip reaches ~1000× relative
+// throughput unconstrained, dropping by about 70% to ~300× under an 800 W
+// envelope.
+func TestFig3dHeadlineNumbers(t *testing.T) {
+	m := model()
+	// Unconstrained: given an effectively unlimited envelope.
+	un, err := m.RelativeThroughput(Config{NodeNM: 5, DieMM2: 800, TDPW: 1e6, FreqGHz: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un < 700 || un > 1300 {
+		t.Errorf("unconstrained 5nm 800mm² gain = %.0f×, want ~1000×", un)
+	}
+	capped, err := m.RelativeThroughput(Config{NodeNM: 5, DieMM2: 800, TDPW: 800, FreqGHz: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped < 200 || capped > 450 {
+		t.Errorf("800W-capped 5nm 800mm² gain = %.0f×, want ~300×", capped)
+	}
+	drop := 1 - capped/un
+	if drop < 0.55 || drop > 0.85 {
+		t.Errorf("TDP cap removes %.0f%% of the gain, want ~70%%", drop*100)
+	}
+}
+
+func TestSmallDiesFavorEfficiency(t *testing.T) {
+	m := model()
+	small, err := m.RelativeEfficiency(Config{NodeNM: 5, DieMM2: 25, TDPW: 50, FreqGHz: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := m.RelativeEfficiency(Config{NodeNM: 5, DieMM2: 800, TDPW: 800, FreqGHz: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= large {
+		t.Errorf("small die efficiency %g should beat large die %g", small, large)
+	}
+	if small <= 1 {
+		t.Errorf("5nm small-die efficiency = %g, want > 1 (newer node wins at small die)", small)
+	}
+}
+
+func TestNewerNodesImproveThroughput(t *testing.T) {
+	m := model()
+	prev := 0.0
+	for _, nodeNM := range []float64{45, 28, 16, 10, 7, 5} {
+		tp, err := m.RelativeThroughput(Config{NodeNM: nodeNM, DieMM2: 100, TDPW: 200, FreqGHz: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp <= prev {
+			t.Errorf("throughput at %gnm = %g did not improve over previous node (%g)", nodeNM, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	m := model()
+	bad := []Config{
+		{NodeNM: 0, DieMM2: 25, TDPW: 50, FreqGHz: 1},
+		{NodeNM: 45, DieMM2: 0, TDPW: 50, FreqGHz: 1},
+		{NodeNM: 45, DieMM2: 25, TDPW: 0, FreqGHz: 1},
+		{NodeNM: 45, DieMM2: 25, TDPW: 50, FreqGHz: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := m.Throughput(cfg); err == nil {
+			t.Errorf("Throughput(%+v) should error", cfg)
+		}
+		if _, err := m.Power(cfg); err == nil {
+			t.Errorf("Power(%+v) should error", cfg)
+		}
+		if _, err := m.EnergyEfficiency(cfg); err == nil {
+			t.Errorf("EnergyEfficiency(%+v) should error", cfg)
+		}
+	}
+	if _, err := m.Power(Config{NodeNM: 500, DieMM2: 25, TDPW: 50, FreqGHz: 1}); err == nil {
+		t.Error("out-of-range node should error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	m := model()
+	a := Config{NodeNM: 16, DieMM2: 100, TDPW: 150, FreqGHz: 1}
+	b := Config{NodeNM: 45, DieMM2: 100, TDPW: 150, FreqGHz: 1}
+	r, err := Ratio(m, TargetThroughput, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 1 {
+		t.Errorf("16nm over 45nm physical ratio = %g, want > 1", r)
+	}
+	inv, err := Ratio(m, TargetThroughput, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r*inv-1) > 1e-9 {
+		t.Errorf("Ratio not reciprocal: %g * %g != 1", r, inv)
+	}
+	if _, err := Ratio(m, TargetEfficiency, a, Config{NodeNM: 0, DieMM2: 1, TDPW: 1, FreqGHz: 1}); err == nil {
+		t.Error("bad denominator config should error")
+	}
+	if _, err := Ratio(m, TargetEfficiency, Config{NodeNM: 0, DieMM2: 1, TDPW: 1, FreqGHz: 1}, a); err == nil {
+		t.Error("bad numerator config should error")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if TargetThroughput.String() == "" || TargetEfficiency.String() == "" {
+		t.Error("target names must be non-empty")
+	}
+	if Target(9).String() != "Target(9)" {
+		t.Errorf("unknown target = %q", Target(9).String())
+	}
+}
+
+func TestFig3dGrid(t *testing.T) {
+	m := model()
+	rows, err := m.Fig3d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(Fig3dNodes()) * len(Fig3dDies()) * len(TDPZones())
+	if len(rows) != want {
+		t.Fatalf("Fig3d rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Gain <= 0 {
+			t.Fatalf("non-positive gain in row %+v", r)
+		}
+	}
+	// Within a (target, node, die) group, relaxing the TDP zone must never
+	// reduce the throughput gain.
+	find := func(tg Target, node, die, tdp float64) Fig3dRow {
+		for _, r := range rows {
+			if r.Target == tg && r.NodeNM == node && r.DieMM2 == die && r.Zone.TDPW == tdp {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v %g %g %g", tg, node, die, tdp)
+		return Fig3dRow{}
+	}
+	for _, node := range Fig3dNodes() {
+		for _, die := range Fig3dDies() {
+			prev := 0.0
+			for _, z := range TDPZones() {
+				r := find(TargetThroughput, node, die, z.TDPW)
+				if r.Gain < prev-1e-9 {
+					t.Errorf("throughput decreased with larger TDP at %gnm %gmm²", node, die)
+				}
+				prev = r.Gain
+			}
+		}
+	}
+	// Large 5 nm dies under tight envelopes must be flagged power-capped.
+	if r := find(TargetThroughput, 5, 800, 50); !r.Capped {
+		t.Error("5nm 800mm² chip at 50W should be power-capped")
+	}
+	if r := find(TargetThroughput, 45, 25, 1600); r.Capped {
+		t.Error("45nm 25mm² chip at 1600W should be area-capped")
+	}
+}
+
+// Property: throughput is monotone non-decreasing in die area and TDP.
+func TestThroughputMonotoneProperty(t *testing.T) {
+	m := model()
+	f := func(rd, rt float64) bool {
+		d1 := 10 + math.Mod(math.Abs(rd), 700)
+		t1 := 10 + math.Mod(math.Abs(rt), 800)
+		if math.IsNaN(d1) || math.IsNaN(t1) {
+			return true
+		}
+		cfg := Config{NodeNM: 7, DieMM2: d1, TDPW: t1, FreqGHz: 1}
+		base, err := m.Throughput(cfg)
+		if err != nil {
+			return false
+		}
+		biggerDie := cfg
+		biggerDie.DieMM2 *= 1.5
+		v1, err := m.Throughput(biggerDie)
+		if err != nil {
+			return false
+		}
+		biggerTDP := cfg
+		biggerTDP.TDPW *= 1.5
+		v2, err := m.Throughput(biggerTDP)
+		if err != nil {
+			return false
+		}
+		return v1 >= base && v2 >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ratio is consistent with RelativeThroughput (both are ratios of
+// the same underlying potential).
+func TestRatioConsistencyProperty(t *testing.T) {
+	m := model()
+	f := func(rn uint8, rd, rt float64) bool {
+		nodes := Fig3dNodes()
+		cfg := Config{
+			NodeNM:  nodes[int(rn)%len(nodes)],
+			DieMM2:  10 + math.Mod(math.Abs(rd), 700),
+			TDPW:    10 + math.Mod(math.Abs(rt), 800),
+			FreqGHz: 1,
+		}
+		if math.IsNaN(cfg.DieMM2) || math.IsNaN(cfg.TDPW) {
+			return true
+		}
+		rel, err := m.RelativeThroughput(cfg)
+		if err != nil {
+			return false
+		}
+		ratio, err := Ratio(m, TargetThroughput, cfg, Baseline())
+		if err != nil {
+			return false
+		}
+		return math.Abs(rel-ratio) <= 1e-9*math.Max(rel, ratio)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package projection implements the accelerator-wall limit study of
+// Section VII: for each evaluated domain, a Pareto-frontier projection of
+// accelerator gains onto the physical capabilities of the final (5 nm)
+// CMOS node.
+//
+// Two projection models bracket the future (Equations 5 and 6):
+//
+//	Projection_Linear(Physical) = α·Physical + β
+//	Projection_Log(Physical)    = α·log(Physical) + β
+//
+// The linear model suits performance ("accelerated applications possess
+// high parallelism, performance scales linearly by adding more parallel
+// processing elements"); the logarithmic model captures the sub-linear
+// difficulty of exploiting very large chips and suits energy efficiency.
+// Both are fitted to the Pareto frontier of (physical potential, gain)
+// points drawn from the Section IV case studies, then evaluated at the
+// physical potential of a chip built with the Table V parameters at 5 nm —
+// the accelerator wall.
+package projection
+
+import (
+	"errors"
+	"fmt"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/chipdb"
+	"accelwall/internal/gains"
+	"accelwall/internal/stats"
+)
+
+// WallConfig holds one domain's Table V physical parameters: the die-size
+// range, thermal budget, and frequency of the domain's accelerator class.
+type WallConfig struct {
+	Domain    casestudy.Domain
+	Platform  string
+	DieMinMM2 float64
+	DieMaxMM2 float64
+	TDPW      float64
+	FreqMHz   float64
+}
+
+// TableV returns the physical parameters of the limit study exactly as
+// printed in Table V.
+func TableV() []WallConfig {
+	return []WallConfig{
+		{Domain: casestudy.DomainVideoDecode, Platform: "ASIC", DieMinMM2: 1.68, DieMaxMM2: 16.0, TDPW: 7, FreqMHz: 400},
+		{Domain: casestudy.DomainGPUGraphics, Platform: "GPU", DieMinMM2: 40, DieMaxMM2: 815, TDPW: 345, FreqMHz: 1500},
+		{Domain: casestudy.DomainFPGACNN, Platform: "FPGA", DieMinMM2: 100, DieMaxMM2: 572, TDPW: 150, FreqMHz: 400},
+		{Domain: casestudy.DomainBitcoin, Platform: "ASIC", DieMinMM2: 11.1, DieMaxMM2: 504, TDPW: 500, FreqMHz: 1400},
+	}
+}
+
+// wallConfigFor returns the Table V row of a domain.
+func wallConfigFor(domain casestudy.Domain) (WallConfig, error) {
+	for _, w := range TableV() {
+		if w.Domain == domain {
+			return w, nil
+		}
+	}
+	return WallConfig{}, fmt.Errorf("projection: no Table V parameters for domain %v", domain)
+}
+
+// wallChip builds the 5 nm chip of a domain's wall: "we follow the insights
+// from Section III, and use largest dies for performance, and smallest dies
+// for energy efficiency".
+func (w WallConfig) wallChip(target gains.Target) gains.Config {
+	die := w.DieMaxMM2
+	if target == gains.TargetEfficiency {
+		die = w.DieMinMM2
+	}
+	return gains.Config{NodeNM: 5, DieMM2: die, TDPW: w.TDPW, FreqGHz: w.FreqMHz / 1000}
+}
+
+// Projection is the accelerator-wall result for one (domain, target) pair.
+type Projection struct {
+	Domain casestudy.Domain
+	Target gains.Target
+
+	// Points are the case-study observations in (relative physical
+	// potential, relative gain) space; Frontier is their Pareto frontier.
+	Points   []stats.Point
+	Frontier []stats.Point
+
+	// The two fitted projection models (Equations 5 and 6).
+	Linear stats.Linear
+	Log    stats.Logarithmic
+
+	// PhysLimit is the relative physical potential of the Table V chip at
+	// the final 5 nm node.
+	PhysLimit float64
+
+	// CurrentBest is the best gain achieved by an existing chip;
+	// ProjLinear and ProjLog are the wall gains under each model, and the
+	// Remaining values are the headroom factors the paper reports
+	// ("we project further improvements of X–Y×").
+	CurrentBest  float64
+	ProjLinear   float64
+	ProjLog      float64
+	RemainLinear float64
+	RemainLog    float64
+
+	// BaselineAbs converts relative gains to the domain's absolute unit
+	// (MPixels/s, frames/J, GOP/s, GHash/s/mm², ...).
+	BaselineAbs float64
+	Unit        string
+}
+
+// collect gathers a domain's (physical, gain) cloud and its wall-chip
+// physical limit.
+func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float64, float64, string, error) {
+	w, err := wallConfigFor(domain)
+	if err != nil {
+		return nil, 0, 0, "", err
+	}
+	switch domain {
+	case casestudy.DomainBitcoin:
+		// The mining projection is taken over the ASIC era only: the
+		// CPU→GPU→FPGA→ASIC platform transitions deliver non-recurring CSR
+		// boosts (Section IV-E), so extrapolating them forward would
+		// overstate the wall. Points normalize to the first (130 nm) ASIC.
+		rows, err := casestudy.Fig9(target)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		miners := casestudy.Miners()
+		var asicBase *casestudy.Fig9Row
+		var baseMiner casestudy.Miner
+		var pts []stats.Point
+		for i, r := range rows {
+			if miners[i].Kind != chipdb.ASIC {
+				continue
+			}
+			if asicBase == nil {
+				rr := r
+				asicBase = &rr
+				baseMiner = miners[i]
+			}
+			pts = append(pts, stats.Point{
+				X: (r.RelGain / r.CSR) / (asicBase.RelGain / asicBase.CSR),
+				Y: r.RelGain / asicBase.RelGain,
+			})
+		}
+		if asicBase == nil {
+			return nil, 0, 0, "", errors.New("projection: no ASIC miners in dataset")
+		}
+		limit, err := casestudy.DevicePotential{}.Ratio(target,
+			gains.Config{NodeNM: 5, DieMM2: 25, TDPW: 50, FreqGHz: w.FreqMHz / 1000},
+			gains.Config{NodeNM: baseMiner.NodeNM, DieMM2: 25, TDPW: 50, FreqGHz: baseMiner.FreqGHz})
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		baseAbs, unit := baseMiner.PerfGHsMM2, "GHash/s/mm²"
+		if target == gains.TargetEfficiency {
+			baseAbs, unit = baseMiner.EffGHsJ, "GHash/J"
+		}
+		return pts, limit, baseAbs, unit, nil
+
+	case casestudy.DomainVideoDecode:
+		rows, err := casestudy.Fig4(target)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		pts := make([]stats.Point, 0, len(rows))
+		for _, r := range rows {
+			pts = append(pts, stats.Point{X: r.RelGain / r.CSR, Y: r.RelGain})
+		}
+		limit, baseAbs, unit, err := videoLimit(target, w)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		return pts, limit, baseAbs, unit, nil
+
+	case casestudy.DomainGPUGraphics:
+		points, err := casestudy.ArchScaling(target)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		pts := make([]stats.Point, 0, len(points))
+		for _, p := range points {
+			pts = append(pts, stats.Point{X: p.RelGain / p.CSR, Y: p.RelGain})
+		}
+		limit, baseAbs, unit, err := gpuLimit(target, w)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		return pts, limit, baseAbs, unit, nil
+
+	case casestudy.DomainFPGACNN:
+		var pts []stats.Point
+		// The paper pools AlexNet and VGG-16 on one axis ("AlexNet+VGG-16
+		// GOP/s"); both series normalize to the AlexNet baseline board.
+		m := gains.NewModel(nil)
+		alexBase := casestudy.FPGAImpls(casestudy.AlexNet)[0]
+		baseCfg := alexBase.Config()
+		baseAbs, unit := alexBase.GOPS, "GOP/s"
+		if target == gains.TargetEfficiency {
+			baseAbs, unit = alexBase.GOPSJ, "GOP/J"
+		}
+		for _, model := range []casestudy.CNNModel{casestudy.AlexNet, casestudy.VGG16} {
+			for _, impl := range casestudy.FPGAImpls(model) {
+				phys, err := m.Ratio(target, impl.Config(), baseCfg)
+				if err != nil {
+					return nil, 0, 0, "", err
+				}
+				abs := impl.GOPS
+				if target == gains.TargetEfficiency {
+					abs = impl.GOPSJ
+				}
+				pts = append(pts, stats.Point{X: phys, Y: abs / baseAbs})
+			}
+		}
+		limit, err := fpgaLimit(target, w)
+		if err != nil {
+			return nil, 0, 0, "", err
+		}
+		return pts, limit, baseAbs, unit, nil
+	}
+	return nil, 0, 0, "", fmt.Errorf("projection: unknown domain %v", domain)
+}
+
+// videoLimit evaluates the decoder wall chip against the ISSCC2006
+// baseline using the video study's gains model.
+func videoLimit(target gains.Target, w WallConfig) (float64, float64, string, error) {
+	m := gains.NewModel(nil)
+	m.LeakShare = 0.05
+	decs := casestudy.Decoders()
+	base := decs[0]
+	baseCfg := gains.Config{NodeNM: base.NodeNM, DieMM2: base.DieMM2, TDPW: 5, FreqGHz: base.FreqGHz}
+	limit, err := m.Ratio(target, w.wallChip(target), baseCfg)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	baseAbs, unit := base.MPixS, "MPixels/s"
+	if target == gains.TargetEfficiency {
+		baseAbs, unit = base.MPixJ, "MPixels/J"
+	}
+	return limit, baseAbs, unit, nil
+}
+
+// gpuLimit evaluates the GPU wall chip against the 65 nm Tesla flagship.
+func gpuLimit(target gains.Target, w WallConfig) (float64, float64, string, error) {
+	m := gains.NewModel(nil)
+	var tesla casestudy.GPUChip
+	for _, c := range casestudy.GPUChips() {
+		if c.Arch == "Tesla" && c.HighEnd {
+			tesla = c
+			break
+		}
+	}
+	baseCfg := gains.Config{NodeNM: tesla.NodeNM, DieMM2: tesla.DieMM2, TDPW: tesla.TDPW, FreqGHz: tesla.FreqGHz}
+	limit, err := m.Ratio(target, w.wallChip(target), baseCfg)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	baseAbs, unit := 124.0, "Gaming MPixels/s" // ~60 fps of FHD frames
+	if target == gains.TargetEfficiency {
+		baseAbs, unit = 0.53, "Gaming MPixels/J"
+	}
+	return limit, baseAbs, unit, nil
+}
+
+// fpgaLimit evaluates the FPGA wall chip (a fully utilized 5 nm fabric)
+// against the AlexNet baseline board.
+func fpgaLimit(target gains.Target, w WallConfig) (float64, error) {
+	m := gains.NewModel(nil)
+	baseImpl := casestudy.FPGAImpls(casestudy.AlexNet)[0]
+	return m.Ratio(target, w.wallChip(target), baseImpl.Config())
+}
+
+// Project runs the accelerator-wall analysis for one domain and target.
+func Project(domain casestudy.Domain, target gains.Target) (Projection, error) {
+	pts, limit, baseAbs, unit, err := collect(domain, target)
+	if err != nil {
+		return Projection{}, err
+	}
+	if len(pts) < 3 {
+		return Projection{}, errors.New("projection: too few observations to project")
+	}
+	frontier := stats.ParetoFrontier(pts)
+	if len(frontier) < 2 {
+		return Projection{}, fmt.Errorf("projection: degenerate frontier for %v", domain)
+	}
+	xs := make([]float64, len(frontier))
+	ys := make([]float64, len(frontier))
+	for i, p := range frontier {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	lin, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		return Projection{}, fmt.Errorf("projection: linear fit for %v: %w", domain, err)
+	}
+	lg, err := stats.FitLogarithmic(xs, ys)
+	if err != nil {
+		return Projection{}, fmt.Errorf("projection: log fit for %v: %w", domain, err)
+	}
+	best := 0.0
+	for _, p := range pts {
+		if p.Y > best {
+			best = p.Y
+		}
+	}
+	proj := Projection{
+		Domain:      domain,
+		Target:      target,
+		Points:      pts,
+		Frontier:    frontier,
+		Linear:      lin,
+		Log:         lg,
+		PhysLimit:   limit,
+		CurrentBest: best,
+		ProjLinear:  lin.Eval(limit),
+		ProjLog:     lg.Eval(limit),
+		BaselineAbs: baseAbs,
+		Unit:        unit,
+	}
+	proj.RemainLinear = proj.ProjLinear / best
+	proj.RemainLog = proj.ProjLog / best
+	return proj, nil
+}
+
+// Fig15 reproduces the performance projections of Figure 15: the
+// accelerator wall of each evaluated domain under both models.
+func Fig15() ([]Projection, error) {
+	return projectAll(gains.TargetThroughput)
+}
+
+// Fig16 reproduces the energy-efficiency projections of Figure 16.
+func Fig16() ([]Projection, error) {
+	return projectAll(gains.TargetEfficiency)
+}
+
+func projectAll(target gains.Target) ([]Projection, error) {
+	var out []Projection
+	for _, d := range casestudy.Domains() {
+		p, err := Project(d, target)
+		if err != nil {
+			return nil, fmt.Errorf("projection: domain %v: %w", d, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package projection
+
+import (
+	"math"
+	"testing"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+	"accelwall/internal/stats"
+)
+
+func TestTableVParameters(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 4 {
+		t.Fatalf("Table V has %d rows, want 4", len(rows))
+	}
+	for _, w := range rows {
+		if w.DieMinMM2 <= 0 || w.DieMaxMM2 <= w.DieMinMM2 {
+			t.Errorf("%v: die range (%g, %g) invalid", w.Domain, w.DieMinMM2, w.DieMaxMM2)
+		}
+		if w.TDPW <= 0 || w.FreqMHz <= 0 {
+			t.Errorf("%v: non-positive TDP or frequency", w.Domain)
+		}
+	}
+	// Spot-check against the printed table.
+	video := rows[0]
+	if video.DieMinMM2 != 1.68 || video.DieMaxMM2 != 16.0 || video.TDPW != 7 || video.FreqMHz != 400 {
+		t.Errorf("video decoding Table V row = %+v", video)
+	}
+	btc := rows[3]
+	if btc.DieMinMM2 != 11.1 || btc.DieMaxMM2 != 504 || btc.TDPW != 500 || btc.FreqMHz != 1400 {
+		t.Errorf("bitcoin Table V row = %+v", btc)
+	}
+}
+
+func TestWallChipDieSelection(t *testing.T) {
+	w := TableV()[1] // GPU
+	perf := w.wallChip(gains.TargetThroughput)
+	eff := w.wallChip(gains.TargetEfficiency)
+	if perf.DieMM2 != w.DieMaxMM2 {
+		t.Errorf("performance wall uses die %g, want largest %g", perf.DieMM2, w.DieMaxMM2)
+	}
+	if eff.DieMM2 != w.DieMinMM2 {
+		t.Errorf("efficiency wall uses die %g, want smallest %g", eff.DieMM2, w.DieMinMM2)
+	}
+	if perf.NodeNM != 5 || eff.NodeNM != 5 {
+		t.Error("wall chips must be built at the final 5nm node")
+	}
+}
+
+func TestProjectAllDomainsThroughput(t *testing.T) {
+	projs, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(projs) != 4 {
+		t.Fatalf("Fig15 has %d domains, want 4", len(projs))
+	}
+	for _, p := range projs {
+		if p.Target != gains.TargetThroughput {
+			t.Errorf("%v: wrong target", p.Domain)
+		}
+		validateProjection(t, p)
+	}
+}
+
+func TestProjectAllDomainsEfficiency(t *testing.T) {
+	projs, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(projs) != 4 {
+		t.Fatalf("Fig16 has %d domains, want 4", len(projs))
+	}
+	for _, p := range projs {
+		if p.Target != gains.TargetEfficiency {
+			t.Errorf("%v: wrong target", p.Domain)
+		}
+		validateProjection(t, p)
+	}
+}
+
+// validateProjection checks the structural invariants every wall result
+// must satisfy.
+func validateProjection(t *testing.T, p Projection) {
+	t.Helper()
+	if len(p.Points) < 3 {
+		t.Errorf("%v/%v: only %d points", p.Domain, p.Target, len(p.Points))
+	}
+	if len(p.Frontier) < 2 {
+		t.Errorf("%v/%v: degenerate frontier", p.Domain, p.Target)
+	}
+	// Frontier points must come from the cloud and be undominated.
+	for _, fp := range p.Frontier {
+		found := false
+		for _, pt := range p.Points {
+			if pt == fp {
+				found = true
+			}
+			if stats.Dominates(pt, fp) {
+				t.Errorf("%v/%v: frontier point %v dominated by %v", p.Domain, p.Target, fp, pt)
+			}
+		}
+		if !found {
+			t.Errorf("%v/%v: frontier point %v not in cloud", p.Domain, p.Target, fp)
+		}
+	}
+	// The wall lies beyond every existing chip's physical potential.
+	for _, pt := range p.Points {
+		if pt.X > p.PhysLimit {
+			t.Errorf("%v/%v: existing chip at physical %g beyond the %g wall", p.Domain, p.Target, pt.X, p.PhysLimit)
+		}
+	}
+	if p.CurrentBest <= 0 {
+		t.Errorf("%v/%v: non-positive current best", p.Domain, p.Target)
+	}
+	// At the wall, the logarithmic projection must not exceed the linear
+	// one (the paper's low/high bracket).
+	if p.ProjLog > p.ProjLinear {
+		t.Errorf("%v/%v: log projection %g exceeds linear %g", p.Domain, p.Target, p.ProjLog, p.ProjLinear)
+	}
+	if p.BaselineAbs <= 0 || p.Unit == "" {
+		t.Errorf("%v/%v: missing absolute unit info", p.Domain, p.Target)
+	}
+	// Remaining headroom is real but bounded: accelerators gain more, yet
+	// far less than the historical gains (the wall).
+	if p.RemainLinear < 0.8 || p.RemainLinear > 200 {
+		t.Errorf("%v/%v: linear headroom %.1f× implausible", p.Domain, p.Target, p.RemainLinear)
+	}
+	if p.RemainLog < 0.5 || p.RemainLog > p.RemainLinear+1e-9 {
+		t.Errorf("%v/%v: log headroom %.2f× outside (0.5, linear]", p.Domain, p.Target, p.RemainLog)
+	}
+}
+
+// Paper-shape checks: the domains' projected headroom brackets should be
+// in the same regime the paper reports (video 3–130×/1.2–14×, GPU
+// 1.4–2.5×/1.4–1.7×, CNN 2.1–3.4×/2.7–3.5×, Bitcoin 2–20×/1.4–5×) — we
+// assert the right order of magnitude and the qualitative ordering, not
+// the exact values, since the substrate differs.
+func TestHeadroomRegimes(t *testing.T) {
+	perf := map[casestudy.Domain][2]float64{
+		casestudy.DomainVideoDecode: {1.2, 80},
+		casestudy.DomainGPUGraphics: {1.1, 8},
+		casestudy.DomainFPGACNN:     {1.2, 15},
+		casestudy.DomainBitcoin:     {1.2, 40},
+	}
+	projs, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range projs {
+		band := perf[p.Domain]
+		if p.RemainLog < band[0]*0.5 || p.RemainLinear > band[1]*2 {
+			t.Errorf("%v: headroom bracket [%.1f, %.1f]× outside regime [%g, %g]",
+				p.Domain, p.RemainLog, p.RemainLinear, band[0], band[1])
+		}
+	}
+	// Energy-efficiency headroom is smaller than performance headroom for
+	// every domain ("while performance has a promising trajectory for most
+	// domains, energy efficiency is not projected to improve at the same
+	// rate").
+	effs, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range effs {
+		if e.RemainLinear > projs[i].RemainLinear*1.5 {
+			t.Errorf("%v: efficiency headroom %.1f× should not exceed performance headroom %.1f×",
+				e.Domain, e.RemainLinear, projs[i].RemainLinear)
+		}
+	}
+}
+
+// The GPU domain should look the most "walled": a mature domain with the
+// least remaining headroom under the log model.
+func TestGPUIsMostMature(t *testing.T) {
+	projs, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpu, video Projection
+	for _, p := range projs {
+		switch p.Domain {
+		case casestudy.DomainGPUGraphics:
+			gpu = p
+		case casestudy.DomainVideoDecode:
+			video = p
+		}
+	}
+	if gpu.RemainLinear >= video.RemainLinear {
+		t.Errorf("GPU linear headroom %.1f× should be below video's %.1f× (mature domain)",
+			gpu.RemainLinear, video.RemainLinear)
+	}
+}
+
+func TestProjectUnknownDomain(t *testing.T) {
+	if _, err := Project(casestudy.Domain(99), gains.TargetThroughput); err == nil {
+		t.Error("unknown domain should error")
+	}
+}
+
+// Fits are over the frontier: check the fitted linear model actually
+// explains the frontier well for the Bitcoin performance cloud (strongly
+// monotone by construction).
+func TestFrontierFitQuality(t *testing.T) {
+	p, err := Project(casestudy.DomainBitcoin, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Linear.R2 < 0.5 {
+		t.Errorf("bitcoin frontier linear R² = %.2f, want >= 0.5", p.Linear.R2)
+	}
+	if math.IsNaN(p.Log.Alpha) || math.IsInf(p.Log.Alpha, 0) {
+		t.Error("log fit produced non-finite coefficients")
+	}
+}

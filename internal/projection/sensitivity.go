@@ -1,0 +1,149 @@
+package projection
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+	"accelwall/internal/stats"
+)
+
+// Sensitivity quantifies how robust a domain's wall headroom is to the
+// measurement and modeling uncertainty the paper's projections inherit:
+// each Monte-Carlo trial jitters every observation multiplicatively
+// (lognormal, reflecting benchmark/datasheet noise), perturbs the 5 nm
+// physical limit (reflecting IRDS projection uncertainty), refits both
+// projection models on the perturbed frontier, and recomputes the
+// headroom. The reported quantiles bound the conclusion: if even the upper
+// quantile of linear headroom is a small factor, the wall stands
+// regardless of the inputs' noise.
+type Sensitivity struct {
+	Domain casestudy.Domain
+	Target gains.Target
+	Trials int
+
+	// Point estimates from the unperturbed projection.
+	PointLog, PointLinear float64
+
+	// Quantiles of the headroom distributions across trials.
+	LogQ05, LogMedian, LogQ95          float64
+	LinearQ05, LinearMedian, LinearQ95 float64
+}
+
+// SensitivityConfig tunes the Monte-Carlo perturbations.
+type SensitivityConfig struct {
+	Trials     int     // number of trials (default 200)
+	GainNoise  float64 // lognormal sigma on observed gains (default 0.10)
+	LimitNoise float64 // relative half-range on the physical limit (default 0.20)
+	Seed       int64
+}
+
+// withDefaults fills zero fields.
+func (c SensitivityConfig) withDefaults() SensitivityConfig {
+	if c.Trials == 0 {
+		c.Trials = 200
+	}
+	if c.GainNoise == 0 {
+		c.GainNoise = 0.10
+	}
+	if c.LimitNoise == 0 {
+		c.LimitNoise = 0.20
+	}
+	return c
+}
+
+// Sensitize runs the Monte-Carlo robustness analysis for one domain.
+func Sensitize(domain casestudy.Domain, target gains.Target, cfg SensitivityConfig) (Sensitivity, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trials < 10 {
+		return Sensitivity{}, fmt.Errorf("projection: need >= 10 trials, got %d", cfg.Trials)
+	}
+	base, err := Project(domain, target)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	logs := make([]float64, 0, cfg.Trials)
+	lins := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		pts := make([]stats.Point, len(base.Points))
+		for i, p := range base.Points {
+			pts[i] = stats.Point{
+				X: p.X * math.Exp(rng.NormFloat64()*cfg.GainNoise),
+				Y: p.Y * math.Exp(rng.NormFloat64()*cfg.GainNoise),
+			}
+		}
+		limit := base.PhysLimit * (1 + (rng.Float64()*2-1)*cfg.LimitNoise)
+		frontier := stats.ParetoFrontier(pts)
+		if len(frontier) < 2 {
+			continue
+		}
+		xs := make([]float64, len(frontier))
+		ys := make([]float64, len(frontier))
+		for i, p := range frontier {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		lin, err := stats.FitLinear(xs, ys)
+		if err != nil {
+			continue
+		}
+		lg, err := stats.FitLogarithmic(xs, ys)
+		if err != nil {
+			continue
+		}
+		best := 0.0
+		for _, p := range pts {
+			if p.Y > best {
+				best = p.Y
+			}
+		}
+		if best <= 0 {
+			continue
+		}
+		logs = append(logs, lg.Eval(limit)/best)
+		lins = append(lins, lin.Eval(limit)/best)
+	}
+	if len(logs) < cfg.Trials/2 {
+		return Sensitivity{}, fmt.Errorf("projection: too many degenerate trials (%d of %d usable)", len(logs), cfg.Trials)
+	}
+	s := Sensitivity{
+		Domain:      domain,
+		Target:      target,
+		Trials:      len(logs),
+		PointLog:    base.RemainLog,
+		PointLinear: base.RemainLinear,
+	}
+	s.LogQ05, s.LogMedian, s.LogQ95 = quantiles(logs)
+	s.LinearQ05, s.LinearMedian, s.LinearQ95 = quantiles(lins)
+	return s, nil
+}
+
+func quantiles(xs []float64) (q05, med, q95 float64) {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		idx := q * float64(len(s)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return at(0.05), at(0.5), at(0.95)
+}
+
+// SensitizeAll runs the robustness analysis for every domain.
+func SensitizeAll(target gains.Target, cfg SensitivityConfig) ([]Sensitivity, error) {
+	var out []Sensitivity
+	for _, d := range casestudy.Domains() {
+		s, err := Sensitize(d, target, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("projection: sensitivity for %v: %w", d, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package projection
+
+import (
+	"testing"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+)
+
+func TestSensitizeAllDomains(t *testing.T) {
+	rows, err := SensitizeAll(gains.TargetThroughput, SensitivityConfig{Trials: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("domains = %d, want 4", len(rows))
+	}
+	for _, s := range rows {
+		if s.Trials < 50 {
+			t.Errorf("%v: only %d usable trials", s.Domain, s.Trials)
+		}
+		// Quantiles ordered.
+		if !(s.LogQ05 <= s.LogMedian && s.LogMedian <= s.LogQ95) {
+			t.Errorf("%v: log quantiles out of order: %g %g %g", s.Domain, s.LogQ05, s.LogMedian, s.LogQ95)
+		}
+		if !(s.LinearQ05 <= s.LinearMedian && s.LinearMedian <= s.LinearQ95) {
+			t.Errorf("%v: linear quantiles out of order", s.Domain)
+		}
+		// The median stays near the point estimate (noise is unbiased).
+		if s.LinearMedian < s.PointLinear*0.5 || s.LinearMedian > s.PointLinear*2 {
+			t.Errorf("%v: linear median %g far from point %g", s.Domain, s.LinearMedian, s.PointLinear)
+		}
+		// The wall conclusion is robust: even the 95th percentile of linear
+		// headroom stays far below the domain's historical gains (hundreds
+		// to hundreds of thousands ×).
+		if s.LinearQ95 > 100 {
+			t.Errorf("%v: q95 linear headroom %g× — the wall should stand under noise", s.Domain, s.LinearQ95)
+		}
+	}
+}
+
+func TestSensitizeDeterministic(t *testing.T) {
+	cfg := SensitivityConfig{Trials: 50, Seed: 9}
+	a, err := Sensitize(casestudy.DomainGPUGraphics, gains.TargetEfficiency, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sensitize(casestudy.DomainGPUGraphics, gains.TargetEfficiency, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different sensitivities")
+	}
+}
+
+func TestSensitizeErrors(t *testing.T) {
+	if _, err := Sensitize(casestudy.DomainBitcoin, gains.TargetThroughput, SensitivityConfig{Trials: 5}); err == nil {
+		t.Error("too few trials should error")
+	}
+	if _, err := Sensitize(casestudy.Domain(99), gains.TargetThroughput, SensitivityConfig{}); err == nil {
+		t.Error("unknown domain should error")
+	}
+}

@@ -1,0 +1,150 @@
+package projection
+
+import (
+	"fmt"
+	"math"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/chipdb"
+	"accelwall/internal/gains"
+)
+
+// Sustain extends the limit study with the question the paper's conclusion
+// poses: once CMOS stops contributing, gains "will remain solely dependent
+// on improving specialization returns". This analysis measures each
+// domain's historical compound annual growth rate (CAGR) and computes how
+// long the projected wall headroom can sustain it — and, past that point,
+// the annual CSR growth that would be required to keep the historical
+// trajectory alive (which history shows specialization alone has never
+// delivered).
+type Sustain struct {
+	Domain casestudy.Domain
+	Target gains.Target
+
+	// HistoricalCAGR is the domain's observed compound annual gain growth
+	// over its case-study period.
+	HistoricalCAGR float64
+	// SpanYears is the observation window the CAGR was measured over.
+	SpanYears float64
+
+	// YearsLeftLog / YearsLeftLinear: how many years the wall headroom
+	// sustains the historical CAGR under each projection model.
+	YearsLeftLog    float64
+	YearsLeftLinear float64
+
+	// RequiredCSRGrowth is the annual CSR improvement needed to continue
+	// the historical trajectory once the wall is reached — i.e., the whole
+	// CAGR, since physical gains are then zero.
+	RequiredCSRGrowth float64
+	// ObservedCSRGrowth is the historical annual CSR improvement, for
+	// contrast.
+	ObservedCSRGrowth float64
+}
+
+// domainSeries returns (firstYear, lastYear, firstGain, lastGain,
+// firstCSR, lastCSR) of a domain's case-study series.
+func domainSeries(domain casestudy.Domain, target gains.Target) (y0, y1, g0, g1, c0, c1 float64, err error) {
+	type point struct{ year, gain, csr float64 }
+	var pts []point
+	switch domain {
+	case casestudy.DomainBitcoin:
+		rows, e := casestudy.Fig9(target)
+		if e != nil {
+			return 0, 0, 0, 0, 0, 0, e
+		}
+		for _, r := range rows {
+			// ASIC era only, matching the projection's frontier scope.
+			if r.Kind == chipdb.ASIC {
+				pts = append(pts, point{r.Year, r.RelGain, r.CSR})
+			}
+		}
+	case casestudy.DomainVideoDecode:
+		rows, e := casestudy.Fig4(target)
+		if e != nil {
+			return 0, 0, 0, 0, 0, 0, e
+		}
+		for _, r := range rows {
+			pts = append(pts, point{r.Year, r.RelGain, r.CSR})
+		}
+	case casestudy.DomainGPUGraphics:
+		rows, e := casestudy.ArchScaling(target)
+		if e != nil {
+			return 0, 0, 0, 0, 0, 0, e
+		}
+		for _, r := range rows {
+			pts = append(pts, point{r.Year, r.RelGain, r.CSR})
+		}
+	case casestudy.DomainFPGACNN:
+		rows, e := casestudy.Fig8(casestudy.AlexNet, target)
+		if e != nil {
+			return 0, 0, 0, 0, 0, 0, e
+		}
+		for _, r := range rows {
+			pts = append(pts, point{r.Year, r.RelGain, r.CSR})
+		}
+	default:
+		return 0, 0, 0, 0, 0, 0, fmt.Errorf("projection: unknown domain %v", domain)
+	}
+	if len(pts) < 2 {
+		return 0, 0, 0, 0, 0, 0, fmt.Errorf("projection: domain %v has too few points for a trend", domain)
+	}
+	first, last := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.year < first.year {
+			first = p
+		}
+		if p.year > last.year {
+			last = p
+		}
+	}
+	if last.year <= first.year {
+		return 0, 0, 0, 0, 0, 0, fmt.Errorf("projection: domain %v has zero time span", domain)
+	}
+	return first.year, last.year, first.gain, last.gain, first.csr, last.csr, nil
+}
+
+// Sustainability runs the post-wall analysis for one domain and target.
+func Sustainability(domain casestudy.Domain, target gains.Target) (Sustain, error) {
+	proj, err := Project(domain, target)
+	if err != nil {
+		return Sustain{}, err
+	}
+	y0, y1, g0, g1, c0, c1, err := domainSeries(domain, target)
+	if err != nil {
+		return Sustain{}, err
+	}
+	span := y1 - y0
+	cagr := math.Pow(g1/g0, 1/span) - 1
+	csrGrowth := math.Pow(c1/c0, 1/span) - 1
+	s := Sustain{
+		Domain:            domain,
+		Target:            target,
+		HistoricalCAGR:    cagr,
+		SpanYears:         span,
+		RequiredCSRGrowth: cagr,
+		ObservedCSRGrowth: csrGrowth,
+	}
+	rate := math.Log(1 + cagr)
+	if rate > 0 {
+		if proj.RemainLog > 1 {
+			s.YearsLeftLog = math.Log(proj.RemainLog) / rate
+		}
+		if proj.RemainLinear > 1 {
+			s.YearsLeftLinear = math.Log(proj.RemainLinear) / rate
+		}
+	}
+	return s, nil
+}
+
+// SustainabilityAll runs the analysis for every domain.
+func SustainabilityAll(target gains.Target) ([]Sustain, error) {
+	var out []Sustain
+	for _, d := range casestudy.Domains() {
+		s, err := Sustainability(d, target)
+		if err != nil {
+			return nil, fmt.Errorf("projection: sustainability for %v: %w", d, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

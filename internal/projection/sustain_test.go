@@ -1,0 +1,80 @@
+package projection
+
+import (
+	"math"
+	"testing"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/gains"
+)
+
+func TestSustainabilityAllDomains(t *testing.T) {
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		rows, err := SustainabilityAll(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 4 {
+			t.Fatalf("%v: %d domains, want 4", target, len(rows))
+		}
+		for _, s := range rows {
+			if s.SpanYears <= 0 {
+				t.Errorf("%v/%v: non-positive span %g", s.Domain, s.Target, s.SpanYears)
+			}
+			if s.HistoricalCAGR <= 0 {
+				t.Errorf("%v/%v: historical CAGR %g, want positive (all domains grew)", s.Domain, s.Target, s.HistoricalCAGR)
+			}
+			if math.IsNaN(s.YearsLeftLog) || math.IsNaN(s.YearsLeftLinear) {
+				t.Errorf("%v/%v: NaN years left", s.Domain, s.Target)
+			}
+			if s.YearsLeftLog > s.YearsLeftLinear+1e-9 {
+				t.Errorf("%v/%v: log years %g exceed linear years %g", s.Domain, s.Target, s.YearsLeftLog, s.YearsLeftLinear)
+			}
+			// The paper's thesis in one inequality: the CSR growth required
+			// to sustain the trajectory after the wall vastly exceeds what
+			// specialization historically delivered.
+			if s.RequiredCSRGrowth <= s.ObservedCSRGrowth {
+				t.Errorf("%v/%v: required CSR growth %.1f%%/yr should exceed observed %.1f%%/yr",
+					s.Domain, s.Target, s.RequiredCSRGrowth*100, s.ObservedCSRGrowth*100)
+			}
+		}
+	}
+}
+
+func TestSustainabilityBitcoinNumbers(t *testing.T) {
+	s, err := Sustainability(casestudy.DomainBitcoin, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mining perf/area grew ~600x in ~3.6 years: CAGR in the hundreds of
+	// percent per year.
+	if s.HistoricalCAGR < 2 || s.HistoricalCAGR > 10 {
+		t.Errorf("bitcoin CAGR = %.1f%%/yr, want 200-1000%%", s.HistoricalCAGR*100)
+	}
+	// At that pace the remaining wall headroom lasts at most a couple of
+	// years.
+	if s.YearsLeftLinear > 3 {
+		t.Errorf("bitcoin linear headroom lasts %.1f years, want < 3 at the historical pace", s.YearsLeftLinear)
+	}
+}
+
+func TestSustainabilityGPUYears(t *testing.T) {
+	s, err := Sustainability(casestudy.DomainGPUGraphics, gains.TargetThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPUs grew ~13x in ~8 years (~38%/yr); the remaining 1.2-3.4x lasts
+	// only a few years.
+	if s.HistoricalCAGR < 0.2 || s.HistoricalCAGR > 0.6 {
+		t.Errorf("GPU CAGR = %.1f%%/yr, want 20-60%%", s.HistoricalCAGR*100)
+	}
+	if s.YearsLeftLinear > 6 {
+		t.Errorf("GPU headroom lasts %.1f years, want < 6", s.YearsLeftLinear)
+	}
+}
+
+func TestSustainabilityUnknownDomain(t *testing.T) {
+	if _, err := Sustainability(casestudy.Domain(99), gains.TargetThroughput); err == nil {
+		t.Error("unknown domain should error")
+	}
+}

@@ -1,0 +1,173 @@
+// Package render draws text scatter plots for the CLI. The paper's results
+// are figures; a reproduction that only prints tables makes the shapes —
+// the Pareto clouds, the projection lines, the CSR flatlines — hard to
+// see. The renderer maps points onto a character grid with linear or
+// logarithmic axes and overlays fitted curves, which is all the paper's
+// figures need.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one set of points drawn with a single marker rune.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot is a character-grid scatter plot specification.
+type Plot struct {
+	Title  string
+	Width  int  // grid columns (default 64)
+	Height int  // grid rows (default 20)
+	LogX   bool // logarithmic x axis
+	LogY   bool // logarithmic y axis
+	Series []Series
+}
+
+// validate checks the specification and computes the data ranges.
+func (p *Plot) validate() (xmin, xmax, ymin, ymax float64, err error) {
+	if len(p.Series) == 0 {
+		return 0, 0, 0, 0, errors.New("render: no series")
+	}
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range p.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("render: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return 0, 0, 0, 0, fmt.Errorf("render: series %q has a non-finite point", s.Name)
+			}
+			if p.LogX && x <= 0 {
+				return 0, 0, 0, 0, fmt.Errorf("render: series %q has x=%g on a log axis", s.Name, x)
+			}
+			if p.LogY && y <= 0 {
+				return 0, 0, 0, 0, fmt.Errorf("render: series %q has y=%g on a log axis", s.Name, y)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			points++
+		}
+	}
+	if points == 0 {
+		return 0, 0, 0, 0, errors.New("render: no points")
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// scale maps v into [0, cells-1] under the axis transform.
+func scale(v, lo, hi float64, cells int, logAxis bool) int {
+	if logAxis {
+		v, lo, hi = math.Log(v), math.Log(lo), math.Log(hi)
+	}
+	if hi == lo {
+		return cells / 2
+	}
+	idx := int(math.Round((v - lo) / (hi - lo) * float64(cells-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= cells {
+		idx = cells - 1
+	}
+	return idx
+}
+
+// String renders the plot.
+func (p *Plot) String() (string, error) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax, ymin, ymax, err := p.validate()
+	if err != nil {
+		return "", err
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			col := scale(s.X[i], xmin, xmax, width, p.LogX)
+			row := height - 1 - scale(s.Y[i], ymin, ymax, height, p.LogY)
+			if grid[row][col] != ' ' && grid[row][col] != marker {
+				grid[row][col] = '#' // overlapping series
+			} else {
+				grid[row][col] = marker
+			}
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		sb.WriteString(p.Title)
+		sb.WriteByte('\n')
+	}
+	axis := func(v float64) string { return fmt.Sprintf("%-10.4g", v) }
+	for r, row := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = axis(ymax)
+		case height - 1:
+			label = axis(ymin)
+		}
+		sb.WriteString(label)
+		sb.WriteByte('|')
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 10))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	sb.WriteString(fmt.Sprintf("%s%-*s%s\n", strings.Repeat(" ", 11), width-10, axis(xmin), axis(xmax)))
+	for _, s := range p.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		sb.WriteString(fmt.Sprintf("  %c %s\n", marker, s.Name))
+	}
+	return sb.String(), nil
+}
+
+// Curve samples f over n points across [lo, hi] (log-spaced when logX) and
+// returns a Series for overlaying fitted models on a scatter.
+func Curve(name string, marker rune, f func(float64) float64, lo, hi float64, n int, logX bool) Series {
+	if n < 2 {
+		n = 2
+	}
+	s := Series{Name: name, Marker: marker, X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		var x float64
+		if logX {
+			x = math.Exp(math.Log(lo) + t*(math.Log(hi)-math.Log(lo)))
+		} else {
+			x = lo + t*(hi-lo)
+		}
+		s.X[i] = x
+		s.Y[i] = f(x)
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBasicScatter(t *testing.T) {
+	p := Plot{
+		Title: "test",
+		Series: []Series{
+			{Name: "up", Marker: 'o', X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		},
+	}
+	out, err := p.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "test\n") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "o") != 4 { // 3 markers + 1 in the legend line
+		t.Errorf("want 3 markers plus legend, output:\n%s", out)
+	}
+	if !strings.Contains(out, "o up") {
+		t.Error("missing legend")
+	}
+	// An increasing series puts its first point lower-left of its last.
+	lines := strings.Split(out, "\n")
+	var first, last int
+	for i, line := range lines {
+		if strings.Contains(line, "o") && !strings.Contains(line, "o up") {
+			if first == 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first >= last {
+		t.Errorf("increasing series should span multiple rows (rows %d..%d)", first, last)
+	}
+	// Axis labels show the data range.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "1") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	// On a log-y axis, an exponential series renders as a diagonal: roughly
+	// equal row spacing between decades.
+	p := Plot{
+		Height: 21, Width: 41, LogY: true,
+		Series: []Series{{Name: "exp", X: []float64{1, 2, 3, 4, 5}, Y: []float64{1, 10, 100, 1000, 10000}}},
+	}
+	out, err := p.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []int
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && !strings.Contains(line, "exp") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 marker rows, got %d:\n%s", len(rows), out)
+	}
+	for i := 2; i < len(rows); i++ {
+		d1 := rows[i-1] - rows[i-2]
+		d2 := rows[i] - rows[i-1]
+		if d1 < d2-1 || d1 > d2+1 {
+			t.Errorf("log axis spacing uneven: %v", rows)
+		}
+	}
+}
+
+func TestLogAxisRejectsNonPositive(t *testing.T) {
+	p := Plot{LogY: true, Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if _, err := p.String(); err == nil {
+		t.Error("log axis with zero value should error")
+	}
+	p = Plot{LogX: true, Series: []Series{{X: []float64{-1}, Y: []float64{1}}}}
+	if _, err := p.String(); err == nil {
+		t.Error("log axis with negative value should error")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := (&Plot{}).String(); err == nil {
+		t.Error("empty plot should error")
+	}
+	p := Plot{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := p.String(); err == nil {
+		t.Error("length mismatch should error")
+	}
+	p = Plot{Series: []Series{{X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if _, err := p.String(); err == nil {
+		t.Error("NaN point should error")
+	}
+	p = Plot{Series: []Series{{X: nil, Y: nil}}}
+	if _, err := p.String(); err == nil {
+		t.Error("pointless plot should error")
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	p := Plot{
+		Width: 11, Height: 5,
+		Series: []Series{
+			{Name: "a", Marker: 'a', X: []float64{1, 5}, Y: []float64{1, 5}},
+			{Name: "b", Marker: 'b', X: []float64{1, 3}, Y: []float64{1, 3}},
+		},
+	}
+	out, err := p.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("overlapping points should render #:\n%s", out)
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	// A single point (zero range on both axes) still renders.
+	p := Plot{Series: []Series{{Name: "pt", X: []float64{2}, Y: []float64{3}}}}
+	out, err := p.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}
+
+func TestCurveSampling(t *testing.T) {
+	s := Curve("line", '+', func(x float64) float64 { return 2 * x }, 1, 10, 10, false)
+	if len(s.X) != 10 {
+		t.Fatalf("want 10 samples")
+	}
+	if s.X[0] != 1 || s.X[9] != 10 {
+		t.Errorf("endpoints = %g, %g", s.X[0], s.X[9])
+	}
+	if s.Y[4] != 2*s.X[4] {
+		t.Error("curve not sampled from f")
+	}
+	// Log spacing: the ratio between consecutive samples is constant.
+	ls := Curve("log", '+', func(x float64) float64 { return x }, 1, 100, 5, true)
+	for i := 2; i < 5; i++ {
+		r1 := ls.X[i-1] / ls.X[i-2]
+		r2 := ls.X[i] / ls.X[i-1]
+		if math.Abs(r1-r2) > 1e-9 {
+			t.Errorf("log curve spacing uneven: %v", ls.X)
+		}
+	}
+	// n < 2 clamps.
+	tiny := Curve("t", 0, func(x float64) float64 { return x }, 0, 1, 1, false)
+	if len(tiny.X) != 2 {
+		t.Errorf("n<2 should clamp to 2 samples, got %d", len(tiny.X))
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for one fitted parameter.
+type CI struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (ci CI) Contains(v float64) bool { return v >= ci.Lo && v <= ci.Hi }
+
+// String renders the interval.
+func (ci CI) String() string { return fmt.Sprintf("[%.4g, %.4g]", ci.Lo, ci.Hi) }
+
+// PowerLawCI holds bootstrap confidence intervals for both power-law
+// parameters.
+type PowerLawCI struct {
+	A, B CI
+}
+
+// BootstrapPowerLaw quantifies the uncertainty of a power-law fit by
+// case-resampling the observations resamples times with a deterministic
+// seed and returning the central conf-level interval (e.g. 0.95) of each
+// parameter.
+//
+// The paper fits its key models (Figures 3b, 3c) on scraped datasheets
+// without reporting uncertainty; this utility makes the reproduction's fit
+// stability measurable — DESIGN.md's corpus-size ablation relies on it.
+func BootstrapPowerLaw(xs, ys []float64, resamples int, conf float64, seed int64) (PowerLawCI, error) {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return PowerLawCI{}, fmt.Errorf("%w: bootstrap needs >= 3 paired points", ErrInsufficientData)
+	}
+	if resamples < 10 {
+		return PowerLawCI{}, fmt.Errorf("%w: need >= 10 resamples, got %d", ErrInsufficientData, resamples)
+	}
+	if conf <= 0 || conf >= 1 {
+		return PowerLawCI{}, fmt.Errorf("%w: confidence %g outside (0, 1)", ErrDomain, conf)
+	}
+	// Verify the base fit succeeds before resampling.
+	if _, err := FitPowerLaw(xs, ys); err != nil {
+		return PowerLawCI{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(xs)
+	as := make([]float64, 0, resamples)
+	bs := make([]float64, 0, resamples)
+	rx := make([]float64, n)
+	ry := make([]float64, n)
+	for r := 0; r < resamples; r++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			rx[i], ry[i] = xs[j], ys[j]
+		}
+		fit, err := FitPowerLaw(rx, ry)
+		if err != nil {
+			// Degenerate resample (all identical x); skip it.
+			continue
+		}
+		as = append(as, fit.A)
+		bs = append(bs, fit.B)
+	}
+	if len(as) < resamples/2 {
+		return PowerLawCI{}, fmt.Errorf("%w: too many degenerate resamples (%d of %d usable)", ErrDomain, len(as), resamples)
+	}
+	lo := (1 - conf) / 2 * 100
+	hi := 100 - lo
+	ci := PowerLawCI{}
+	var err error
+	if ci.A.Lo, err = Percentile(as, lo); err != nil {
+		return PowerLawCI{}, err
+	}
+	if ci.A.Hi, err = Percentile(as, hi); err != nil {
+		return PowerLawCI{}, err
+	}
+	if ci.B.Lo, err = Percentile(bs, lo); err != nil {
+		return PowerLawCI{}, err
+	}
+	if ci.B.Hi, err = Percentile(bs, hi); err != nil {
+		return PowerLawCI{}, err
+	}
+	return ci, nil
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// series — a scale-free monotonicity measure used to sanity-check that a
+// fitted trend matches the data's ordering.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("%w: Spearman needs >= 2 paired points", ErrInsufficientData)
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	line, err := FitLinear(rx, ry)
+	if err != nil {
+		return 0, err
+	}
+	// Pearson correlation of ranks = slope × σx/σy over rank vectors.
+	sx, sy := StdDev(rx), StdDev(ry)
+	if sy == 0 {
+		return 0, fmt.Errorf("%w: constant y ranks", ErrDomain)
+	}
+	return line.Alpha * sx / sy, nil
+}
+
+// ranks returns average ranks (1-based) of xs, handling ties by midrank.
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		v float64
+		i int
+	}
+	sorted := make([]iv, len(xs))
+	for i, x := range xs {
+		sorted[i] = iv{x, i}
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].v < sorted[b].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].v == sorted[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			out[sorted[k].i] = mid
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapPowerLawCoversTruth(t *testing.T) {
+	// Noisy power law y = 3·x^0.8: the 95% interval should cover the true
+	// exponent and be reasonably tight for 60 points.
+	truthA, truthB := 3.0, 0.8
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		x := 0.5 + float64(i)*0.5
+		// Deterministic ±10% multiplicative "noise".
+		noise := 1 + 0.1*math.Sin(float64(i)*1.7)
+		xs[i] = x
+		ys[i] = truthA * math.Pow(x, truthB) * noise
+	}
+	ci, err := BootstrapPowerLaw(xs, ys, 300, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.B.Contains(truthB) {
+		t.Errorf("exponent CI %v does not cover %g", ci.B, truthB)
+	}
+	if !ci.A.Contains(truthA) {
+		t.Errorf("coefficient CI %v does not cover %g", ci.A, truthA)
+	}
+	if ci.B.Hi-ci.B.Lo > 0.2 {
+		t.Errorf("exponent CI %v too wide for 60 points", ci.B)
+	}
+	if ci.A.String() == "" || ci.B.String() == "" {
+		t.Error("CI stringers empty")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{2, 3.9, 6.1, 8, 10.2, 11.9, 14, 16.1}
+	a, err := BootstrapPowerLaw(xs, ys, 100, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapPowerLaw(xs, ys, 100, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different intervals: %+v vs %+v", a, b)
+	}
+	c, err := BootstrapPowerLaw(xs, ys, 100, 0.9, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical intervals (suspicious)")
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := BootstrapPowerLaw(xs[:2], ys[:2], 100, 0.95, 1); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := BootstrapPowerLaw(xs, ys, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples should error")
+	}
+	if _, err := BootstrapPowerLaw(xs, ys, 100, 1.5, 1); err == nil {
+		t.Error("confidence outside (0,1) should error")
+	}
+	if _, err := BootstrapPowerLaw([]float64{-1, 2, 3}, []float64{1, 2, 3}, 100, 0.95, 1); err == nil {
+		t.Error("negative observations should error")
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 100, 1000, 10000, 100000} // monotone but nonlinear
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman of monotone series = %g, want 1", rho)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	rho, err = Spearman(xs, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho+1) > 1e-12 {
+		t.Errorf("Spearman of reversed series = %g, want -1", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman with aligned ties = %g, want 1", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{5, 5}); err == nil {
+		t.Error("constant y should error")
+	}
+}

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+)
+
+// RunParallel simulates the grid like Run but distributes the distinct
+// design points over a worker pool. Results are identical to Run —
+// same points, same order — because the grid is deduplicated onto cache
+// keys first and only unique simulations run concurrently. workers <= 0
+// selects GOMAXPROCS.
+//
+// The full Table III grid is 3,640 design points per workload (many of
+// which collapse onto the partition plateau); parallel execution makes the
+// -full CLI mode practical on multicore machines.
+func RunParallel(g *dfg.Graph, p Params, workers int) ([]Point, error) {
+	if g == nil {
+		return nil, errors.New("sweep: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := newRunner(g)
+	// Enumerate the grid in Run order and collect the distinct cache keys.
+	var designs []aladdin.Design
+	keyOf := func(d aladdin.Design) aladdin.Design {
+		if d.Partition > r.maxP {
+			d.Partition = r.maxP
+		}
+		return d
+	}
+	seen := make(map[aladdin.Design]bool)
+	var uniques []aladdin.Design
+	for _, node := range p.Nodes {
+		for _, fusion := range p.Fusion {
+			for _, s := range p.Simplifications {
+				for _, f := range p.Partitions {
+					d := aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fusion}
+					designs = append(designs, d)
+					if k := keyOf(d); !seen[k] {
+						seen[k] = true
+						uniques = append(uniques, k)
+					}
+				}
+			}
+		}
+	}
+	// Simulate the unique keys concurrently.
+	results := make([]aladdin.Result, len(uniques))
+	errs := make([]error, len(uniques))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = aladdin.Simulate(g, uniques[i])
+			}
+		}()
+	}
+	for i := range uniques {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	byKey := make(map[aladdin.Design]aladdin.Result, len(uniques))
+	for i, k := range uniques {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		byKey[k] = results[i]
+	}
+	// Assemble points in Run order, reporting the requested designs.
+	out := make([]Point, 0, len(designs))
+	for _, d := range designs {
+		res := byKey[keyOf(d)]
+		res.Design = d
+		out = append(out, Point{Design: d, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,390 @@
+// Package sweep drives the specialization design-space exploration of
+// Section VI: the Table III parameter sweep over partitioning factor,
+// simplification degree, and CMOS process, executed with the Aladdin-style
+// simulator, plus the analyses built on it — the runtime/power clouds of
+// Figure 13 and the per-application gain attribution of Figure 14.
+//
+// Gain attribution follows the paper's decomposition: starting from a
+// 45 nm accelerator with no simplification or partitioning, knobs are
+// enabled cumulatively (partitioning, then heterogeneity, then
+// simplification, then CMOS advancement), and each concept is credited
+// with the marginal gain of its stage. Because every stage's design space
+// contains the previous one and each knob is individually non-harmful, the
+// factors are all >= 1 and multiply to the total gain. The CSR of a design
+// point is the product of the CMOS-independent factors — heterogeneity and
+// simplification — since "both CMOS saving and partitioning (i.e., using
+// more transistors for parallelization) are inherently CMOS dependent".
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+)
+
+// Objective selects the target function a sweep optimizes.
+type Objective int
+
+// The two target functions of the study.
+const (
+	Performance Objective = iota
+	Efficiency
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case Performance:
+		return "Performance"
+	case Efficiency:
+		return "Energy Efficiency"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// value extracts the objective's figure of merit from a simulation result
+// (higher is better).
+func (o Objective) value(r aladdin.Result) float64 {
+	if o == Efficiency {
+		return r.EnergyEfficiency()
+	}
+	return r.Throughput()
+}
+
+// Params is the swept parameter grid (Table III).
+type Params struct {
+	Nodes           []float64 // CMOS processes, nm
+	Partitions      []int     // partitioning factors
+	Simplifications []int     // simplification degrees
+	Fusion          []bool    // heterogeneity settings to explore
+}
+
+// Default returns the full Table III grid: partitioning 1, 2, 4, ...,
+// 524288; simplification 1..13; CMOS 45, 32, 22, 14, 10, 7, 5 nm; fusion
+// both off and on.
+func Default() Params {
+	p := Params{
+		Nodes:  []float64{45, 32, 22, 14, 10, 7, 5},
+		Fusion: []bool{false, true},
+	}
+	for f := 1; f <= aladdin.MaxPartition; f *= 2 {
+		p.Partitions = append(p.Partitions, f)
+	}
+	for s := 1; s <= aladdin.MaxSimplification; s++ {
+		p.Simplifications = append(p.Simplifications, s)
+	}
+	return p
+}
+
+// Reduced returns a coarsened grid (every other node, power-of-four
+// partitions, every third simplification degree) that preserves the sweep's
+// shape at a fraction of the cost; used by tests and quick explorations.
+func Reduced() Params {
+	p := Params{
+		Nodes:           []float64{45, 22, 10, 5},
+		Simplifications: []int{1, 4, 7, 10, 13},
+		Fusion:          []bool{false, true},
+	}
+	for f := 1; f <= aladdin.MaxPartition; f *= 4 {
+		p.Partitions = append(p.Partitions, f)
+	}
+	return p
+}
+
+// Validate reports the first problem with the grid.
+func (p Params) Validate() error {
+	if len(p.Nodes) == 0 || len(p.Partitions) == 0 || len(p.Simplifications) == 0 || len(p.Fusion) == 0 {
+		return errors.New("sweep: empty parameter axis")
+	}
+	for _, f := range p.Partitions {
+		if f < 1 || f > aladdin.MaxPartition {
+			return fmt.Errorf("sweep: partition factor %d outside Table III range", f)
+		}
+	}
+	for _, s := range p.Simplifications {
+		if s < 1 || s > aladdin.MaxSimplification {
+			return fmt.Errorf("sweep: simplification degree %d outside Table III range", s)
+		}
+	}
+	return nil
+}
+
+// Point is one simulated design point.
+type Point struct {
+	Design aladdin.Design
+	Result aladdin.Result
+}
+
+// runner memoizes simulations. Partition factors beyond the workload's
+// total operation count produce identical schedules, so they collapse onto
+// one cache entry.
+type runner struct {
+	g     *dfg.Graph
+	maxP  int
+	cache map[aladdin.Design]aladdin.Result
+}
+
+func newRunner(g *dfg.Graph) *runner {
+	stats := g.ComputeStats()
+	maxP := stats.VCmp
+	if maxP < 1 {
+		maxP = 1
+	}
+	return &runner{g: g, maxP: maxP, cache: make(map[aladdin.Design]aladdin.Result)}
+}
+
+func (r *runner) simulate(d aladdin.Design) (aladdin.Result, error) {
+	key := d
+	if key.Partition > r.maxP {
+		key.Partition = r.maxP
+	}
+	if res, ok := r.cache[key]; ok {
+		res.Design = d
+		return res, nil
+	}
+	res, err := aladdin.Simulate(r.g, key)
+	if err != nil {
+		return aladdin.Result{}, err
+	}
+	r.cache[key] = res
+	res.Design = d
+	return res, nil
+}
+
+// Run simulates the full grid for one workload graph and returns every
+// design point, in deterministic (node, fusion, simplification, partition)
+// order.
+func Run(g *dfg.Graph, p Params) ([]Point, error) {
+	if g == nil {
+		return nil, errors.New("sweep: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(g)
+	var out []Point
+	for _, node := range p.Nodes {
+		for _, fusion := range p.Fusion {
+			for _, s := range p.Simplifications {
+				for _, f := range p.Partitions {
+					d := aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fusion}
+					res, err := r.simulate(d)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, Point{Design: d, Result: res})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Best returns the point maximizing the objective. Ties resolve to the
+// earliest point in Run order, making results deterministic.
+func Best(points []Point, o Objective) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, errors.New("sweep: no points")
+	}
+	best := points[0]
+	bv := o.value(best.Result)
+	for _, pt := range points[1:] {
+		if v := o.value(pt.Result); v > bv {
+			best, bv = pt, v
+		}
+	}
+	return best, nil
+}
+
+// Fig13Row is one design point of the Figure 13 runtime/power cloud.
+type Fig13Row struct {
+	NodeNM         float64
+	Partition      int
+	Simplification int
+	Fusion         bool
+	RuntimeNS      float64
+	PowerW         float64
+	EnergyEff      float64
+}
+
+// Fig13 reproduces the 3D-stencil design-space cloud of Figure 13 for any
+// workload graph: every grid point's runtime and power, plus the
+// energy-efficiency optimum marked by Best.
+func Fig13(g *dfg.Graph, p Params) ([]Fig13Row, Point, error) {
+	points, err := RunParallel(g, p, 0)
+	if err != nil {
+		return nil, Point{}, err
+	}
+	rows := make([]Fig13Row, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, Fig13Row{
+			NodeNM:         pt.Design.NodeNM,
+			Partition:      pt.Design.Partition,
+			Simplification: pt.Design.Simplification,
+			Fusion:         pt.Design.Fusion,
+			RuntimeNS:      pt.Result.RuntimeNS,
+			PowerW:         pt.Result.Power,
+			EnergyEff:      pt.Result.EnergyEfficiency(),
+		})
+	}
+	best, err := Best(points, Efficiency)
+	if err != nil {
+		return nil, Point{}, err
+	}
+	return rows, best, nil
+}
+
+// Attribution decomposes a workload's optimal gain into the contributions
+// of the four sources of Figure 14.
+type Attribution struct {
+	App       string
+	Objective Objective
+
+	// Multiplicative gain factors; their product is Total.
+	Partitioning   float64
+	Heterogeneity  float64
+	Simplification float64
+	CMOS           float64
+	Total          float64
+
+	// Log-space percentage shares (each >= 0, summing to 100 when Total > 1).
+	PctPartitioning   float64
+	PctHeterogeneity  float64
+	PctSimplification float64
+	PctCMOS           float64
+
+	// CSR is the CMOS-independent return: heterogeneity × simplification.
+	CSR float64
+
+	Baseline aladdin.Result
+	Best     aladdin.Result
+}
+
+// Attribute runs the cumulative-knob decomposition for one workload. The
+// stages, in order, optimize: (1) partitioning at the oldest node, (2)
+// + heterogeneity, (3) + simplification, (4) + CMOS advancement over the
+// full node list. Each stage searches a superset of the previous stage's
+// space, so factors are >= 1 up to simulator determinism.
+func Attribute(app string, g *dfg.Graph, p Params, o Objective) (Attribution, error) {
+	if g == nil {
+		return Attribution{}, errors.New("sweep: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return Attribution{}, err
+	}
+	oldest := p.Nodes[0]
+	for _, n := range p.Nodes[1:] {
+		if n > oldest {
+			oldest = n
+		}
+	}
+	r := newRunner(g)
+	base, err := r.simulate(aladdin.Design{NodeNM: oldest, Partition: 1, Simplification: 1})
+	if err != nil {
+		return Attribution{}, err
+	}
+
+	bestOver := func(nodes []float64, fusion []bool, simps []int) (aladdin.Result, error) {
+		var best aladdin.Result
+		bv := math.Inf(-1)
+		for _, node := range nodes {
+			for _, fu := range fusion {
+				for _, s := range simps {
+					for _, f := range p.Partitions {
+						res, err := r.simulate(aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fu})
+						if err != nil {
+							return aladdin.Result{}, err
+						}
+						if v := o.value(res); v > bv {
+							best, bv = res, v
+						}
+					}
+				}
+			}
+		}
+		return best, nil
+	}
+
+	d1, err := bestOver([]float64{oldest}, []bool{false}, []int{1})
+	if err != nil {
+		return Attribution{}, err
+	}
+	d2, err := bestOver([]float64{oldest}, p.Fusion, []int{1})
+	if err != nil {
+		return Attribution{}, err
+	}
+	d3, err := bestOver([]float64{oldest}, p.Fusion, p.Simplifications)
+	if err != nil {
+		return Attribution{}, err
+	}
+	d4, err := bestOver(p.Nodes, p.Fusion, p.Simplifications)
+	if err != nil {
+		return Attribution{}, err
+	}
+
+	v0, v1, v2, v3, v4 := o.value(base), o.value(d1), o.value(d2), o.value(d3), o.value(d4)
+	a := Attribution{
+		App:            app,
+		Objective:      o,
+		Partitioning:   v1 / v0,
+		Heterogeneity:  v2 / v1,
+		Simplification: v3 / v2,
+		CMOS:           v4 / v3,
+		Total:          v4 / v0,
+		Baseline:       base,
+		Best:           d4,
+	}
+	a.CSR = a.Heterogeneity * a.Simplification
+	logTotal := math.Log(a.Total)
+	if logTotal > 0 {
+		a.PctPartitioning = 100 * math.Log(a.Partitioning) / logTotal
+		a.PctHeterogeneity = 100 * math.Log(a.Heterogeneity) / logTotal
+		a.PctSimplification = 100 * math.Log(a.Simplification) / logTotal
+		a.PctCMOS = 100 * math.Log(a.CMOS) / logTotal
+	}
+	return a, nil
+}
+
+// FrontierPoint is one efficient design on the runtime/power trade-off.
+type FrontierPoint struct {
+	Design    aladdin.Design
+	RuntimeNS float64
+	PowerW    float64
+}
+
+// DesignFrontier extracts the Pareto-efficient designs of a sweep in the
+// Figure 13 runtime/power plane: a design survives if no other design is
+// both faster and lower-power. The result is sorted by ascending runtime
+// (and therefore descending power).
+func DesignFrontier(points []Point) []FrontierPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool {
+		ri, rj := sorted[i].Result.RuntimeNS, sorted[j].Result.RuntimeNS
+		if ri != rj {
+			return ri < rj
+		}
+		return sorted[i].Result.Power < sorted[j].Result.Power
+	})
+	var out []FrontierPoint
+	bestPower := math.Inf(1)
+	for _, pt := range sorted {
+		if pt.Result.Power < bestPower {
+			out = append(out, FrontierPoint{
+				Design:    pt.Design,
+				RuntimeNS: pt.Result.RuntimeNS,
+				PowerW:    pt.Result.Power,
+			})
+			bestPower = pt.Result.Power
+		}
+	}
+	return out
+}

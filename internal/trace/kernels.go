@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+
+	"accelwall/internal/dfg"
+)
+
+// This file provides traced reference kernels: the same computations as
+// selected static builders in package workloads, but derived from an actual
+// execution through the Tracer. The test suite cross-checks both front
+// ends; users can treat these as templates for tracing their own kernels.
+
+// Triad traces the SHOC Triad kernel a[i] = b[i] + s*c[i] over n elements,
+// with b, c, and a living in memory (addresses are synthetic but
+// disambiguated like real ones).
+func Triad(n int) (*dfg.Graph, error) {
+	if n <= 0 {
+		n = 128
+	}
+	t := New("traced/TRD")
+	s := t.Input("s")
+	const (
+		baseB = 0x1000
+		baseC = 0x2000
+		baseA = 0x3000
+	)
+	for i := 0; i < n; i++ {
+		b := t.Load(baseB + uint64(i)*8)
+		c := t.Load(baseC + uint64(i)*8)
+		t.Store(baseA+uint64(i)*8, t.Add(b, t.Mul(c, s)))
+	}
+	return t.Graph()
+}
+
+// GEMM traces a dense n×n matrix multiplication with an in-memory
+// accumulator: C[i][j] += A[i][k]*B[k][j], the classic triple loop whose
+// accumulator creates read-after-write chains the static builder expresses
+// as an add tree instead.
+func GEMM(n int) (*dfg.Graph, error) {
+	if n <= 0 {
+		n = 8
+	}
+	t := New("traced/GMM")
+	addr := func(base uint64, i, j int) uint64 { return base + uint64(i*n+j)*8 }
+	const (
+		baseA = 0x10000
+		baseB = 0x20000
+		baseC = 0x30000
+	)
+	zero := t.Input("zero")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t.Store(addr(baseC, i, j), zero)
+			for k := 0; k < n; k++ {
+				a := t.Load(addr(baseA, i, k))
+				b := t.Load(addr(baseB, k, j))
+				acc := t.Load(addr(baseC, i, j))
+				t.Store(addr(baseC, i, j), t.Add(acc, t.Mul(a, b)))
+			}
+			// Publish the finished cell.
+			t.Output(fmt.Sprintf("c%d_%d", i, j), t.Load(addr(baseC, i, j)))
+		}
+	}
+	return t.Graph()
+}
+
+// Histogram traces a data-dependent kernel the static builders cannot
+// express: values scatter into bins, with repeated hits on the same bin
+// serializing through memory — the canonical irregular-update pattern.
+// values[i] selects bin values[i] % bins.
+func Histogram(values []int, bins int) (*dfg.Graph, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("trace: histogram needs positive bin count, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("trace: histogram needs at least one value")
+	}
+	t := New("traced/HIST")
+	one := t.Input("one")
+	const baseBins = 0x5000
+	for _, v := range values {
+		bin := uint64(((v % bins) + bins) % bins)
+		cur := t.Load(baseBins + bin*8)
+		t.Store(baseBins+bin*8, t.Add(cur, one))
+	}
+	return t.Graph()
+}

@@ -1,0 +1,239 @@
+// Package trace provides a dynamic-execution front end for the accelerator
+// simulator: kernels written as ordinary Go code against a Tracer record
+// their operations and memory accesses, and the recording becomes a
+// dataflow graph with true memory dependences resolved by address.
+//
+// This mirrors how the original Aladdin works: it consumes a dynamic LLVM
+// instruction trace and builds a dynamic data dependence graph (DDDG)
+// rather than analyzing static code. The static builders in package
+// workloads construct graphs structurally; the tracer derives them from an
+// actual execution, including:
+//
+//   - read-after-write: a load takes a dependence edge from the last store
+//     to the same address (or from an auto-created input for cold
+//     addresses);
+//   - write-after-read/write: a store is serialized after every prior
+//     access to its address, so the dataflow graph cannot reorder
+//     conflicting memory operations;
+//   - dead-value detection: compute results that neither reach an output
+//     nor memory are reported as errors instead of silently dropped.
+//
+// Tracing real executions lets users bring kernels the static builders do
+// not cover, and lets the test suite cross-check both front ends against
+// each other.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"accelwall/internal/dfg"
+)
+
+// Value is a handle to a dataflow value produced during tracing. Values
+// are only meaningful with the Tracer that created them.
+type Value struct {
+	id dfg.NodeID
+	tr *Tracer
+}
+
+// Tracer records one kernel execution.
+type Tracer struct {
+	g *dfg.Graph
+	// producer maps a memory address to the node holding its current
+	// value; lastAccess additionally covers loads, for store serialization.
+	producer   map[uint64]dfg.NodeID
+	lastAccess map[uint64]dfg.NodeID
+	inputs     int
+	outputs    int
+	err        error // first recording error; sticky
+	done       bool
+}
+
+// New starts recording a kernel with the given name.
+func New(name string) *Tracer {
+	return &Tracer{
+		g:          dfg.New(name),
+		producer:   make(map[uint64]dfg.NodeID),
+		lastAccess: make(map[uint64]dfg.NodeID),
+	}
+}
+
+// fail records the first error and poisons the tracer.
+func (t *Tracer) fail(format string, args ...any) Value {
+	if t.err == nil {
+		t.err = fmt.Errorf(format, args...)
+	}
+	return Value{id: -1, tr: t}
+}
+
+// check validates that v belongs to this tracer.
+func (t *Tracer) check(vs ...Value) bool {
+	if t.err != nil || t.done {
+		if t.done && t.err == nil {
+			t.err = errors.New("trace: tracer used after Graph()")
+		}
+		return false
+	}
+	for _, v := range vs {
+		if v.tr != t {
+			t.fail("trace: value from a different tracer")
+			return false
+		}
+		if v.id < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Input introduces a named kernel input.
+func (t *Tracer) Input(label string) Value {
+	if !t.check() {
+		return Value{id: -1, tr: t}
+	}
+	t.inputs++
+	return Value{id: t.g.AddInput(label), tr: t}
+}
+
+// op appends a compute operation over the given operands.
+func (t *Tracer) op(op dfg.Op, operands ...Value) Value {
+	if !t.check(operands...) {
+		return Value{id: -1, tr: t}
+	}
+	ids := make([]dfg.NodeID, len(operands))
+	for i, v := range operands {
+		ids[i] = v.id
+	}
+	id, err := t.g.AddOp(op, ids...)
+	if err != nil {
+		return t.fail("trace: %v", err)
+	}
+	return Value{id: id, tr: t}
+}
+
+// Arithmetic and logic operations.
+
+// Add records a + b.
+func (t *Tracer) Add(a, b Value) Value { return t.op(dfg.OpAdd, a, b) }
+
+// Sub records a - b.
+func (t *Tracer) Sub(a, b Value) Value { return t.op(dfg.OpSub, a, b) }
+
+// Mul records a * b.
+func (t *Tracer) Mul(a, b Value) Value { return t.op(dfg.OpMul, a, b) }
+
+// Div records a / b.
+func (t *Tracer) Div(a, b Value) Value { return t.op(dfg.OpDiv, a, b) }
+
+// Cmp records a comparison/selection of a and b.
+func (t *Tracer) Cmp(a, b Value) Value { return t.op(dfg.OpCmp, a, b) }
+
+// Logic records a bitwise combination of a and b.
+func (t *Tracer) Logic(a, b Value) Value { return t.op(dfg.OpLogic, a, b) }
+
+// Shift records a shift/rotate of a.
+func (t *Tracer) Shift(a Value) Value { return t.op(dfg.OpShift, a) }
+
+// Sqrt records a square root of a.
+func (t *Tracer) Sqrt(a Value) Value { return t.op(dfg.OpSqrt, a) }
+
+// Nonlinear records an algorithm-specific unit application (activation,
+// S-box, ...).
+func (t *Tracer) Nonlinear(a Value) Value { return t.op(dfg.OpNonlinear, a) }
+
+// Load records a memory read at addr. Its dependence edge points at the
+// current producer of that address: the last store, or a fresh input for
+// addresses the kernel never wrote (cold memory).
+func (t *Tracer) Load(addr uint64) Value {
+	if !t.check() {
+		return Value{id: -1, tr: t}
+	}
+	prod, ok := t.producer[addr]
+	if !ok {
+		prod = t.g.AddInput(fmt.Sprintf("mem0x%x", addr))
+		t.producer[addr] = prod
+		t.inputs++
+	}
+	id, err := t.g.AddOp(dfg.OpLoad, prod)
+	if err != nil {
+		return t.fail("trace: %v", err)
+	}
+	t.lastAccess[addr] = id
+	return Value{id: id, tr: t}
+}
+
+// Store records a memory write of v at addr. The store is serialized after
+// the address's previous access (load or store), preserving
+// write-after-read and write-after-write ordering in the dataflow graph.
+func (t *Tracer) Store(addr uint64, v Value) {
+	if !t.check(v) {
+		return
+	}
+	preds := []dfg.NodeID{v.id}
+	if last, ok := t.lastAccess[addr]; ok {
+		preds = append(preds, last)
+	} else if prod, ok := t.producer[addr]; ok {
+		preds = append(preds, prod)
+	}
+	id, err := t.g.AddOp(dfg.OpStore, preds...)
+	if err != nil {
+		t.fail("trace: %v", err)
+		return
+	}
+	t.producer[addr] = id
+	t.lastAccess[addr] = id
+}
+
+// Output marks v as a named kernel result.
+func (t *Tracer) Output(label string, v Value) {
+	if !t.check(v) {
+		return
+	}
+	if _, err := t.g.AddOutput(label, v.id); err != nil {
+		t.fail("trace: %v", err)
+		return
+	}
+	t.outputs++
+}
+
+// Graph finalizes the recording. Stores that nothing read afterwards
+// become memory-state outputs (the kernel's effect on memory); any other
+// dangling compute value is reported as a dead value — almost always a
+// kernel bug. The tracer cannot be used afterwards.
+func (t *Tracer) Graph() (*dfg.Graph, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if t.done {
+		return nil, errors.New("trace: Graph() called twice")
+	}
+	t.done = true
+	// Address of the final store per address, for labeling.
+	finalStore := make(map[dfg.NodeID]uint64)
+	for addr, id := range t.producer {
+		finalStore[id] = addr
+	}
+	for _, nd := range t.g.Nodes() {
+		if !nd.Op.IsCompute() || len(t.g.Succs(nd.ID)) > 0 {
+			continue
+		}
+		if nd.Op == dfg.OpStore {
+			if addr, ok := finalStore[nd.ID]; ok {
+				t.g.MustOutput(fmt.Sprintf("mem0x%x'", addr), nd.ID)
+				t.outputs++
+				continue
+			}
+			// An overwritten store with no intervening read: dead write.
+			return nil, fmt.Errorf("trace: dead store (node %d) — value written and overwritten without a read", nd.ID)
+		}
+		return nil, fmt.Errorf("trace: dead value (node %d, %v) — computed but never used", nd.ID, nd.Op)
+	}
+	if err := t.g.Validate(); err != nil {
+		return nil, err
+	}
+	return t.g, nil
+}
+
+// Stats returns the number of inputs and outputs recorded so far.
+func (t *Tracer) Stats() (inputs, outputs int) { return t.inputs, t.outputs }

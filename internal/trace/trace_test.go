@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+	"accelwall/internal/workloads"
+)
+
+func TestBasicRecording(t *testing.T) {
+	tr := New("basic")
+	a := tr.Input("a")
+	b := tr.Input("b")
+	sum := tr.Add(a, b)
+	tr.Output("out", tr.Mul(sum, a))
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.VIn != 2 || s.VOut != 1 || s.VCmp != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	in, out := tr.Stats()
+	if in != 2 || out != 1 {
+		t.Errorf("Stats() = (%d, %d), want (2, 1)", in, out)
+	}
+}
+
+// Read-after-write: a load after a store must depend on the store.
+func TestMemoryRAW(t *testing.T) {
+	tr := New("raw")
+	x := tr.Input("x")
+	tr.Store(0x100, x)
+	v := tr.Load(0x100)
+	tr.Output("y", tr.Add(v, x))
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path: input -> store -> load -> add -> out: depth 5.
+	if d := g.ComputeStats().Depth; d != 5 {
+		t.Errorf("RAW chain depth = %d, want 5", d)
+	}
+}
+
+// Cold loads synthesize memory inputs; two loads of the same cold address
+// share one input.
+func TestColdLoadsShareInput(t *testing.T) {
+	tr := New("cold")
+	a := tr.Load(0x200)
+	b := tr.Load(0x200)
+	c := tr.Load(0x300)
+	tr.Output("o", tr.Add(tr.Add(a, b), c))
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ComputeStats().VIn; got != 2 {
+		t.Errorf("inputs = %d, want 2 (0x200 shared, 0x300 fresh)", got)
+	}
+}
+
+// Write-after-read: a store must serialize after prior loads of the same
+// address, so reordering cannot make the load observe the new value.
+func TestMemoryWAR(t *testing.T) {
+	tr := New("war")
+	x := tr.Input("x")
+	old := tr.Load(0x400) // reads the cold value
+	tr.Store(0x400, x)    // overwrites it; must order after the load
+	now := tr.Load(0x400) // reads the stored value
+	tr.Output("sum", tr.Add(old, now))
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the store and check it has two predecessors: the value and the
+	// prior load.
+	var store dfg.Node
+	for _, nd := range g.Nodes() {
+		if nd.Op == dfg.OpStore {
+			store = nd
+		}
+	}
+	if len(g.Preds(store.ID)) != 2 {
+		t.Errorf("store preds = %d, want 2 (value + anti-dependence)", len(g.Preds(store.ID)))
+	}
+}
+
+// Write-after-write on the same address serializes through lastAccess, and
+// the final store becomes a memory-state output.
+func TestMemoryWAWAndFinalState(t *testing.T) {
+	tr := New("waw")
+	x := tr.Input("x")
+	tr.Store(0x500, x)
+	v := tr.Load(0x500)
+	tr.Store(0x500, tr.Add(v, x))
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.VOut != 1 {
+		t.Errorf("outputs = %d, want 1 (final memory state)", s.VOut)
+	}
+	labels := false
+	for _, nd := range g.Nodes() {
+		if nd.Op == dfg.OpOutput && strings.Contains(nd.Label, "mem0x500") {
+			labels = true
+		}
+	}
+	if !labels {
+		t.Error("memory-state output not labeled with its address")
+	}
+}
+
+func TestDeadValueDetection(t *testing.T) {
+	tr := New("dead")
+	a := tr.Input("a")
+	tr.Add(a, a) // computed, never used
+	tr.Output("o", tr.Mul(a, a))
+	if _, err := tr.Graph(); err == nil {
+		t.Error("dead value should be reported")
+	}
+}
+
+func TestTracerMisuse(t *testing.T) {
+	tr := New("misuse")
+	a := tr.Input("a")
+	other := New("other")
+	b := other.Input("b")
+	tr.Add(a, b) // cross-tracer value
+	if _, err := tr.Graph(); err == nil {
+		t.Error("cross-tracer value should poison the recording")
+	}
+
+	tr2 := New("twice")
+	x := tr2.Input("x")
+	tr2.Output("o", tr2.Shift(x))
+	if _, err := tr2.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Graph(); err == nil {
+		t.Error("second Graph() should error")
+	}
+	// Use after Graph() is rejected.
+	tr2.Input("late")
+	tr3 := New("after")
+	y := tr3.Input("y")
+	tr3.Output("o", tr3.Sqrt(y))
+	if _, err := tr3.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	tr3.Add(y, y)
+	if tr3.err == nil {
+		t.Error("use after Graph() should set the sticky error")
+	}
+}
+
+func TestAllOpsRecord(t *testing.T) {
+	tr := New("ops")
+	a := tr.Input("a")
+	b := tr.Input("b")
+	v := tr.Add(a, b)
+	v = tr.Sub(v, a)
+	v = tr.Mul(v, b)
+	v = tr.Div(v, a)
+	v = tr.Cmp(v, b)
+	v = tr.Logic(v, a)
+	v = tr.Shift(v)
+	v = tr.Sqrt(v)
+	v = tr.Nonlinear(v)
+	tr.Output("o", v)
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := g.OpMix()
+	for _, op := range []dfg.Op{dfg.OpAdd, dfg.OpSub, dfg.OpMul, dfg.OpDiv, dfg.OpCmp, dfg.OpLogic, dfg.OpShift, dfg.OpSqrt, dfg.OpNonlinear} {
+		if mix[op] != 1 {
+			t.Errorf("op %v recorded %d times, want 1", op, mix[op])
+		}
+	}
+}
+
+// The traced Triad must match the static builder's computation profile:
+// same multiplies and adds per element, same (shallow) depth behaviour.
+func TestTracedTriadMatchesStatic(t *testing.T) {
+	n := 64
+	traced, err := Triad(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloads.ByAbbrev("TRD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := spec.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, sm := traced.OpMix(), static.OpMix()
+	for _, op := range []dfg.Op{dfg.OpMul, dfg.OpAdd, dfg.OpLoad, dfg.OpStore} {
+		if tm[op] != sm[op] {
+			t.Errorf("op %v: traced %d vs static %d", op, tm[op], sm[op])
+		}
+	}
+	// Independent elements: widening the problem must not deepen the graph.
+	traced2, err := Triad(2 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.ComputeStats().Depth != traced2.ComputeStats().Depth {
+		t.Error("traced triad depth varies with width")
+	}
+}
+
+// The traced GEMM uses an in-memory accumulator, so its dot products are
+// serial chains: same multiply count as the static builder but much deeper
+// — the scheduler quantifies what the algorithmic choice costs.
+func TestTracedGEMMAccumulatorChains(t *testing.T) {
+	n := 4
+	traced, err := GEMM(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloads.ByAbbrev("GMM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := spec.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm, sm := traced.OpMix()[dfg.OpMul], static.OpMix()[dfg.OpMul]; tm != sm {
+		t.Errorf("multiplies: traced %d vs static %d", tm, sm)
+	}
+	td, sd := traced.ComputeStats().Depth, static.ComputeStats().Depth
+	if td <= sd {
+		t.Errorf("traced accumulator GEMM depth %d should exceed tree GEMM depth %d", td, sd)
+	}
+	// And the scheduler sees it: at unlimited parallelism the tree version
+	// finishes first.
+	d := aladdin.Design{NodeNM: 45, Partition: aladdin.MaxPartition, Simplification: 1}
+	rt, err := aladdin.Simulate(traced, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := aladdin.Simulate(static, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cycles <= rs.Cycles {
+		t.Errorf("traced GEMM cycles %d should exceed static %d", rt.Cycles, rs.Cycles)
+	}
+}
+
+// Histogram: repeated bin hits serialize; distinct bins parallelize.
+func TestHistogramSerialization(t *testing.T) {
+	// All values hit one bin: fully serial.
+	serial, err := Histogram([]int{0, 4, 8, 12}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All values hit distinct bins: fully parallel.
+	parallel, err := Histogram([]int{0, 1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, pd := serial.ComputeStats().Depth, parallel.ComputeStats().Depth
+	if sd <= pd {
+		t.Errorf("single-bin histogram depth %d should exceed spread histogram depth %d", sd, pd)
+	}
+	// Negative values map into range.
+	if _, err := Histogram([]int{-1, -5}, 4); err != nil {
+		t.Errorf("negative values should be binned, got %v", err)
+	}
+	if _, err := Histogram(nil, 4); err == nil {
+		t.Error("empty histogram should error")
+	}
+	if _, err := Histogram([]int{1}, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+// Traced graphs run through the whole simulator stack.
+func TestTracedKernelsSimulate(t *testing.T) {
+	for name, build := range map[string]func() (*dfg.Graph, error){
+		"triad": func() (*dfg.Graph, error) { return Triad(32) },
+		"gemm":  func() (*dfg.Graph, error) { return GEMM(4) },
+		"hist":  func() (*dfg.Graph, error) { return Histogram([]int{1, 2, 3, 4, 5, 6}, 3) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 7, Partition: 16, Simplification: 2, Fusion: true})
+		if err != nil {
+			t.Fatalf("%s: simulate: %v", name, err)
+		}
+		if r.Cycles <= 0 || r.Energy <= 0 {
+			t.Errorf("%s: degenerate result %+v", name, r)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	if _, err := Triad(0); err != nil {
+		t.Errorf("Triad default: %v", err)
+	}
+	if _, err := GEMM(0); err != nil {
+		t.Errorf("GEMM default: %v", err)
+	}
+}

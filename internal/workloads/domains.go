@@ -1,0 +1,275 @@
+package workloads
+
+import (
+	"fmt"
+
+	"accelwall/internal/dfg"
+)
+
+// DomainKernel couples a Section IV case-study domain with a concrete
+// kernel DFG for its core computation, letting the Section VI design-space
+// machinery run over the very workloads the empirical study measures:
+// SHA-256 double hashing for Bitcoin mining, an 8×8 inverse DCT for video
+// decoding, and a transform-and-shade kernel for GPU graphics. (The CNN
+// domain is already covered by the Table IV RBM kernel and the Winograd
+// stencil variant.)
+type DomainKernel struct {
+	Domain string // case-study domain name
+	Name   string
+	Build  func(n int) (*dfg.Graph, error)
+}
+
+// DomainKernels returns the implemented case-study kernels.
+func DomainKernels() []DomainKernel {
+	return []DomainKernel{
+		{Domain: "Bitcoin Mining", Name: "SHA256d", Build: BuildSHA256d},
+		{Domain: "Video Decoding", Name: "IDCT8x8", Build: BuildIDCT8x8},
+		{Domain: "Gaming/Graphics", Name: "Shader", Build: BuildShader},
+	}
+}
+
+// DomainKernelByName resolves a domain kernel.
+func DomainKernelByName(name string) (DomainKernel, error) {
+	for _, k := range DomainKernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return DomainKernel{}, fmt.Errorf("workloads: unknown domain kernel %q", name)
+}
+
+// sigma models a SHA-256 σ/Σ function: three rotations (shifts) combined
+// by two xors.
+func sigma(g *dfg.Graph, x dfg.NodeID) dfg.NodeID {
+	r1 := g.MustOp(dfg.OpShift, x)
+	r2 := g.MustOp(dfg.OpShift, x)
+	r3 := g.MustOp(dfg.OpShift, x)
+	x1 := g.MustOp(dfg.OpLogic, r1, r2)
+	return g.MustOp(dfg.OpLogic, x1, r3)
+}
+
+// choose models Ch(e,f,g) = (e AND f) XOR (NOT e AND g).
+func choose(g *dfg.Graph, e, f, gg dfg.NodeID) dfg.NodeID {
+	a := g.MustOp(dfg.OpLogic, e, f)
+	b := g.MustOp(dfg.OpLogic, e, gg)
+	return g.MustOp(dfg.OpLogic, a, b)
+}
+
+// majority models Maj(a,b,c).
+func majority(g *dfg.Graph, a, b, c dfg.NodeID) dfg.NodeID {
+	ab := g.MustOp(dfg.OpLogic, a, b)
+	ac := g.MustOp(dfg.OpLogic, a, c)
+	bc := g.MustOp(dfg.OpLogic, b, c)
+	return g.MustOp(dfg.OpLogic, g.MustOp(dfg.OpLogic, ab, ac), bc)
+}
+
+// sha256Rounds runs the message schedule plus `rounds` compression rounds
+// over an 8-word state, returning the new state. w holds the 16 message
+// words; k is the round-constant input.
+func sha256Rounds(g *dfg.Graph, state [8]dfg.NodeID, w []dfg.NodeID, k dfg.NodeID, rounds int) [8]dfg.NodeID {
+	// Message schedule expansion: W[t] = σ1(W[t-2]) + W[t-7] + σ0(W[t-15]) + W[t-16].
+	sched := make([]dfg.NodeID, rounds)
+	copy(sched, w)
+	for t := 16; t < rounds; t++ {
+		s1 := sigma(g, sched[t-2])
+		s0 := sigma(g, sched[t-15])
+		a1 := g.MustOp(dfg.OpAdd, s1, sched[t-7])
+		a2 := g.MustOp(dfg.OpAdd, s0, sched[t-16])
+		sched[t] = g.MustOp(dfg.OpAdd, a1, a2)
+	}
+	a, b, c, d, e, f, gg, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+	for t := 0; t < rounds; t++ {
+		t1 := g.MustOp(dfg.OpAdd, h, sigma(g, e))
+		t1 = g.MustOp(dfg.OpAdd, t1, choose(g, e, f, gg))
+		t1 = g.MustOp(dfg.OpAdd, t1, g.MustOp(dfg.OpAdd, k, sched[t]))
+		t2 := g.MustOp(dfg.OpAdd, sigma(g, a), majority(g, a, b, c))
+		h, gg, f = gg, f, e
+		e = g.MustOp(dfg.OpAdd, d, t1)
+		d, c, b = c, b, a
+		a = g.MustOp(dfg.OpAdd, t1, t2)
+	}
+	// Feed-forward addition of the incoming state.
+	return [8]dfg.NodeID{
+		g.MustOp(dfg.OpAdd, a, state[0]),
+		g.MustOp(dfg.OpAdd, b, state[1]),
+		g.MustOp(dfg.OpAdd, c, state[2]),
+		g.MustOp(dfg.OpAdd, d, state[3]),
+		g.MustOp(dfg.OpAdd, e, state[4]),
+		g.MustOp(dfg.OpAdd, f, state[5]),
+		g.MustOp(dfg.OpAdd, gg, state[6]),
+		g.MustOp(dfg.OpAdd, h, state[7]),
+	}
+}
+
+// BuildSHA256d models n independent Bitcoin hashing attempts: each is a
+// double SHA-256 over an 16-word header block (the inner loop of every
+// miner in Figure 1/9). n controls nonce-level parallelism — the only
+// parallelism the confined domain offers, which is why "most miners
+// operate in a brute-force and parallelized manner". Default n = 2; 24
+// rounds per pass keep default graphs tractable while preserving the
+// round-chain structure (a real miner unrolls all 64).
+func BuildSHA256d(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 2)
+	const rounds = 24
+	g := dfg.New("SHA256d")
+	k := g.AddInput("K")
+	var iv [8]dfg.NodeID
+	for i := range iv {
+		iv[i] = g.AddInput(fmt.Sprintf("iv%d", i))
+	}
+	for attempt := 0; attempt < n; attempt++ {
+		w := make([]dfg.NodeID, 16)
+		for i := range w {
+			w[i] = g.AddInput(fmt.Sprintf("hdr%d_%d", attempt, i))
+		}
+		// First pass over the header.
+		mid := sha256Rounds(g, iv, w, k, rounds)
+		// Second pass hashes the first digest (padded block: digest words
+		// feed the schedule, remaining words are constants folded into K).
+		w2 := make([]dfg.NodeID, 16)
+		for i := 0; i < 8; i++ {
+			w2[i] = mid[i]
+		}
+		for i := 8; i < 16; i++ {
+			w2[i] = k
+		}
+		final := sha256Rounds(g, iv, w2, k, rounds)
+		// Miners compare the top digest word against the difficulty target.
+		target := g.AddInput(fmt.Sprintf("target%d", attempt))
+		g.MustOutput(fmt.Sprintf("hit%d", attempt), g.MustOp(dfg.OpCmp, final[0], target))
+		// Remaining digest words are returned for verification.
+		for i := 1; i < 8; i++ {
+			g.MustOutput(fmt.Sprintf("d%d_%d", attempt, i), final[i])
+		}
+	}
+	return finish(g)
+}
+
+// idct1D applies a butterfly-structured 8-point inverse DCT to a row or
+// column of value nodes: a realistic even/odd decomposition with 10
+// multiplies and a recombination network, the shape of every hardware
+// IDCT since Loeffler.
+func idct1D(g *dfg.Graph, in [8]dfg.NodeID, coeff dfg.NodeID) [8]dfg.NodeID {
+	// Even part: butterfly over coefficients 0,4,2,6.
+	e0 := g.MustOp(dfg.OpAdd, in[0], in[4])
+	e1 := g.MustOp(dfg.OpSub, in[0], in[4])
+	e2 := g.MustOp(dfg.OpSub, g.MustOp(dfg.OpMul, in[2], coeff), in[6])
+	e3 := g.MustOp(dfg.OpAdd, in[2], g.MustOp(dfg.OpMul, in[6], coeff))
+	t0 := g.MustOp(dfg.OpAdd, e0, e3)
+	t3 := g.MustOp(dfg.OpSub, e0, e3)
+	t1 := g.MustOp(dfg.OpAdd, e1, e2)
+	t2 := g.MustOp(dfg.OpSub, e1, e2)
+	// Odd part: coefficients 1,3,5,7 each scaled, then recombined.
+	o0 := g.MustOp(dfg.OpMul, in[1], coeff)
+	o1 := g.MustOp(dfg.OpMul, in[3], coeff)
+	o2 := g.MustOp(dfg.OpMul, in[5], coeff)
+	o3 := g.MustOp(dfg.OpMul, in[7], coeff)
+	s0 := g.MustOp(dfg.OpAdd, o0, o1)
+	s1 := g.MustOp(dfg.OpSub, o2, o3)
+	u0 := g.MustOp(dfg.OpMul, g.MustOp(dfg.OpAdd, s0, s1), coeff)
+	u1 := g.MustOp(dfg.OpMul, g.MustOp(dfg.OpSub, s0, s1), coeff)
+	u2 := g.MustOp(dfg.OpMul, g.MustOp(dfg.OpAdd, o0, o3), coeff)
+	u3 := g.MustOp(dfg.OpMul, g.MustOp(dfg.OpSub, o1, o2), coeff)
+	return [8]dfg.NodeID{
+		g.MustOp(dfg.OpAdd, t0, u0),
+		g.MustOp(dfg.OpAdd, t1, u1),
+		g.MustOp(dfg.OpAdd, t2, u2),
+		g.MustOp(dfg.OpAdd, t3, u3),
+		g.MustOp(dfg.OpSub, t3, u3),
+		g.MustOp(dfg.OpSub, t2, u2),
+		g.MustOp(dfg.OpSub, t1, u1),
+		g.MustOp(dfg.OpSub, t0, u0),
+	}
+}
+
+// BuildIDCT8x8 models the inverse-transform stage of a video decoder: n
+// 8×8 blocks, each running a row-column separable IDCT followed by
+// prediction add and clamping (the Figure 4 ASICs' residual-reconstruction
+// datapath). Default n = 4 blocks.
+func BuildIDCT8x8(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 4)
+	g := dfg.New("IDCT8x8")
+	coeff := g.AddInput("c")
+	for b := 0; b < n; b++ {
+		var block [8][8]dfg.NodeID
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				block[i][j] = g.AddInput(fmt.Sprintf("q%d_%d_%d", b, i, j))
+			}
+		}
+		// Row pass.
+		for i := 0; i < 8; i++ {
+			block[i] = idct1D(g, block[i], coeff)
+		}
+		// Column pass.
+		for j := 0; j < 8; j++ {
+			var col [8]dfg.NodeID
+			for i := 0; i < 8; i++ {
+				col[i] = block[i][j]
+			}
+			col = idct1D(g, col, coeff)
+			for i := 0; i < 8; i++ {
+				block[i][j] = col[i]
+			}
+		}
+		// Residual + prediction, clamped to pixel range.
+		pred := g.AddInput(fmt.Sprintf("pred%d", b))
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				px := g.MustOp(dfg.OpAdd, block[i][j], pred)
+				g.MustOutput(fmt.Sprintf("p%d_%d_%d", b, i, j), g.MustOp(dfg.OpCmp, px, pred))
+			}
+		}
+	}
+	return finish(g)
+}
+
+// BuildShader models the per-vertex/per-fragment work of a forward
+// renderer: n vertices through a 4×4 model-view-projection transform with
+// perspective divide, then n fragments of interpolation, a texture fetch,
+// and Blinn-Phong style lighting (dot products plus a specular
+// nonlinearity) — the GPU graphics workload of Figures 5–7. Default n = 16.
+func BuildShader(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 16)
+	g := dfg.New("Shader")
+	var mvp [16]dfg.NodeID
+	for i := range mvp {
+		mvp[i] = g.AddInput(fmt.Sprintf("m%d", i))
+	}
+	light := [3]dfg.NodeID{g.AddInput("lx"), g.AddInput("ly"), g.AddInput("lz")}
+	for v := 0; v < n; v++ {
+		// Vertex transform: 4 dot products of length 4.
+		var pos [4]dfg.NodeID
+		for d := 0; d < 4; d++ {
+			pos[d] = g.AddInput(fmt.Sprintf("v%d_%d", v, d))
+		}
+		var clip [4]dfg.NodeID
+		for row := 0; row < 4; row++ {
+			terms := make([]dfg.NodeID, 4)
+			for col := 0; col < 4; col++ {
+				terms[col] = g.MustOp(dfg.OpMul, mvp[row*4+col], pos[col])
+			}
+			clip[row] = reduceTree(g, dfg.OpAdd, terms)
+		}
+		// Perspective divide.
+		sx := g.MustOp(dfg.OpDiv, clip[0], clip[3])
+		sy := g.MustOp(dfg.OpDiv, clip[1], clip[3])
+		sz := g.MustOp(dfg.OpDiv, clip[2], clip[3])
+		// Fragment: interpolated normal, texture fetch, diffuse + specular.
+		var normal [3]dfg.NodeID
+		for d := 0; d < 3; d++ {
+			nd := g.AddInput(fmt.Sprintf("n%d_%d", v, d))
+			normal[d] = g.MustOp(dfg.OpMul, nd, sz) // perspective-correct interpolation
+		}
+		texel := g.MustOp(dfg.OpLoad, sx, sy)
+		diffTerms := make([]dfg.NodeID, 3)
+		for d := 0; d < 3; d++ {
+			diffTerms[d] = g.MustOp(dfg.OpMul, normal[d], light[d])
+		}
+		diffuse := reduceTree(g, dfg.OpAdd, diffTerms)
+		spec := g.MustOp(dfg.OpNonlinear, diffuse) // specular power function
+		lit := g.MustOp(dfg.OpAdd, g.MustOp(dfg.OpMul, texel, diffuse), spec)
+		g.MustOutput(fmt.Sprintf("frag%d", v), g.MustOp(dfg.OpStore, lit))
+	}
+	return finish(g)
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"testing"
+
+	"accelwall/internal/dfg"
+)
+
+func TestDomainKernelsRegistry(t *testing.T) {
+	ks := DomainKernels()
+	if len(ks) != 3 {
+		t.Fatalf("domain kernels = %d, want 3", len(ks))
+	}
+	for _, k := range ks {
+		if k.Domain == "" || k.Name == "" || k.Build == nil {
+			t.Errorf("incomplete kernel %+v", k)
+		}
+	}
+	if _, err := DomainKernelByName("SHA256d"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DomainKernelByName("nope"); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestDomainKernelsValidate(t *testing.T) {
+	for _, k := range DomainKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 3} {
+				g, err := k.Build(n)
+				if err != nil {
+					t.Fatalf("build(%d): %v", n, err)
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("validate(%d): %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// SHA-256's defining property for the accelerator-wall analysis: the round
+// chain serializes, so depth grows with rounds while nonce parallelism
+// only adds width — "the limited number of ways to represent the core
+// algorithm in hardware".
+func TestSHA256dStructure(t *testing.T) {
+	one, err := BuildSHA256d(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := BuildSHA256d(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s4 := one.ComputeStats(), four.ComputeStats()
+	if s1.Depth != s4.Depth {
+		t.Errorf("nonce parallelism changed depth: %d vs %d", s1.Depth, s4.Depth)
+	}
+	// Double hashing: deep. Two passes of 24 rounds, each round ~4 serial
+	// adds deep.
+	if s1.Depth < 100 {
+		t.Errorf("SHA256d depth = %d, want >= 100 (serial round chain)", s1.Depth)
+	}
+	if s4.MaxWS < 4*s1.MaxWS/2 {
+		t.Errorf("nonce parallelism should widen the graph: %d vs %d", s4.MaxWS, s1.MaxWS)
+	}
+	// The op mix is logic/shift/add dominated — no multiplies at all,
+	// which is why mining ASICs are pure datapath replication.
+	mix := one.OpMix()
+	if mix[dfg.OpMul] != 0 || mix[dfg.OpDiv] != 0 {
+		t.Errorf("SHA256d should have no multiplies/divides: %v", mix)
+	}
+	if mix[dfg.OpLogic] == 0 || mix[dfg.OpShift] == 0 || mix[dfg.OpAdd] == 0 {
+		t.Errorf("SHA256d op mix missing core ops: %v", mix)
+	}
+}
+
+func TestIDCTStructure(t *testing.T) {
+	g, err := BuildIDCT8x8(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	// 2 blocks × 64 pixels out.
+	if s.VOut != 128 {
+		t.Errorf("outputs = %d, want 128", s.VOut)
+	}
+	// Row-column structure: 16 1D transforms per block, each with 10
+	// multiplies (2 even-part scalings, 4 odd scalings, 4 recombinations).
+	if got := g.OpMix()[dfg.OpMul]; got != 2*16*10 {
+		t.Errorf("multiplies = %d, want %d", got, 2*16*10)
+	}
+	// Blocks are independent: doubling blocks must not deepen the graph.
+	g2, err := BuildIDCT8x8(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ComputeStats().Depth != s.Depth {
+		t.Error("block parallelism changed depth")
+	}
+}
+
+func TestShaderStructure(t *testing.T) {
+	g, err := BuildShader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := g.OpMix()
+	// Per vertex: 16 MVP multiplies + 3 interpolation + 3 diffuse + 1 texel
+	// modulate = 23; perspective divide ×3.
+	if mix[dfg.OpMul] != 8*23 {
+		t.Errorf("multiplies = %d, want %d", mix[dfg.OpMul], 8*23)
+	}
+	if mix[dfg.OpDiv] != 8*3 {
+		t.Errorf("divides = %d, want %d", mix[dfg.OpDiv], 8*3)
+	}
+	if mix[dfg.OpLoad] != 8 || mix[dfg.OpStore] != 8 {
+		t.Errorf("texture/framebuffer ops = %d/%d, want 8/8", mix[dfg.OpLoad], mix[dfg.OpStore])
+	}
+	if mix[dfg.OpNonlinear] != 8 {
+		t.Errorf("specular units = %d, want 8", mix[dfg.OpNonlinear])
+	}
+	// Vertices are independent.
+	s8 := g.ComputeStats()
+	g16, err := BuildShader(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g16.ComputeStats().Depth != s8.Depth {
+		t.Error("vertex parallelism changed depth")
+	}
+}

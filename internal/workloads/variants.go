@@ -1,0 +1,284 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+
+	"accelwall/internal/dfg"
+)
+
+// Variant is an alternative algorithm for one of the Table IV domains —
+// the "Algorithm" layer of the specialization stack (Figure 2). The paper
+// attributes CSR improvements in emerging domains to exactly such changes:
+// "In FPGA2017* the authors applied the Winograd transform to exploit the
+// locality in small 3×3 filters ... and improve throughput by minimizing
+// the complexity of Convolutional operations." Each variant computes the
+// same function as its base kernel with a different operation mix, so any
+// gain it shows at a fixed design point is pure algorithmic CSR.
+type Variant struct {
+	Base   string // abbreviation of the Table IV kernel it replaces
+	Name   string // algorithm name
+	Effect string // one-line description of what it trades
+	Build  func(n int) (*dfg.Graph, error)
+}
+
+// Variants returns the implemented algorithm alternatives.
+func Variants() []Variant {
+	return []Variant{
+		{
+			Base:   "GMM",
+			Name:   "strassen",
+			Effect: "7 recursive multiplies per 2x2 block instead of 8, at the cost of extra additions",
+			Build:  BuildGMMStrassen,
+		},
+		{
+			Base:   "S2D",
+			Name:   "winograd",
+			Effect: "F(2x2,3x3) tiles: 16 multiplies per 4 outputs instead of 36",
+			Build:  BuildS2DWinograd,
+		},
+		{
+			Base:   "FFT",
+			Name:   "radix4",
+			Effect: "half the stages with 3 twiddle multiplies per 4 points instead of 4",
+			Build:  BuildFFTRadix4,
+		},
+	}
+}
+
+// VariantByName resolves a variant as "BASE/name", e.g. "GMM/strassen".
+func VariantByName(key string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.Base+"/"+v.Name == key {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("workloads: unknown variant %q", key)
+}
+
+// matrix is a square grid of value nodes used by the Strassen builder.
+type matrix struct {
+	n     int
+	cells []dfg.NodeID
+}
+
+func newMatrix(n int) matrix { return matrix{n: n, cells: make([]dfg.NodeID, n*n)} }
+
+func (m matrix) at(i, j int) dfg.NodeID     { return m.cells[i*m.n+j] }
+func (m matrix) set(i, j int, v dfg.NodeID) { m.cells[i*m.n+j] = v }
+func (m matrix) quadrant(qi, qj int) matrix {
+	h := m.n / 2
+	out := newMatrix(h)
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			out.set(i, j, m.at(qi*h+i, qj*h+j))
+		}
+	}
+	return out
+}
+
+// elementwise applies op cell-by-cell to two equal-size matrices.
+func elementwise(g *dfg.Graph, op dfg.Op, a, b matrix) matrix {
+	out := newMatrix(a.n)
+	for i := range a.cells {
+		out.cells[i] = g.MustOp(op, a.cells[i], b.cells[i])
+	}
+	return out
+}
+
+// strassenMul multiplies two n×n matrices of value nodes with Strassen's
+// algorithm, recursing to scalar multiplies. n must be a power of two.
+func strassenMul(g *dfg.Graph, a, b matrix) matrix {
+	if a.n == 1 {
+		out := newMatrix(1)
+		out.cells[0] = g.MustOp(dfg.OpMul, a.cells[0], b.cells[0])
+		return out
+	}
+	a11, a12 := a.quadrant(0, 0), a.quadrant(0, 1)
+	a21, a22 := a.quadrant(1, 0), a.quadrant(1, 1)
+	b11, b12 := b.quadrant(0, 0), b.quadrant(0, 1)
+	b21, b22 := b.quadrant(1, 0), b.quadrant(1, 1)
+
+	m1 := strassenMul(g, elementwise(g, dfg.OpAdd, a11, a22), elementwise(g, dfg.OpAdd, b11, b22))
+	m2 := strassenMul(g, elementwise(g, dfg.OpAdd, a21, a22), b11)
+	m3 := strassenMul(g, a11, elementwise(g, dfg.OpSub, b12, b22))
+	m4 := strassenMul(g, a22, elementwise(g, dfg.OpSub, b21, b11))
+	m5 := strassenMul(g, elementwise(g, dfg.OpAdd, a11, a12), b22)
+	m6 := strassenMul(g, elementwise(g, dfg.OpSub, a21, a11), elementwise(g, dfg.OpAdd, b11, b12))
+	m7 := strassenMul(g, elementwise(g, dfg.OpSub, a12, a22), elementwise(g, dfg.OpAdd, b21, b22))
+
+	c11 := elementwise(g, dfg.OpAdd, elementwise(g, dfg.OpSub, elementwise(g, dfg.OpAdd, m1, m4), m5), m7)
+	c12 := elementwise(g, dfg.OpAdd, m3, m5)
+	c21 := elementwise(g, dfg.OpAdd, m2, m4)
+	c22 := elementwise(g, dfg.OpAdd, elementwise(g, dfg.OpAdd, elementwise(g, dfg.OpSub, m1, m2), m3), m6)
+
+	out := newMatrix(a.n)
+	h := a.n / 2
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			out.set(i, j, c11.at(i, j))
+			out.set(i, j+h, c12.at(i, j))
+			out.set(i+h, j, c21.at(i, j))
+			out.set(i+h, j+h, c22.at(i, j))
+		}
+	}
+	return out
+}
+
+// BuildGMMStrassen builds n×n matrix multiplication via Strassen's
+// algorithm: n^log2(7) ≈ n^2.81 multiplies instead of n³, at the price of
+// extra additions and a deeper recombination network. n is rounded up to a
+// power of two; default 8.
+func BuildGMMStrassen(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 8)
+	if n < 2 {
+		n = 2
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	g := dfg.New("GMM/strassen")
+	a := newMatrix(n)
+	b := newMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.set(i, j, g.AddInput(fmt.Sprintf("a%d_%d", i, j)))
+			b.set(i, j, g.AddInput(fmt.Sprintf("b%d_%d", i, j)))
+		}
+	}
+	c := strassenMul(g, a, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.MustOutput(fmt.Sprintf("c%d_%d", i, j), c.at(i, j))
+		}
+	}
+	return finish(g)
+}
+
+// BuildS2DWinograd builds the 2D stencil as a Winograd F(2×2, 3×3)
+// convolution: the n×n interior (n rounded up to even) is covered by 2×2
+// output tiles, each computed from a 4×4 input tile with 16 elementwise
+// multiplies — against 36 for the direct form — plus input/output
+// transform additions. Default n = 8.
+func BuildS2DWinograd(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 8)
+	if n%2 == 1 {
+		n++
+	}
+	g := dfg.New("S2D/winograd")
+	grid := make([][]dfg.NodeID, n+2)
+	for i := range grid {
+		grid[i] = make([]dfg.NodeID, n+2)
+		for j := range grid[i] {
+			grid[i][j] = g.AddInput(fmt.Sprintf("g%d_%d", i, j))
+		}
+	}
+	// Transformed filter: 16 values, supplied as inputs (the filter
+	// transform G·g·Gᵀ is computed once offline, as Winograd deployments
+	// do).
+	filter := make([]dfg.NodeID, 16)
+	for i := range filter {
+		filter[i] = g.AddInput(fmt.Sprintf("u%d", i))
+	}
+	for ti := 0; ti < n; ti += 2 {
+		for tj := 0; tj < n; tj += 2 {
+			// 4x4 input tile d.
+			var d [4][4]dfg.NodeID
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					d[i][j] = grid[ti+i][tj+j]
+				}
+			}
+			// Input transform V = Bᵀ·d·B with
+			// Bᵀ = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]: rows first.
+			var rows [4][4]dfg.NodeID
+			for j := 0; j < 4; j++ {
+				rows[0][j] = g.MustOp(dfg.OpSub, d[0][j], d[2][j])
+				rows[1][j] = g.MustOp(dfg.OpAdd, d[1][j], d[2][j])
+				rows[2][j] = g.MustOp(dfg.OpSub, d[2][j], d[1][j])
+				rows[3][j] = g.MustOp(dfg.OpSub, d[1][j], d[3][j])
+			}
+			var v [4][4]dfg.NodeID
+			for i := 0; i < 4; i++ {
+				v[i][0] = g.MustOp(dfg.OpSub, rows[i][0], rows[i][2])
+				v[i][1] = g.MustOp(dfg.OpAdd, rows[i][1], rows[i][2])
+				v[i][2] = g.MustOp(dfg.OpSub, rows[i][2], rows[i][1])
+				v[i][3] = g.MustOp(dfg.OpSub, rows[i][1], rows[i][3])
+			}
+			// Elementwise product M = U ⊙ V: the 16 multiplies.
+			var m [4][4]dfg.NodeID
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					m[i][j] = g.MustOp(dfg.OpMul, v[i][j], filter[i*4+j])
+				}
+			}
+			// Output transform Y = Aᵀ·M·A with Aᵀ = [1 1 1 0; 0 1 -1 -1].
+			var half [2][4]dfg.NodeID
+			for j := 0; j < 4; j++ {
+				s01 := g.MustOp(dfg.OpAdd, m[0][j], m[1][j])
+				half[0][j] = g.MustOp(dfg.OpAdd, s01, m[2][j])
+				s12 := g.MustOp(dfg.OpSub, m[1][j], m[2][j])
+				half[1][j] = g.MustOp(dfg.OpSub, s12, m[3][j])
+			}
+			for i := 0; i < 2; i++ {
+				s01 := g.MustOp(dfg.OpAdd, half[i][0], half[i][1])
+				y0 := g.MustOp(dfg.OpAdd, s01, half[i][2])
+				s12 := g.MustOp(dfg.OpSub, half[i][1], half[i][2])
+				y1 := g.MustOp(dfg.OpSub, s12, half[i][3])
+				g.MustOutput(fmt.Sprintf("o%d_%d", ti+i, tj), y0)
+				g.MustOutput(fmt.Sprintf("o%d_%d", ti+i, tj+1), y1)
+			}
+		}
+	}
+	return finish(g)
+}
+
+// BuildFFTRadix4 builds an n-point radix-4 decimation-in-time FFT:
+// log4(n) stages of n/4 dragonflies, each combining four points with three
+// twiddle multiplies and eight add/sub operations — 25% fewer multiplies
+// than radix-2. n is rounded up to a power of four; default 64.
+func BuildFFTRadix4(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 64)
+	if n < 4 {
+		n = 4
+	}
+	// Round up to a power of 4.
+	for n&(n-1) != 0 || bits.TrailingZeros(uint(n))%2 != 0 {
+		n++
+		n = 1 << bits.Len(uint(n-1))
+	}
+	g := dfg.New("FFT/radix4")
+	vals := make([]dfg.NodeID, n)
+	for i := range vals {
+		vals[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	tw := g.AddInput("twiddles")
+	stages := bits.TrailingZeros(uint(n)) / 2
+	for s := 0; s < stages; s++ {
+		quarter := 1 << (2 * s)
+		next := make([]dfg.NodeID, n)
+		for base := 0; base < n; base += quarter * 4 {
+			for k := 0; k < quarter; k++ {
+				p0 := vals[base+k]
+				// Three twiddle multiplies (the DC leg needs none).
+				p1 := g.MustOp(dfg.OpMul, vals[base+k+quarter], tw)
+				p2 := g.MustOp(dfg.OpMul, vals[base+k+2*quarter], tw)
+				p3 := g.MustOp(dfg.OpMul, vals[base+k+3*quarter], tw)
+				// Dragonfly recombination: eight add/sub operations.
+				s02 := g.MustOp(dfg.OpAdd, p0, p2)
+				d02 := g.MustOp(dfg.OpSub, p0, p2)
+				s13 := g.MustOp(dfg.OpAdd, p1, p3)
+				d13 := g.MustOp(dfg.OpSub, p1, p3)
+				next[base+k] = g.MustOp(dfg.OpAdd, s02, s13)
+				next[base+k+quarter] = g.MustOp(dfg.OpAdd, d02, d13)
+				next[base+k+2*quarter] = g.MustOp(dfg.OpSub, s02, s13)
+				next[base+k+3*quarter] = g.MustOp(dfg.OpSub, d02, d13)
+			}
+		}
+		vals = next
+	}
+	for i, v := range vals {
+		g.MustOutput(fmt.Sprintf("X%d", i), v)
+	}
+	return finish(g)
+}

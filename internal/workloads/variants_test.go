@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"accelwall/internal/dfg"
+)
+
+func TestVariantsRegistry(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 3 {
+		t.Fatalf("variants = %d, want 3", len(vs))
+	}
+	for _, v := range vs {
+		if _, err := ByAbbrev(v.Base); err != nil {
+			t.Errorf("variant %s/%s has unknown base: %v", v.Base, v.Name, err)
+		}
+		if v.Effect == "" {
+			t.Errorf("variant %s/%s missing effect description", v.Base, v.Name)
+		}
+	}
+	if _, err := VariantByName("GMM/strassen"); err != nil {
+		t.Errorf("VariantByName: %v", err)
+	}
+	if _, err := VariantByName("GMM/nope"); err == nil {
+		t.Error("unknown variant should error")
+	}
+}
+
+func TestVariantsValidate(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.Base+"/"+v.Name, func(t *testing.T) {
+			g, err := v.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Tiny sizes clamp safely too.
+			small, err := v.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := small.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// mulCount returns the multiply count of a kernel build.
+func mulCount(t *testing.T, build func(int) (*dfg.Graph, error), n int) int {
+	t.Helper()
+	g, err := build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.OpMix()[dfg.OpMul]
+}
+
+// Strassen's whole point: asymptotically fewer multiplies. At n=8:
+// 7³ = 343 vs 8³ = 512.
+func TestStrassenMultiplyCount(t *testing.T) {
+	direct := mulCount(t, BuildGMM, 8)
+	strassen := mulCount(t, BuildGMMStrassen, 8)
+	if direct != 512 {
+		t.Errorf("direct GMM(8) multiplies = %d, want 512", direct)
+	}
+	if strassen != 343 {
+		t.Errorf("Strassen GMM(8) multiplies = %d, want 343 (7³)", strassen)
+	}
+	// The trade: more additions.
+	gd, _ := BuildGMM(8)
+	gs, _ := BuildGMMStrassen(8)
+	addsDirect := gd.OpMix()[dfg.OpAdd] + gd.OpMix()[dfg.OpSub]
+	addsStrassen := gs.OpMix()[dfg.OpAdd] + gs.OpMix()[dfg.OpSub]
+	if addsStrassen <= addsDirect {
+		t.Errorf("Strassen adds (%d) should exceed direct adds (%d)", addsStrassen, addsDirect)
+	}
+}
+
+// Winograd F(2x2,3x3): 16 multiplies per 2x2 output tile vs 36 direct.
+func TestWinogradMultiplyCount(t *testing.T) {
+	n := 8
+	direct := mulCount(t, BuildS2D, n)
+	winograd := mulCount(t, BuildS2DWinograd, n)
+	wantDirect := n * n * 9
+	wantWinograd := (n / 2) * (n / 2) * 16
+	if direct != wantDirect {
+		t.Errorf("direct stencil multiplies = %d, want %d", direct, wantDirect)
+	}
+	if winograd != wantWinograd {
+		t.Errorf("Winograd multiplies = %d, want %d", winograd, wantWinograd)
+	}
+	if float64(winograd)/float64(direct) > 0.5 {
+		t.Errorf("Winograd should use < half the multiplies (%d vs %d)", winograd, direct)
+	}
+}
+
+// Radix-4 FFT: 25% fewer twiddle multiplies than radix-2.
+func TestRadix4MultiplyCount(t *testing.T) {
+	n := 64
+	r2 := mulCount(t, BuildFFT, n)
+	r4 := mulCount(t, BuildFFTRadix4, n)
+	// radix-2: (n/2)·log2(n) = 192; radix-4: 3·(n/4)·log4(n) = 144.
+	if r2 != 192 {
+		t.Errorf("radix-2 multiplies = %d, want 192", r2)
+	}
+	if r4 != 144 {
+		t.Errorf("radix-4 multiplies = %d, want 144", r4)
+	}
+}
+
+// Variants compute over the same IO signature as their base kernels.
+func TestVariantIOSignatures(t *testing.T) {
+	cases := []struct {
+		base    func(int) (*dfg.Graph, error)
+		variant func(int) (*dfg.Graph, error)
+		n       int
+		// extraInputs the variant legitimately adds (e.g. the transformed
+		// Winograd filter replaces the single coefficient input).
+		outMustMatch bool
+	}{
+		{BuildGMM, BuildGMMStrassen, 8, true},
+		{BuildS2D, BuildS2DWinograd, 8, true},
+		{BuildFFT, BuildFFTRadix4, 64, true},
+	}
+	for _, tc := range cases {
+		gb, err := tc.base(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, err := tc.variant(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, sv := gb.ComputeStats(), gv.ComputeStats()
+		if tc.outMustMatch && sb.VOut != sv.VOut {
+			t.Errorf("%s vs %s: outputs %d vs %d", gb.Name, gv.Name, sb.VOut, sv.VOut)
+		}
+	}
+}
+
+func TestRadix4RoundsUpToPowerOfFour(t *testing.T) {
+	g, err := BuildFFTRadix4(20) // rounds up to 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ComputeStats().VOut; got != 64 {
+		t.Errorf("FFTRadix4(20) outputs = %d, want 64", got)
+	}
+	g, err = BuildFFTRadix4(16) // already a power of four
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ComputeStats().VOut; got != 16 {
+		t.Errorf("FFTRadix4(16) outputs = %d, want 16", got)
+	}
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"testing"
+
+	"accelwall/internal/dfg"
+)
+
+func TestAllSixteenApplications(t *testing.T) {
+	specs := All()
+	if len(specs) != 16 {
+		t.Fatalf("Table IV lists 16 applications, got %d", len(specs))
+	}
+	want := []string{"AES", "BFS", "FFT", "GMM", "MDY", "KNN", "NWN", "RBM",
+		"RED", "SAD", "SRT", "SMV", "SSP", "S2D", "S3D", "TRD"}
+	for i, s := range specs {
+		if s.Abbrev != want[i] {
+			t.Errorf("spec %d = %q, want %q", i, s.Abbrev, want[i])
+		}
+		if s.Name == "" || s.Domain == "" || s.Build == nil {
+			t.Errorf("spec %q incomplete: %+v", s.Abbrev, s)
+		}
+	}
+}
+
+func TestByAbbrev(t *testing.T) {
+	s, err := ByAbbrev("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Domain != "Signal Processing" {
+		t.Errorf("FFT domain = %q", s.Domain)
+	}
+	if _, err := ByAbbrev("NOPE"); err == nil {
+		t.Error("unknown abbrev should error")
+	}
+}
+
+// Every kernel's default build must validate and have the structural
+// profile of a real computation: inputs, outputs, computation nodes, and a
+// depth of at least three (input -> compute -> output).
+func TestDefaultBuildsValidate(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Abbrev, func(t *testing.T) {
+			g, err := spec.Build(0)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			s := g.ComputeStats()
+			if s.VIn == 0 || s.VOut == 0 || s.VCmp == 0 {
+				t.Errorf("degenerate structure: %+v", s)
+			}
+			if s.Depth < 3 {
+				t.Errorf("depth = %d, want >= 3", s.Depth)
+			}
+			if s.Paths < 1 {
+				t.Errorf("paths = %g, want >= 1", s.Paths)
+			}
+		})
+	}
+}
+
+// Builds must scale: a larger problem size yields at least as many
+// computation nodes (strictly more for every kernel here).
+func TestBuildsScaleWithSize(t *testing.T) {
+	sizes := map[string][2]int{
+		"AES": {2, 4}, "BFS": {16, 64}, "FFT": {16, 64}, "GMM": {4, 8},
+		"MDY": {10, 20}, "KNN": {16, 64}, "NWN": {6, 12}, "RBM": {8, 16},
+		"RED": {64, 256}, "SAD": {8, 16}, "SRT": {16, 32}, "SMV": {16, 32},
+		"SSP": {16, 32}, "S2D": {4, 8}, "S3D": {3, 5}, "TRD": {32, 128},
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Abbrev, func(t *testing.T) {
+			sz := sizes[spec.Abbrev]
+			small, err := spec.Build(sz[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			large, err := spec.Build(sz[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, lc := small.ComputeStats().VCmp, large.ComputeStats().VCmp
+			if lc <= sc {
+				t.Errorf("size %d -> %d compute nodes, size %d -> %d; expected growth",
+					sz[0], sc, sz[1], lc)
+			}
+		})
+	}
+}
+
+// Structural signatures distinguishing the kernels: these pin down that
+// each builder produces its algorithm's characteristic shape, not a generic
+// graph.
+func TestKernelSignatures(t *testing.T) {
+	stats := func(abbrev string, n int) dfg.Stats {
+		spec, err := ByAbbrev(abbrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.ComputeStats()
+	}
+
+	// RED over 256 values: depth is logarithmic (8 add levels + io).
+	red := stats("RED", 256)
+	if red.Depth != 10 {
+		t.Errorf("RED depth = %d, want 10 (log2(256) add levels + input + output)", red.Depth)
+	}
+	if red.VCmp != 255 {
+		t.Errorf("RED compute nodes = %d, want 255", red.VCmp)
+	}
+
+	// TRD is shallow regardless of width: load -> mul -> add -> store.
+	trd64 := stats("TRD", 64)
+	trd512 := stats("TRD", 512)
+	if trd64.Depth != trd512.Depth {
+		t.Errorf("TRD depth changed with width: %d vs %d", trd64.Depth, trd512.Depth)
+	}
+	if trd512.VCmp != 512*5 {
+		t.Errorf("TRD compute nodes = %d, want %d", trd512.VCmp, 512*5)
+	}
+
+	// NWN is deep: the wavefront serializes, so depth grows linearly in n.
+	nwn6 := stats("NWN", 6)
+	nwn12 := stats("NWN", 12)
+	if nwn12.Depth <= nwn6.Depth+5 {
+		t.Errorf("NWN depth did not grow linearly: %d -> %d", nwn6.Depth, nwn12.Depth)
+	}
+
+	// GMM n=8: 64 outputs, n³ = 512 multiplies.
+	gmm := stats("GMM", 8)
+	if gmm.VOut != 64 {
+		t.Errorf("GMM outputs = %d, want 64", gmm.VOut)
+	}
+
+	// FFT rounds non-power-of-two sizes up.
+	fft20 := stats("FFT", 20)
+	fft32 := stats("FFT", 32)
+	if fft20.VCmp != fft32.VCmp {
+		t.Errorf("FFT(20) should round to FFT(32): %d vs %d compute nodes", fft20.VCmp, fft32.VCmp)
+	}
+
+	// AES is deep (10 rounds of 4 sequential layers) and its depth does
+	// not depend on block count.
+	aes2 := stats("AES", 2)
+	aes8 := stats("AES", 8)
+	if aes2.Depth != aes8.Depth {
+		t.Errorf("AES depth varies with block count: %d vs %d", aes2.Depth, aes8.Depth)
+	}
+	if aes2.Depth < 40 {
+		t.Errorf("AES depth = %d, want >= 40 (10 rounds x 4 layers)", aes2.Depth)
+	}
+}
+
+// The maximum working set bounds the useful partitioning factor (Table II);
+// the wide kernels must expose much more parallelism than the serial ones.
+func TestParallelismProfile(t *testing.T) {
+	maxWS := func(abbrev string) int {
+		spec, _ := ByAbbrev(abbrev)
+		g, err := spec.Build(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.ComputeStats().MaxWS
+	}
+	if wide, narrow := maxWS("GMM"), maxWS("NWN"); wide <= narrow {
+		t.Errorf("GMM max|WS| (%d) should exceed NWN's (%d)", wide, narrow)
+	}
+	if wide, narrow := maxWS("TRD"), maxWS("AES"); wide <= narrow {
+		t.Errorf("TRD max|WS| (%d) should exceed AES's (%d)", wide, narrow)
+	}
+}
+
+func TestTinySizesClampSafely(t *testing.T) {
+	for _, spec := range All() {
+		g, err := spec.Build(1)
+		if err != nil {
+			t.Errorf("%s: build(1): %v", spec.Abbrev, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: build(1) invalid: %v", spec.Abbrev, err)
+		}
+	}
+}
