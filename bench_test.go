@@ -74,8 +74,29 @@ func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9a") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
-func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
 func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable3 runs the full Table III design-space sweep (all 3,640
+// grid points, deduplicated onto the partition plateau) on the 3D-stencil
+// kernel — the headline Section VI exploration cost that the compiled-graph
+// engine amortizes.
+func BenchmarkTable3(b *testing.B) {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sweep.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunParallel(g, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
 func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
@@ -130,7 +151,9 @@ func BenchmarkBudgetFitSizes(b *testing.B) {
 }
 
 // BenchmarkSimulate measures the Aladdin-style scheduler on every Table IV
-// workload at its default size and a mid-grade design point.
+// workload at its default size and a mid-grade design point, through the
+// compiled path: the graph is compiled once outside the loop, the way a
+// design-space sweep evaluates it.
 func BenchmarkSimulate(b *testing.B) {
 	d := aladdin.Design{NodeNM: 16, Partition: 64, Simplification: 4, Fusion: true}
 	for _, spec := range workloads.All() {
@@ -140,9 +163,37 @@ func BenchmarkSimulate(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			c, err := aladdin.Compile(g)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := aladdin.Simulate(g, d); err != nil {
+				if _, err := c.Simulate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the one-time per-graph analysis that
+// Compiled.Simulate amortizes across a sweep's design points.
+func BenchmarkCompile(b *testing.B) {
+	for _, abbrev := range []string{"RED", "FFT", "S3D", "AES"} {
+		abbrev := abbrev
+		b.Run(abbrev, func(b *testing.B) {
+			spec, err := workloads.ByAbbrev(abbrev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := spec.Build(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := aladdin.Compile(g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -162,6 +213,10 @@ func BenchmarkAladdinFusion(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	c, err := aladdin.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, fusion := range []bool{false, true} {
 		fusion := fusion
 		name := "off"
@@ -171,7 +226,7 @@ func BenchmarkAladdinFusion(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var cycles int
 			for i := 0; i < b.N; i++ {
-				r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 7, Partition: 4096, Simplification: 1, Fusion: fusion})
+				r, err := c.Simulate(aladdin.Design{NodeNM: 7, Partition: 4096, Simplification: 1, Fusion: fusion})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -327,10 +382,14 @@ func BenchmarkAlgorithmVariants(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		c, err := aladdin.Compile(g)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var cycles int
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			r, err := aladdin.Simulate(g, d)
+			r, err := c.Simulate(d)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -359,9 +418,13 @@ func BenchmarkDomainKernels(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			c, err := aladdin.Compile(g)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := aladdin.Simulate(g, d); err != nil {
+				if _, err := c.Simulate(d); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -381,16 +444,20 @@ func BenchmarkScheduleTrace(b *testing.B) {
 		b.Fatal(err)
 	}
 	d := aladdin.Design{NodeNM: 16, Partition: 32, Simplification: 1, Fusion: true}
+	c, err := aladdin.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("simulate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := aladdin.Simulate(g, d); err != nil {
+			if _, err := c.Simulate(d); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("trace+validate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sched, err := aladdin.Trace(g, d)
+			sched, err := c.Trace(d)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -33,8 +33,12 @@ func main() {
 	fmt.Println("== Miner design points across CMOS nodes (hash engine at 1 GHz ref clock) ==")
 	fmt.Println("   (newer nodes chain more logic per cycle, so cycles fall with the node)")
 	fmt.Printf("%-6s %-10s %-10s %-12s %-12s\n", "node", "partition", "cycles", "energy", "hashes/ns")
+	compiled, err := aladdin.Compile(g) // one analysis, six design points
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, node := range []float64{130, 55, 28, 16, 7, 5} {
-		r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: node, Partition: 512, Simplification: 2, Fusion: true})
+		r, err := compiled.Simulate(aladdin.Design{NodeNM: node, Partition: 512, Simplification: 2, Fusion: true})
 		if err != nil {
 			log.Fatal(err)
 		}

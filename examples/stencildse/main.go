@@ -41,15 +41,19 @@ func main() {
 	// the full 20x13x7x2 grid).
 	params := sweep.Reduced()
 	fmt.Println("\n== Partitioning sweep at 45nm (the Figure 13 runtime axis) ==")
+	compiled, err := aladdin.Compile(g) // one analysis, all partition points
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, p := range []int{1, 16, 256, 4096, 65536} {
-		r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 45, Partition: p, Simplification: 1})
+		r, err := compiled.Simulate(aladdin.Design{NodeNM: 45, Partition: p, Simplification: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("partition %6d: %5d cycles, power %7.3f, energy %8.1f\n", p, r.Cycles, r.Power, r.Energy)
 	}
 
-	_, best, err := sweep.Fig13(g, params)
+	_, best, err := sweep.Fig13(g, params, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

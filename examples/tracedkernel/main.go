@@ -54,7 +54,11 @@ func main() {
 		s.V, s.E, s.Depth)
 
 	fmt.Println("== Schedule at a mid-grade design point ==")
-	sched, err := aladdin.Trace(g, aladdin.Design{NodeNM: 16, Partition: 16, Simplification: 2, Fusion: true})
+	compiled, err := aladdin.Compile(g) // one analysis for the trace and the bank sweep
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := compiled.Trace(aladdin.Design{NodeNM: 16, Partition: 16, Simplification: 2, Fusion: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +70,7 @@ func main() {
 
 	fmt.Println("\n== Memory banking matters for this kernel ==")
 	for _, banks := range []int{1, 4, 16} {
-		r, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 16, Partition: 64, Simplification: 1, MemoryBanks: banks})
+		r, err := compiled.Simulate(aladdin.Design{NodeNM: 16, Partition: 64, Simplification: 1, MemoryBanks: banks})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,7 +30,6 @@
 package aladdin
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -176,255 +175,17 @@ func (q *readyQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *
 // Simulate schedules the graph onto the design point and returns the
 // pre-RTL estimates. The graph must be valid (workload builders guarantee
 // this); the design is validated here.
+//
+// Simulate is a compatibility wrapper that compiles the graph on every
+// call. Sweeps that evaluate many design points on one graph should call
+// Compile once and use Compiled.Simulate, which amortizes the graph
+// analysis and reuses pooled scheduling buffers across points.
 func Simulate(g *dfg.Graph, d Design) (Result, error) {
-	res, _, err := simulate(g, d, false)
-	return res, err
-}
-
-// simulate is the shared scheduling core behind Simulate and Trace; with
-// capture set it records per-operation slots.
-func simulate(g *dfg.Graph, d Design, capture bool) (Result, []OpSlot, error) {
-	if g == nil {
-		return Result{}, nil, errors.New("aladdin: nil graph")
+	c, err := Compile(g)
+	if err != nil {
+		return Result{}, err
 	}
-	if err := d.Validate(); err != nil {
-		return Result{}, nil, err
-	}
-	if d.ClockGHz == 0 {
-		d.ClockGHz = 1
-	}
-	node := cmos.MustLookup(d.NodeNM)
-	window := fusionWindow(node, d.Fusion)
-	extra := extraLatency(d.Simplification)
-	banks := d.MemoryBanks
-	if banks == 0 {
-		banks = d.Partition
-	}
-
-	nodes := g.Nodes()
-	n := len(nodes)
-	latency := make([]int, n)
-	for _, nd := range nodes {
-		if nd.Op.IsCompute() {
-			latency[nd.ID] = nd.Op.Latency() + extra
-		}
-	}
-	// Critical-path priorities: longest downstream latency sum, computed in
-	// reverse topological order.
-	prio := make([]int, n)
-	for i := n - 1; i >= 0; i-- {
-		id := nodes[i].ID
-		best := 0
-		for _, s := range g.Succs(id) {
-			if p := prio[s]; p > best {
-				best = p
-			}
-		}
-		prio[id] = best + latency[id]
-	}
-
-	start := make([]int, n)
-	finish := make([]int, n)
-	chain := make([]int, n) // chained ops executed in the same cycle so far
-	pendingPreds := make([]int, n)
-	scheduled := make([]bool, n)
-	var q readyQueue
-	for _, nd := range nodes {
-		pendingPreds[nd.ID] = len(g.Preds(nd.ID))
-	}
-	for _, nd := range nodes {
-		if pendingPreds[nd.ID] != 0 {
-			continue
-		}
-		// Inputs are available at cycle 0.
-		scheduled[nd.ID] = true
-		start[nd.ID], finish[nd.ID], chain[nd.ID] = 0, 0, 0
-		for _, s := range g.Succs(nd.ID) {
-			pendingPreds[s]--
-			if pendingPreds[s] == 0 {
-				heap.Push(&q, item{id: s, earliest: 0, priority: prio[s]})
-			}
-		}
-	}
-
-	// release computes the issue constraints of an op whose operands are
-	// all scheduled: the earliest cycle it can issue normally, and — when
-	// chaining applies — the cycle and chain depth it could ride.
-	cheap := func(id dfg.NodeID) bool {
-		return nodes[id].Op.IsCompute() && nodes[id].Op.Latency() == 1
-	}
-
-	maxCycle := 0
-	issuedAt := make(map[int]int)    // cycle -> lanes used
-	memIssuedAt := make(map[int]int) // cycle -> memory bank ports used
-	issuedOps := 0
-	fusedOps := 0
-
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(item)
-		id := it.id
-		if nodes[id].Op == dfg.OpOutput {
-			// Outputs materialize when their producer finishes; no lane use.
-			p := g.Preds(id)[0]
-			start[id], finish[id] = finish[p], finish[p]
-			scheduled[id] = true
-			if finish[id] > maxCycle {
-				maxCycle = finish[id]
-			}
-			continue
-		}
-		// Earliest normal issue: all operand values available.
-		earliest := 0
-		for _, p := range g.Preds(id) {
-			if finish[p] > earliest {
-				earliest = finish[p]
-			}
-		}
-		// Chaining (heterogeneity): a cheap op may issue in the same cycle
-		// as cheap predecessors — a combinational cascade — provided every
-		// operand is either already finished by that cycle or is itself a
-		// same-cycle chain link, and the total cascade depth stays within
-		// the node's window. Deep-pipelined designs (extra latency) cannot
-		// chain: their units are registered.
-		chained := false
-		issue := earliest
-		if window > 1 && cheap(id) && extra == 0 {
-			// Candidate cycle: treat chain-eligible cheap operands as
-			// available at their start cycle rather than their finish.
-			candidate := 0
-			for _, p := range g.Preds(id) {
-				a := finish[p]
-				if cheap(p) && chain[p]+1 < window {
-					a = start[p]
-				}
-				if a > candidate {
-					candidate = a
-				}
-			}
-			if candidate < earliest {
-				pos, feasible := 0, true
-				for _, p := range g.Preds(id) {
-					switch {
-					case finish[p] <= candidate:
-						// Operand ready before the cycle starts.
-					case start[p] == candidate && cheap(p) && chain[p]+1 < window:
-						if chain[p]+1 > pos {
-							pos = chain[p] + 1
-						}
-					default:
-						feasible = false
-					}
-				}
-				if feasible && pos > 0 {
-					chained = true
-					issue = candidate
-					chain[id] = pos
-				}
-			}
-		}
-		isMem := nodes[id].Op == dfg.OpLoad || nodes[id].Op == dfg.OpStore
-		if !chained {
-			// Find a cycle at or after earliest with a free lane — and,
-			// for memory operations, a free bank port.
-			for issuedAt[issue] >= d.Partition || (isMem && memIssuedAt[issue] >= banks) {
-				issue++
-			}
-			issuedAt[issue]++
-			if isMem {
-				memIssuedAt[issue]++
-			}
-			chain[id] = 0
-		} else {
-			fusedOps++
-		}
-		issuedOps++
-		start[id] = issue
-		if chained {
-			// A chained op completes within the shared cycle.
-			finish[id] = issue + 1
-		} else {
-			finish[id] = issue + latency[id]
-		}
-		scheduled[id] = true
-		if finish[id] > maxCycle {
-			maxCycle = finish[id]
-		}
-		for _, s := range g.Succs(id) {
-			pendingPreds[s]--
-			if pendingPreds[s] == 0 {
-				heap.Push(&q, item{id: s, earliest: finish[id], priority: prio[s]})
-			}
-		}
-	}
-	for i := range scheduled {
-		if !scheduled[i] {
-			return Result{}, nil, fmt.Errorf("aladdin: scheduler failed to place vertex %d (graph not validated?)", i)
-		}
-	}
-	if maxCycle < 1 {
-		maxCycle = 1
-	}
-
-	// Energy, area, power from the schedule.
-	eScale := energyScale(d.Simplification) * node.DynEnergy()
-	var dynEnergy float64
-	for _, nd := range nodes {
-		if !nd.Op.IsCompute() {
-			continue
-		}
-		e := nd.Op.Energy() * eScale
-		if chain[nd.ID] > 0 {
-			e *= fusedEnergyScale
-		}
-		dynEnergy += e
-	}
-	stats := g.ComputeStats()
-	// Lane area: each lane carries the workload's average functional-unit
-	// mix; storage covers the largest working set.
-	var mixArea float64
-	if stats.VCmp > 0 {
-		mixArea = g.TotalArea() / float64(stats.VCmp)
-	}
-	area := (float64(d.Partition)*mixArea + float64(banks)*bankArea + float64(stats.MaxWS)*regArea) * areaScale(d.Simplification)
-
-	cycleNS := 1 / (d.ClockGHz * node.Freq)
-	runtime := float64(maxCycle) * cycleNS
-	leakEnergy := leakPerAreaNS * area * node.LeakPower() * runtime
-	energy := dynEnergy + leakEnergy
-
-	util := 0.0
-	if maxCycle > 0 && d.Partition > 0 {
-		util = float64(issuedOps-fusedOps) / (float64(d.Partition) * float64(maxCycle))
-	}
-
-	var slots []OpSlot
-	if capture {
-		slots = make([]OpSlot, 0, issuedOps)
-		for _, nd := range nodes {
-			if !nd.Op.IsCompute() {
-				continue
-			}
-			slots = append(slots, OpSlot{
-				ID:      nd.ID,
-				Op:      nd.Op,
-				Start:   start[nd.ID],
-				Finish:  finish[nd.ID],
-				Chained: chain[nd.ID] > 0,
-			})
-		}
-	}
-	return Result{
-		Design:      d,
-		Cycles:      maxCycle,
-		RuntimeNS:   runtime,
-		DynEnergy:   dynEnergy,
-		LeakEnergy:  leakEnergy,
-		Energy:      energy,
-		Power:       energy / runtime,
-		Area:        area,
-		Utilization: util,
-		FusedOps:    fusedOps,
-	}, slots, nil
+	return c.Simulate(d)
 }
 
 // CriticalPathCycles returns the schedule-independent lower bound on cycles

@@ -1,0 +1,574 @@
+package aladdin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"accelwall/internal/cmos"
+	"accelwall/internal/dfg"
+)
+
+// pitem is a ready-heap entry with the scheduler's three-way ordering
+// (earliest asc, priority desc, id asc) packed into one uint64: the high 32
+// bits hold the earliest issue cycle and the low 32 bits the node's rank in
+// the per-class (priority desc, id asc) total order. A single integer
+// compare then reproduces readyQueue.Less exactly; Compile rejects graphs
+// whose worst-case schedule length could overflow the 32-bit cycle field.
+type pitem struct {
+	key uint64
+	id  int32
+}
+
+// pushP inserts an item, maintaining the min-heap invariant of a 4-ary
+// heap (children of i at 4i+1..4i+4): half the depth of a binary heap,
+// which matters because each sift level is a likely cache miss on large
+// ready sets. The hand-rolled heap avoids container/heap's interface
+// boxing on every insert; because the key order is total (ranks are
+// unique), the pop sequence is independent of heap shape and identical to
+// container/heap's over readyQueue.
+func pushP(h []pitem, it pitem) []pitem {
+	h = append(h, it)
+	j := len(h) - 1
+	for j > 0 {
+		parent := (j - 1) / 4
+		if h[parent].key <= it.key {
+			break
+		}
+		h[j] = h[parent]
+		j = parent
+	}
+	h[j] = it
+	return h
+}
+
+// popP removes the minimum item and returns its node id.
+func popP(h []pitem) ([]pitem, int32) {
+	n := len(h) - 1
+	top := h[0].id
+	it := h[n]
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			l := 4*i + 1
+			if l >= n {
+				break
+			}
+			j, k := l, h[l].key
+			hi := l + 4
+			if hi > n {
+				hi = n
+			}
+			for m := l + 1; m < hi; m++ {
+				if h[m].key < k {
+					j, k = m, h[m].key
+				}
+			}
+			if k >= it.key {
+				break
+			}
+			h[i] = h[j]
+			i = j
+		}
+		h[i] = it
+	}
+	return h, top
+}
+
+// numExtraClasses is the number of distinct pipeline-depth penalties over
+// the legal simplification range 1..MaxSimplification. It mirrors the
+// integer division in extraLatency; TestExtraClassesCoverRange pins the two
+// together.
+const numExtraClasses = (MaxSimplification-1)/4 + 1
+
+// Compiled is the per-graph compiled simulation state: every invariant the
+// scheduler needs that does not depend on the design point, precomputed
+// once so a design-space sweep pays for graph analysis a single time
+// instead of once per design.
+//
+// The precomputed state is a flat CSR-style adjacency (predecessor and
+// successor index slices instead of per-node slice-of-slice walks), per-op
+// cost metadata, the graph statistics that feed the area model, and — built
+// lazily per pipeline-depth class — the longest-downstream-path priorities
+// of the list scheduler. Per-call scratch buffers (ready heap, finish-time,
+// chain-depth, and lane-occupancy arrays) are pooled and reused, so a
+// Simulate call performs zero graph traversal and, in steady state, zero
+// per-node allocation.
+//
+// A Compiled is immutable after Compile and safe for concurrent use by any
+// number of goroutines; the underlying graph must not be mutated once
+// compiled.
+type Compiled struct {
+	name string
+	n    int
+
+	// CSR adjacency: the predecessors of node i are
+	// preds[predStart[i]:predStart[i+1]], in the same order the builder
+	// recorded them (the scheduler's tie-breaking depends on that order).
+	predStart []int32
+	preds     []int32
+	succStart []int32
+	succs     []int32
+
+	ops       []dfg.Op
+	baseLat   []int32   // Op.Latency() for compute nodes, 0 for structural
+	energy    []float64 // Op.Energy() for compute nodes, 0 for structural
+	isCompute []bool
+	isMem     []bool // load or store: consumes a memory bank port
+	cheap     []bool // single-cycle compute op: eligible for chaining
+
+	stats      dfg.Stats
+	mixArea    float64 // TotalArea / VCmp: average functional-unit mix per lane
+	numCompute int
+
+	// Critical-path priorities depend on the design only through the
+	// pipeline-depth penalty extraLatency(Simplification), which takes
+	// numExtraClasses distinct values; each class's array is computed once
+	// on first use. rank[e][i] is node i's position in the class's
+	// (priority desc, id asc) total order — the heap's packed tiebreaker.
+	prioOnce [numExtraClasses]sync.Once
+	prio     [numExtraClasses][]int32
+	rank     [numExtraClasses][]int32
+
+	pool sync.Pool // of *scratch
+}
+
+// scratch is the reusable per-simulation working memory.
+type scratch struct {
+	start     []int
+	finish    []int
+	chain     []int // chained ops executed in the same cycle so far
+	pending   []int // unscheduled predecessor count
+	scheduled []bool
+	queue     []pitem
+	lanes     []int // cycle -> datapath lanes used
+	memLanes  []int // cycle -> memory bank ports used
+}
+
+// Compile analyzes the graph once and returns the compiled engine. The
+// graph must be valid (workload builders guarantee this) and must not be
+// mutated afterwards.
+func Compile(g *dfg.Graph) (*Compiled, error) {
+	if g == nil {
+		return nil, errors.New("aladdin: nil graph")
+	}
+	nodes := g.Nodes()
+	n := len(nodes)
+	c := &Compiled{
+		name:      g.Name,
+		n:         n,
+		predStart: make([]int32, n+1),
+		succStart: make([]int32, n+1),
+		ops:       make([]dfg.Op, n),
+		baseLat:   make([]int32, n),
+		energy:    make([]float64, n),
+		isCompute: make([]bool, n),
+		isMem:     make([]bool, n),
+		cheap:     make([]bool, n),
+	}
+	maxLat := 0
+	for _, nd := range nodes {
+		c.ops[nd.ID] = nd.Op
+		if nd.Op.IsCompute() {
+			c.isCompute[nd.ID] = true
+			c.baseLat[nd.ID] = int32(nd.Op.Latency())
+			c.energy[nd.ID] = nd.Op.Energy()
+			c.isMem[nd.ID] = nd.Op == dfg.OpLoad || nd.Op == dfg.OpStore
+			c.cheap[nd.ID] = nd.Op.Latency() == 1
+			c.numCompute++
+			if l := nd.Op.Latency(); l > maxLat {
+				maxLat = l
+			}
+		}
+	}
+	// The packed heap key stores issue cycles in 32 bits. Every issue cycle
+	// is bounded by the sum of all op latencies plus one contention- and one
+	// bank-skip cycle per op, so n*(maxLat+5) bounds the whole schedule.
+	if int64(n)*int64(maxLat+5) >= 1<<32 {
+		return nil, fmt.Errorf("aladdin: graph %q too large to compile (%d vertices)", g.Name, n)
+	}
+	// Flatten adjacency. Both directions preserve the builder's edge order.
+	for _, nd := range nodes {
+		c.predStart[nd.ID+1] = c.predStart[nd.ID] + int32(len(g.Preds(nd.ID)))
+		c.succStart[nd.ID+1] = c.succStart[nd.ID] + int32(len(g.Succs(nd.ID)))
+	}
+	c.preds = make([]int32, c.predStart[n])
+	c.succs = make([]int32, c.succStart[n])
+	for _, nd := range nodes {
+		pi := c.predStart[nd.ID]
+		for _, p := range g.Preds(nd.ID) {
+			c.preds[pi] = int32(p)
+			pi++
+		}
+		si := c.succStart[nd.ID]
+		for _, s := range g.Succs(nd.ID) {
+			c.succs[si] = int32(s)
+			si++
+		}
+	}
+	c.stats = g.ComputeStats()
+	if c.stats.VCmp > 0 {
+		c.mixArea = g.TotalArea() / float64(c.stats.VCmp)
+	}
+	c.pool.New = func() any {
+		return &scratch{
+			start:     make([]int, n),
+			finish:    make([]int, n),
+			chain:     make([]int, n),
+			pending:   make([]int, n),
+			scheduled: make([]bool, n),
+		}
+	}
+	return c, nil
+}
+
+// Name returns the compiled graph's name.
+func (c *Compiled) Name() string { return c.name }
+
+// NumVertices returns the vertex count of the compiled graph.
+func (c *Compiled) NumVertices() int { return c.n }
+
+// Stats returns the compiled graph's statistics (computed once at compile
+// time). The WorkingSets slice is shared; do not mutate it.
+func (c *Compiled) Stats() dfg.Stats { return c.stats }
+
+// priorities returns the critical-path priority array for one
+// pipeline-depth class, computing it on first use. The priority of a node
+// is the longest downstream latency sum including the node's own latency.
+// The same pass derives the class's rank array: node ranks sorted by
+// (priority desc, id asc), so the ready heap can break ties with one
+// integer compare instead of re-deriving the order on every sift.
+func (c *Compiled) priorities(extra int) []int32 {
+	c.prioOnce[extra].Do(func() {
+		p := make([]int32, c.n)
+		for i := c.n - 1; i >= 0; i-- {
+			best := int32(0)
+			for _, s := range c.succs[c.succStart[i]:c.succStart[i+1]] {
+				if p[s] > best {
+					best = p[s]
+				}
+			}
+			lat := int32(0)
+			if c.isCompute[i] {
+				lat = c.baseLat[i] + int32(extra)
+			}
+			p[i] = best + lat
+		}
+		order := make([]int32, c.n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if p[order[a]] != p[order[b]] {
+				return p[order[a]] > p[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		rank := make([]int32, c.n)
+		for pos, id := range order {
+			rank[id] = int32(pos)
+		}
+		c.prio[extra] = p
+		c.rank[extra] = rank
+	})
+	return c.prio[extra]
+}
+
+// ranks returns the class's packed-heap tiebreaker array, computing the
+// class on first use.
+func (c *Compiled) ranks(extra int) []int32 {
+	c.priorities(extra)
+	return c.rank[extra]
+}
+
+// Simulate schedules the compiled graph onto the design point and returns
+// the pre-RTL estimates. Safe for concurrent use.
+func (c *Compiled) Simulate(d Design) (Result, error) {
+	res, _, err := c.simulate(d, false)
+	return res, err
+}
+
+// Trace simulates like Simulate but additionally returns the per-operation
+// schedule, ordered by (Start, ID).
+func (c *Compiled) Trace(d Design) (Schedule, error) {
+	res, slots, err := c.simulate(d, true)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].Start != slots[j].Start {
+			return slots[i].Start < slots[j].Start
+		}
+		return slots[i].ID < slots[j].ID
+	})
+	return Schedule{Result: res, Slots: slots}, nil
+}
+
+// CriticalPathCycles returns the schedule-independent lower bound on cycles
+// under the design's latency model: the longest latency path. Partitioning
+// can never beat it; the sweep uses it to find the taper point.
+func (c *Compiled) CriticalPathCycles(d Design) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	prio := c.priorities(extraLatency(d.Simplification))
+	best := int32(0)
+	for _, p := range prio {
+		if p > best {
+			best = p
+		}
+	}
+	return int(best), nil
+}
+
+// growTo extends s with zeros until index i is addressable.
+func growTo(s []int, i int) []int {
+	if i < len(s) {
+		return s
+	}
+	return append(s, make([]int, i+1-len(s))...)
+}
+
+// simulate is the single scheduling core behind every Simulate and Trace
+// entry point; with capture set it records per-operation slots. It runs the
+// longest-path-first list scheduler over pooled scratch buffers with no
+// graph traversal: all structure comes from the compiled CSR slices.
+func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if d.ClockGHz == 0 {
+		d.ClockGHz = 1
+	}
+	node := cmos.MustLookup(d.NodeNM)
+	window := fusionWindow(node, d.Fusion)
+	extra := extraLatency(d.Simplification)
+	banks := d.MemoryBanks
+	if banks == 0 {
+		banks = d.Partition
+	}
+	rank := c.ranks(extra)
+
+	s := c.pool.Get().(*scratch)
+	defer c.pool.Put(s)
+	start, finish, chain, pending := s.start, s.finish, s.chain, s.pending
+	scheduledCount := 0
+	for i := 0; i < c.n; i++ {
+		pending[i] = int(c.predStart[i+1] - c.predStart[i])
+		s.scheduled[i] = false
+	}
+	q := s.queue[:0]
+	for i := 0; i < c.n; i++ {
+		if pending[i] != 0 {
+			continue
+		}
+		// Inputs are available at cycle 0.
+		s.scheduled[i] = true
+		scheduledCount++
+		start[i], finish[i], chain[i] = 0, 0, 0
+		for _, sc := range c.succs[c.succStart[i]:c.succStart[i+1]] {
+			pending[sc]--
+			if pending[sc] == 0 {
+				q = pushP(q, pitem{key: uint64(rank[sc]), id: sc})
+			}
+		}
+	}
+
+	maxCycle := 0
+	lanes, memLanes := s.lanes, s.memLanes
+	lanesHi, memHi := 0, 0 // exclusive high-water marks for cheap reset
+	issuedOps := 0
+	fusedOps := 0
+
+	for len(q) > 0 {
+		var nid int32
+		q, nid = popP(q)
+		id := int(nid)
+		predsOf := c.preds[c.predStart[id]:c.predStart[id+1]]
+		if c.ops[id] == dfg.OpOutput {
+			// Outputs materialize when their producer finishes; no lane use.
+			p := predsOf[0]
+			start[id], finish[id], chain[id] = finish[p], finish[p], 0
+			s.scheduled[id] = true
+			scheduledCount++
+			if finish[id] > maxCycle {
+				maxCycle = finish[id]
+			}
+			continue
+		}
+		// Earliest normal issue: all operand values available.
+		earliest := 0
+		for _, p := range predsOf {
+			if finish[p] > earliest {
+				earliest = finish[p]
+			}
+		}
+		// Chaining (heterogeneity): a cheap op may issue in the same cycle
+		// as cheap predecessors — a combinational cascade — provided every
+		// operand is either already finished by that cycle or is itself a
+		// same-cycle chain link, and the total cascade depth stays within
+		// the node's window. Deep-pipelined designs (extra latency) cannot
+		// chain: their units are registered.
+		chained := false
+		issue := earliest
+		if window > 1 && c.cheap[id] && extra == 0 {
+			// Candidate cycle: treat chain-eligible cheap operands as
+			// available at their start cycle rather than their finish.
+			candidate := 0
+			for _, p := range predsOf {
+				a := finish[p]
+				if c.cheap[p] && chain[p]+1 < window {
+					a = start[p]
+				}
+				if a > candidate {
+					candidate = a
+				}
+			}
+			if candidate < earliest {
+				pos, feasible := 0, true
+				for _, p := range predsOf {
+					switch {
+					case finish[p] <= candidate:
+						// Operand ready before the cycle starts.
+					case start[p] == candidate && c.cheap[p] && chain[p]+1 < window:
+						if chain[p]+1 > pos {
+							pos = chain[p] + 1
+						}
+					default:
+						feasible = false
+					}
+				}
+				if feasible && pos > 0 {
+					chained = true
+					issue = candidate
+					chain[id] = pos
+				}
+			}
+		}
+		isMem := c.isMem[id]
+		if !chained {
+			// Find a cycle at or after earliest with a free lane — and,
+			// for memory operations, a free bank port. Cycles beyond the
+			// occupancy arrays' lengths are untouched, i.e. free.
+			for {
+				if issue < len(lanes) && lanes[issue] >= d.Partition {
+					issue++
+					continue
+				}
+				if isMem && issue < len(memLanes) && memLanes[issue] >= banks {
+					issue++
+					continue
+				}
+				break
+			}
+			lanes = growTo(lanes, issue)
+			lanes[issue]++
+			if issue+1 > lanesHi {
+				lanesHi = issue + 1
+			}
+			if isMem {
+				memLanes = growTo(memLanes, issue)
+				memLanes[issue]++
+				if issue+1 > memHi {
+					memHi = issue + 1
+				}
+			}
+			chain[id] = 0
+		} else {
+			fusedOps++
+		}
+		issuedOps++
+		start[id] = issue
+		if chained {
+			// A chained op completes within the shared cycle.
+			finish[id] = issue + 1
+		} else {
+			finish[id] = issue + int(c.baseLat[id]) + extra
+		}
+		s.scheduled[id] = true
+		scheduledCount++
+		if finish[id] > maxCycle {
+			maxCycle = finish[id]
+		}
+		for _, sc := range c.succs[c.succStart[id]:c.succStart[id+1]] {
+			pending[sc]--
+			if pending[sc] == 0 {
+				q = pushP(q, pitem{key: uint64(finish[id])<<32 | uint64(rank[sc]), id: sc})
+			}
+		}
+	}
+	// Return the grown buffers (and the heap's backing array) to the
+	// scratch, zeroing only the touched occupancy prefix.
+	clear(lanes[:lanesHi])
+	clear(memLanes[:memHi])
+	s.lanes, s.memLanes, s.queue = lanes, memLanes, q
+	if scheduledCount != c.n {
+		for i := 0; i < c.n; i++ {
+			if !s.scheduled[i] {
+				return Result{}, nil, fmt.Errorf("aladdin: scheduler failed to place vertex %d (graph not validated?)", i)
+			}
+		}
+	}
+	if maxCycle < 1 {
+		maxCycle = 1
+	}
+
+	// Energy, area, power from the schedule. The summation iterates nodes
+	// in ID order, matching the pre-compiled engine bit for bit.
+	eScale := energyScale(d.Simplification) * node.DynEnergy()
+	var dynEnergy float64
+	for i := 0; i < c.n; i++ {
+		if !c.isCompute[i] {
+			continue
+		}
+		e := c.energy[i] * eScale
+		if chain[i] > 0 {
+			e *= fusedEnergyScale
+		}
+		dynEnergy += e
+	}
+	// Lane area: each lane carries the workload's average functional-unit
+	// mix; storage covers the largest working set.
+	area := (float64(d.Partition)*c.mixArea + float64(banks)*bankArea + float64(c.stats.MaxWS)*regArea) * areaScale(d.Simplification)
+
+	cycleNS := 1 / (d.ClockGHz * node.Freq)
+	runtime := float64(maxCycle) * cycleNS
+	leakEnergy := leakPerAreaNS * area * node.LeakPower() * runtime
+	energy := dynEnergy + leakEnergy
+
+	util := 0.0
+	if maxCycle > 0 && d.Partition > 0 {
+		util = float64(issuedOps-fusedOps) / (float64(d.Partition) * float64(maxCycle))
+	}
+
+	var slots []OpSlot
+	if capture {
+		slots = make([]OpSlot, 0, issuedOps)
+		for i := 0; i < c.n; i++ {
+			if !c.isCompute[i] {
+				continue
+			}
+			slots = append(slots, OpSlot{
+				ID:      dfg.NodeID(i),
+				Op:      c.ops[i],
+				Start:   start[i],
+				Finish:  finish[i],
+				Chained: chain[i] > 0,
+			})
+		}
+	}
+	return Result{
+		Design:      d,
+		Cycles:      maxCycle,
+		RuntimeNS:   runtime,
+		DynEnergy:   dynEnergy,
+		LeakEnergy:  leakEnergy,
+		Energy:      energy,
+		Power:       energy / runtime,
+		Area:        area,
+		Utilization: util,
+		FusedOps:    fusedOps,
+	}, slots, nil
+}

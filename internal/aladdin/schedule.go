@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"accelwall/internal/dfg"
 )
@@ -27,22 +26,16 @@ type Schedule struct {
 }
 
 // Trace simulates the graph like Simulate but additionally returns the
-// per-operation schedule.
+// per-operation schedule. Like Simulate it is a compatibility wrapper that
+// compiles the graph per call; repeated traces of one graph should go
+// through Compile and Compiled.Trace. Slot capture is a flag on the one
+// compiled scheduling core, not a second scheduler.
 func Trace(g *dfg.Graph, d Design) (Schedule, error) {
-	// Re-run the scheduler capturing timings. Simulate's internal arrays
-	// are not exposed, so Trace performs the simulation itself through the
-	// shared scheduling routine below.
-	res, slots, err := simulate(g, d, true)
+	c, err := Compile(g)
 	if err != nil {
 		return Schedule{}, err
 	}
-	sort.Slice(slots, func(i, j int) bool {
-		if slots[i].Start != slots[j].Start {
-			return slots[i].Start < slots[j].Start
-		}
-		return slots[i].ID < slots[j].ID
-	})
-	return Schedule{Result: res, Slots: slots}, nil
+	return c.Trace(d)
 }
 
 // Validate checks the structural invariants of a schedule against its

@@ -35,6 +35,11 @@ type Study struct {
 	// Defaults to the reduced grid; switch to sweep.Default() for the full
 	// (slow) exploration.
 	Sweep sweep.Params
+	// Workers sizes the worker pool the design-space experiments (fig13,
+	// fig14, table5) distribute their simulations over; <= 0 selects
+	// GOMAXPROCS. Each sweep compiles its workload graph once and shares
+	// the compiled state across the pool.
+	Workers int
 }
 
 // New builds a study over the synthetic datasheet corpus with the given
@@ -296,7 +301,7 @@ func (s *Study) Fig13() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rows, best, err := sweep.Fig13(g, s.Sweep)
+	rows, best, err := sweep.Fig13(g, s.Sweep, s.Workers)
 	if err != nil {
 		return "", err
 	}
@@ -341,7 +346,7 @@ func (s *Study) Fig14Attributions(objective sweep.Objective) ([]sweep.Attributio
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", spec.Abbrev, err)
 		}
-		a, err := sweep.Attribute(spec.Abbrev, g, s.Sweep, objective)
+		a, err := sweep.AttributeParallel(spec.Abbrev, g, s.Sweep, objective, s.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: attributing %s: %w", spec.Abbrev, err)
 		}

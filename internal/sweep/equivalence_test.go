@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"testing"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/workloads"
+)
+
+// TestRunMatchesRunParallelAllWorkloads is the sweep-level equivalence
+// suite: over the Reduced() grid, the serial and the parallel runner must
+// produce point-for-point identical results for every Table IV workload.
+func TestRunMatchesRunParallelAllWorkloads(t *testing.T) {
+	p := Reduced()
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Abbrev, func(t *testing.T) {
+			g, err := spec.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := Run(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := RunParallel(g, p, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) != len(parallel) {
+				t.Fatalf("Run returned %d points, RunParallel %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("point %d differs:\nRun         %+v\nRunParallel %+v", i, serial[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAttributeMatchesAttributeParallel pins the prewarmed decomposition to
+// the serial one for both objectives.
+func TestAttributeMatchesAttributeParallel(t *testing.T) {
+	g := buildApp(t, "S3D", 3)
+	p := tiny()
+	for _, o := range []Objective{Performance, Efficiency} {
+		serial, err := Attribute("S3D", g, p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := AttributeParallel("S3D", g, p, o, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != parallel {
+			t.Errorf("%v decomposition differs:\nAttribute         %+v\nAttributeParallel %+v", o, serial, parallel)
+		}
+	}
+	if _, err := AttributeParallel("S3D", nil, p, Performance, 2); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := AttributeParallel("S3D", g, Params{}, Performance, 2); err == nil {
+		t.Error("empty params should error")
+	}
+}
+
+// TestCacheKeyNormalizesDefaults: a design spelled with zero-value defaults
+// (ClockGHz 0 meaning 1 GHz, MemoryBanks 0 meaning banked with the
+// datapath) and its explicit-default spelling must land in one cache slot
+// and report identical simulation results.
+func TestCacheKeyNormalizesDefaults(t *testing.T) {
+	g := buildApp(t, "RED", 32)
+	r, err := newRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := aladdin.Design{NodeNM: 45, Partition: 16, Simplification: 2}
+	explicit := aladdin.Design{NodeNM: 45, Partition: 16, Simplification: 2, ClockGHz: 1, MemoryBanks: 16}
+	a, err := r.simulate(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.simulate(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != 1 {
+		t.Errorf("cache has %d entries, want 1 (zero and explicit defaults collapsed)", len(r.cache))
+	}
+	if a.Cycles != b.Cycles || a.Energy != b.Energy || a.Area != b.Area {
+		t.Errorf("default spellings disagree: %+v vs %+v", a, b)
+	}
+	if a.Design != zero {
+		t.Errorf("reported design %+v, want the requested %+v", a.Design, zero)
+	}
+	if b.Design != explicit {
+		t.Errorf("reported design %+v, want the requested %+v", b.Design, explicit)
+	}
+}
+
+// TestCacheKeyClampFollowsBanks: when MemoryBanks is defaulted, the
+// normalized key's banks must track the clamped partition, matching what
+// the simulator would have derived — partition clamping and bank
+// defaulting interact.
+func TestCacheKeyClampFollowsBanks(t *testing.T) {
+	g := buildApp(t, "RED", 32) // 31 compute ops
+	r, err := newRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := aladdin.Design{NodeNM: 45, Partition: 65536, Simplification: 1}
+	key := r.keyOf(over)
+	if key.Partition != r.maxP {
+		t.Errorf("clamped partition = %d, want %d", key.Partition, r.maxP)
+	}
+	if key.MemoryBanks != r.maxP {
+		t.Errorf("defaulted banks = %d, want the clamped partition %d", key.MemoryBanks, r.maxP)
+	}
+	// The normalized key must simulate identically to the legacy spelling.
+	direct, err := aladdin.Simulate(g, aladdin.Design{NodeNM: 45, Partition: r.maxP, Simplification: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaKey, err := r.simulate(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cycles != viaKey.Cycles || direct.Energy != viaKey.Energy || direct.Area != viaKey.Area {
+		t.Errorf("normalized key result %+v differs from direct %+v", viaKey, direct)
+	}
+}

@@ -4,20 +4,81 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"accelwall/internal/aladdin"
 	"accelwall/internal/dfg"
 )
 
+// chunkSize is how many unique design points one worker claims per fetch.
+// Chunking cuts the queue-coordination overhead from one atomic operation
+// per point to one per chunk while staying small enough to balance load
+// across a heterogeneous grid (high-partition points simulate much faster
+// than partition-1 points).
+const chunkSize = 8
+
+// simulateGrid populates the runner's cache with every distinct cache key
+// of the grid, distributing the unique simulations over a worker pool. All
+// workers share the runner's one *aladdin.Compiled, which is immutable and
+// concurrency-safe; only cache assembly happens on the calling goroutine.
+func (r *runner) simulateGrid(p Params, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seen := make(map[aladdin.Design]bool)
+	var uniques []aladdin.Design
+	for _, d := range p.enumerate() {
+		if k := r.keyOf(d); !seen[k] {
+			seen[k] = true
+			uniques = append(uniques, k)
+		}
+	}
+	if workers > len(uniques) {
+		workers = len(uniques)
+	}
+	results := make([]aladdin.Result, len(uniques))
+	errs := make([]error, len(uniques))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunkSize)) - chunkSize
+				if lo >= len(uniques) {
+					return
+				}
+				hi := lo + chunkSize
+				if hi > len(uniques) {
+					hi = len(uniques)
+				}
+				for i := lo; i < hi; i++ {
+					results[i], errs[i] = r.c.Simulate(uniques[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, k := range uniques {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		r.cache[k] = results[i]
+	}
+	return nil
+}
+
 // RunParallel simulates the grid like Run but distributes the distinct
-// design points over a worker pool. Results are identical to Run —
-// same points, same order — because the grid is deduplicated onto cache
-// keys first and only unique simulations run concurrently. workers <= 0
-// selects GOMAXPROCS.
+// design points over a worker pool. Results are identical to Run — same
+// points, same order — because the grid is deduplicated onto cache keys
+// first, only unique simulations run concurrently, and assembly replays
+// the deterministic Run order. workers <= 0 selects GOMAXPROCS.
 //
 // The full Table III grid is 3,640 design points per workload (many of
-// which collapse onto the partition plateau); parallel execution makes the
-// -full CLI mode practical on multicore machines.
+// which collapse onto the partition plateau); the workload graph is
+// compiled once and shared read-only by every worker, so the pool scales
+// without duplicating graph analysis.
 func RunParallel(g *dfg.Graph, p Params, workers int) ([]Point, error) {
 	if g == nil {
 		return nil, errors.New("sweep: nil graph")
@@ -25,66 +86,12 @@ func RunParallel(g *dfg.Graph, p Params, workers int) ([]Point, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	r, err := newRunner(g)
+	if err != nil {
+		return nil, err
 	}
-	r := newRunner(g)
-	// Enumerate the grid in Run order and collect the distinct cache keys.
-	var designs []aladdin.Design
-	keyOf := func(d aladdin.Design) aladdin.Design {
-		if d.Partition > r.maxP {
-			d.Partition = r.maxP
-		}
-		return d
+	if err := r.simulateGrid(p, workers); err != nil {
+		return nil, err
 	}
-	seen := make(map[aladdin.Design]bool)
-	var uniques []aladdin.Design
-	for _, node := range p.Nodes {
-		for _, fusion := range p.Fusion {
-			for _, s := range p.Simplifications {
-				for _, f := range p.Partitions {
-					d := aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fusion}
-					designs = append(designs, d)
-					if k := keyOf(d); !seen[k] {
-						seen[k] = true
-						uniques = append(uniques, k)
-					}
-				}
-			}
-		}
-	}
-	// Simulate the unique keys concurrently.
-	results := make([]aladdin.Result, len(uniques))
-	errs := make([]error, len(uniques))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i], errs[i] = aladdin.Simulate(g, uniques[i])
-			}
-		}()
-	}
-	for i := range uniques {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	byKey := make(map[aladdin.Design]aladdin.Result, len(uniques))
-	for i, k := range uniques {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		byKey[k] = results[i]
-	}
-	// Assemble points in Run order, reporting the requested designs.
-	out := make([]Point, 0, len(designs))
-	for _, d := range designs {
-		res := byKey[keyOf(d)]
-		res.Design = d
-		out = append(out, Point{Design: d, Result: res})
-	}
-	return out, nil
+	return r.points(p)
 }

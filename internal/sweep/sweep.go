@@ -120,34 +120,69 @@ type Point struct {
 	Result aladdin.Result
 }
 
-// runner memoizes simulations. Partition factors beyond the workload's
-// total operation count produce identical schedules, so they collapse onto
-// one cache entry.
+// enumerate returns the grid's design points in deterministic Run order:
+// (node, fusion, simplification, partition). Run and RunParallel both
+// iterate this list, which is what makes them point-for-point identical.
+func (p Params) enumerate() []aladdin.Design {
+	out := make([]aladdin.Design, 0, len(p.Nodes)*len(p.Fusion)*len(p.Simplifications)*len(p.Partitions))
+	for _, node := range p.Nodes {
+		for _, fusion := range p.Fusion {
+			for _, s := range p.Simplifications {
+				for _, f := range p.Partitions {
+					out = append(out, aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fusion})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runner memoizes simulations over one compiled graph. Partition factors
+// beyond the workload's total operation count produce identical schedules,
+// so they collapse onto one cache entry, as do the zero-value spellings of
+// the clock and memory-bank defaults.
 type runner struct {
-	g     *dfg.Graph
+	c     *aladdin.Compiled
 	maxP  int
 	cache map[aladdin.Design]aladdin.Result
 }
 
-func newRunner(g *dfg.Graph) *runner {
-	stats := g.ComputeStats()
-	maxP := stats.VCmp
+func newRunner(g *dfg.Graph) (*runner, error) {
+	c, err := aladdin.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	maxP := c.Stats().VCmp
 	if maxP < 1 {
 		maxP = 1
 	}
-	return &runner{g: g, maxP: maxP, cache: make(map[aladdin.Design]aladdin.Result)}
+	return &runner{c: c, maxP: maxP, cache: make(map[aladdin.Design]aladdin.Result)}, nil
+}
+
+// keyOf normalizes a design onto its cache key: the partition plateau is
+// clamped, and the zero-value defaults (ClockGHz 0 meaning 1 GHz,
+// MemoryBanks 0 meaning banked with the datapath) are spelled out so that
+// a zero and its explicit default share one cache slot.
+func (r *runner) keyOf(d aladdin.Design) aladdin.Design {
+	if d.Partition > r.maxP {
+		d.Partition = r.maxP
+	}
+	if d.ClockGHz == 0 {
+		d.ClockGHz = 1
+	}
+	if d.MemoryBanks == 0 {
+		d.MemoryBanks = d.Partition
+	}
+	return d
 }
 
 func (r *runner) simulate(d aladdin.Design) (aladdin.Result, error) {
-	key := d
-	if key.Partition > r.maxP {
-		key.Partition = r.maxP
-	}
+	key := r.keyOf(d)
 	if res, ok := r.cache[key]; ok {
 		res.Design = d
 		return res, nil
 	}
-	res, err := aladdin.Simulate(r.g, key)
+	res, err := r.c.Simulate(key)
 	if err != nil {
 		return aladdin.Result{}, err
 	}
@@ -156,9 +191,25 @@ func (r *runner) simulate(d aladdin.Design) (aladdin.Result, error) {
 	return res, nil
 }
 
+// points assembles the grid's Points in Run order from the runner's state,
+// simulating any design not already cached.
+func (r *runner) points(p Params) ([]Point, error) {
+	designs := p.enumerate()
+	out := make([]Point, 0, len(designs))
+	for _, d := range designs {
+		res, err := r.simulate(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{Design: d, Result: res})
+	}
+	return out, nil
+}
+
 // Run simulates the full grid for one workload graph and returns every
 // design point, in deterministic (node, fusion, simplification, partition)
-// order.
+// order. The graph is compiled once; every design point reuses the
+// compiled state.
 func Run(g *dfg.Graph, p Params) ([]Point, error) {
 	if g == nil {
 		return nil, errors.New("sweep: nil graph")
@@ -166,23 +217,11 @@ func Run(g *dfg.Graph, p Params) ([]Point, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	r := newRunner(g)
-	var out []Point
-	for _, node := range p.Nodes {
-		for _, fusion := range p.Fusion {
-			for _, s := range p.Simplifications {
-				for _, f := range p.Partitions {
-					d := aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fusion}
-					res, err := r.simulate(d)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, Point{Design: d, Result: res})
-				}
-			}
-		}
+	r, err := newRunner(g)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return r.points(p)
 }
 
 // Best returns the point maximizing the objective. Ties resolve to the
@@ -214,9 +253,10 @@ type Fig13Row struct {
 
 // Fig13 reproduces the 3D-stencil design-space cloud of Figure 13 for any
 // workload graph: every grid point's runtime and power, plus the
-// energy-efficiency optimum marked by Best.
-func Fig13(g *dfg.Graph, p Params) ([]Fig13Row, Point, error) {
-	points, err := RunParallel(g, p, 0)
+// energy-efficiency optimum marked by Best. workers <= 0 selects
+// GOMAXPROCS.
+func Fig13(g *dfg.Graph, p Params, workers int) ([]Fig13Row, Point, error) {
+	points, err := RunParallel(g, p, workers)
 	if err != nil {
 		return nil, Point{}, err
 	}
@@ -277,13 +317,44 @@ func Attribute(app string, g *dfg.Graph, p Params, o Objective) (Attribution, er
 	if err := p.Validate(); err != nil {
 		return Attribution{}, err
 	}
+	r, err := newRunner(g)
+	if err != nil {
+		return Attribution{}, err
+	}
+	return attribute(app, r, p, o)
+}
+
+// AttributeParallel runs the same decomposition as Attribute but first
+// populates the simulation cache by sweeping the grid's unique design
+// points over a worker pool; every stage of the cumulative-knob scan then
+// reads cached results. The decomposition is point-for-point identical to
+// Attribute. workers <= 0 selects GOMAXPROCS.
+func AttributeParallel(app string, g *dfg.Graph, p Params, o Objective, workers int) (Attribution, error) {
+	if g == nil {
+		return Attribution{}, errors.New("sweep: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return Attribution{}, err
+	}
+	r, err := newRunner(g)
+	if err != nil {
+		return Attribution{}, err
+	}
+	if err := r.simulateGrid(p, workers); err != nil {
+		return Attribution{}, err
+	}
+	return attribute(app, r, p, o)
+}
+
+// attribute is the shared cumulative-knob scan behind Attribute and
+// AttributeParallel; the grid must already be validated.
+func attribute(app string, r *runner, p Params, o Objective) (Attribution, error) {
 	oldest := p.Nodes[0]
 	for _, n := range p.Nodes[1:] {
 		if n > oldest {
 			oldest = n
 		}
 	}
-	r := newRunner(g)
 	base, err := r.simulate(aladdin.Design{NodeNM: oldest, Partition: 1, Simplification: 1})
 	if err != nil {
 		return Attribution{}, err

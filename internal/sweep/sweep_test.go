@@ -105,7 +105,10 @@ func TestRunErrors(t *testing.T) {
 
 func TestMemoizationCollapsesPlateau(t *testing.T) {
 	g := buildApp(t, "RED", 32) // 31 compute ops: partitions 256 and 65536 collapse
-	r := newRunner(g)
+	r, err := newRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, err := r.simulate(aladdin.Design{NodeNM: 45, Partition: 256, Simplification: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +161,7 @@ func TestBestSelectsOptimum(t *testing.T) {
 // the newest node, and the best-performance point uses heavy partitioning.
 func TestFig13OptimumShape(t *testing.T) {
 	g := buildApp(t, "S3D", 3)
-	rows, best, err := Fig13(g, tiny())
+	rows, best, err := Fig13(g, tiny(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +177,7 @@ func TestFig13OptimumShape(t *testing.T) {
 	if best.Design.Simplification <= 1 {
 		t.Errorf("efficiency optimum uses simplification %d, want > 1", best.Design.Simplification)
 	}
-	if _, _, err := Fig13(nil, tiny()); err == nil {
+	if _, _, err := Fig13(nil, tiny(), 0); err == nil {
 		t.Error("Fig13 nil graph should error")
 	}
 }
@@ -183,7 +186,7 @@ func TestFig13OptimumShape(t *testing.T) {
 // of Figure 13 points down in power).
 func TestFig13CMOSPowerArrow(t *testing.T) {
 	g := buildApp(t, "S3D", 3)
-	rows, _, err := Fig13(g, tiny())
+	rows, _, err := Fig13(g, tiny(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
