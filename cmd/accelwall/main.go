@@ -16,12 +16,17 @@
 //	-workers N   size of the sweep worker pool (0 = GOMAXPROCS); the
 //	             design-space experiments compile each workload graph once
 //	             and fan its unique design points out over the pool
+//	-json        emit experiments as machine-readable JSON (the same wire
+//	             format accelwalld serves); incompatible with -plot and the
+//	             dot/corpus/report commands
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"accelwall/internal/chipdb"
 	"accelwall/internal/core"
@@ -44,13 +49,53 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "use the full Table III sweep grid (slow)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	plot := fs.Bool("plot", false, "append ASCII figures where available (fig1, fig13, fig15, fig16)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the accelwalld wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
+
+	// Fail-fast validation: every flag and argument problem is reported
+	// here, before any corpus fit, graph compile, or experiment output.
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 	if len(rest) == 0 {
 		usage()
 		return fmt.Errorf("no experiment given")
+	}
+	if *jsonOut && *plot {
+		return fmt.Errorf("-json and -plot are mutually exclusive")
+	}
+	switch rest[0] {
+	case "dot", "corpus", "report":
+		if *jsonOut {
+			return fmt.Errorf("-json does not apply to %q (it emits text/CSV/Markdown)", rest[0])
+		}
+	}
+	var experiments []core.Experiment
+	switch rest[0] {
+	case "dot", "corpus", "report", "list":
+		// Commands, handled below.
+	case "all":
+		experiments = core.Experiments()
+	case "ext":
+		experiments = core.Extensions()
+	default:
+		// One validation pass over every requested ID so a typo at the end
+		// of the list surfaces before the first experiment runs.
+		var unknown []string
+		for _, id := range rest {
+			e, err := core.ExperimentByID(id)
+			if err != nil {
+				unknown = append(unknown, id)
+				continue
+			}
+			experiments = append(experiments, e)
+		}
+		if len(unknown) > 0 {
+			return fmt.Errorf("unknown experiment id(s): %s (run `accelwall list`)", strings.Join(unknown, ", "))
+		}
 	}
 
 	switch rest[0] {
@@ -67,9 +112,10 @@ func run(args []string) error {
 			path = rest[1]
 		}
 		return writeReport(path, *seed, *published, *full, *workers)
-	}
-
-	if rest[0] == "list" {
+	case "list":
+		if *jsonOut {
+			return listJSON()
+		}
 		for _, e := range core.Experiments() {
 			fmt.Printf("  %-13s %s\n", e.ID, e.Title)
 		}
@@ -93,21 +139,20 @@ func run(args []string) error {
 	}
 	study.Workers = *workers
 
-	var experiments []core.Experiment
-	switch rest[0] {
-	case "all":
-		experiments = core.Experiments()
-	case "ext":
-		experiments = core.Extensions()
-	default:
-		for _, id := range rest {
-			e, err := core.ExperimentByID(id)
+	if *jsonOut {
+		out := make([]core.ExperimentJSON, 0, len(experiments))
+		for _, e := range experiments {
+			ej, err := study.ExperimentJSON(e.ID)
 			if err != nil {
-				return err
+				return fmt.Errorf("%s: %w", e.ID, err)
 			}
-			experiments = append(experiments, e)
+			out = append(out, ej)
 		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiments": out})
 	}
+
 	plots := core.Plots()
 	for _, e := range experiments {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
@@ -127,6 +172,25 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// listJSON emits the experiment registry in the /v1/experiments wire shape.
+func listJSON() error {
+	type row struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Kind  string `json:"kind"`
+	}
+	var out []row
+	for _, e := range core.Experiments() {
+		out = append(out, row{ID: e.ID, Title: e.Title, Kind: "paper"})
+	}
+	for _, e := range core.Extensions() {
+		out = append(out, row{ID: e.ID, Title: e.Title, Kind: "extension"})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiments": out})
 }
 
 // writeDOT resolves a kernel by name across the three registries and
@@ -215,7 +279,7 @@ func writeReport(path string, seed int64, published, full bool, workers int) err
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] <command>
+	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] [-plot] [-json] <command>
 commands:
   list               list every reproducible experiment
   all                run every experiment in paper order

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -106,6 +107,106 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := capture(t, func() error { return run([]string{"-bogusflag"}) }); err == nil {
 		t.Error("unknown flag should error")
+	}
+}
+
+// TestRunFailFast pins the single-pass validation contract: every bad
+// flag or ID is rejected with a clear error before any experiment output.
+func TestRunFailFast(t *testing.T) {
+	// Negative worker pool.
+	out, err := capture(t, func() error { return run([]string{"-workers", "-1", "table5"}) })
+	if err == nil || !strings.Contains(err.Error(), "-workers must be >= 0") {
+		t.Errorf("-workers=-1: err = %v", err)
+	}
+	if out != "" {
+		t.Errorf("-workers=-1 produced output before failing:\n%s", out)
+	}
+
+	// A typo'd trailing ID aborts the whole run, names every bad ID, and
+	// nothing executes — not even the valid leading experiments.
+	out, err = capture(t, func() error { return run([]string{"table5", "fig99", "figZZ"}) })
+	if err == nil {
+		t.Fatal("unknown trailing ID should error")
+	}
+	for _, want := range []string{"fig99", "figZZ", "accelwall list"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if strings.Contains(out, "=== table5") {
+		t.Errorf("experiments ran before ID validation:\n%s", out)
+	}
+
+	// Incoherent flag combinations.
+	for _, args := range [][]string{
+		{"-json", "-plot", "fig1"},
+		{"-json", "dot", "S3D"},
+		{"-json", "corpus"},
+		{"-json", "report"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+// TestRunReportUnwritable verifies a bad report destination surfaces as an
+// error instead of a zero-byte success.
+func TestRunReportUnwritable(t *testing.T) {
+	// A directory path cannot be os.Create'd.
+	if _, err := capture(t, func() error { return run([]string{"report", t.TempDir()}) }); err == nil {
+		t.Error("report to a directory path should error")
+	}
+	if _, err := capture(t, func() error { return run([]string{"report", t.TempDir() + "/no/such/dir/report.md"}) }); err == nil {
+		t.Error("report into a missing directory should error")
+	}
+}
+
+// TestRunJSON verifies -json emits the accelwalld wire format.
+func TestRunJSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-json", "-published", "table5", "fig15"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Experiments []struct {
+			ID    string          `json:"id"`
+			Title string          `json:"title"`
+			Rows  json.RawMessage `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%.300s", err, out)
+	}
+	if len(payload.Experiments) != 2 {
+		t.Fatalf("want 2 experiments, got %d", len(payload.Experiments))
+	}
+	for i, want := range []string{"table5", "fig15"} {
+		e := payload.Experiments[i]
+		if e.ID != want {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want)
+		}
+		if len(e.Rows) == 0 {
+			t.Errorf("%s: no structured rows", e.ID)
+		}
+	}
+
+	// list -json emits the registry rows.
+	out, err = capture(t, func() error { return run([]string{"-json", "list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		Experiments []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &reg); err != nil {
+		t.Fatalf("list -json is not JSON: %v", err)
+	}
+	if len(reg.Experiments) < 20 {
+		t.Errorf("list -json has %d rows, want the full registry", len(reg.Experiments))
 	}
 }
 

@@ -1,0 +1,82 @@
+// Command accelwalld serves the accelerator-wall model stack over
+// HTTP/JSON: CSR decomposition, CMOS node scaling, accelerator-wall
+// projections, case-study summaries, and design-space sweep evaluation.
+//
+// Unlike the accelwall CLI, which refits the datasheet corpus and
+// recompiles workload graphs on every invocation, the daemon keeps both
+// for the life of the process: fitted studies are memoized per seed and
+// compiled sweep engines live in an LRU with singleflight deduplication,
+// so concurrent identical requests compile a workload exactly once.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests drain (bounded by -shutdown-timeout),
+// and a second signal aborts the drain.
+//
+// See docs/API.md for every endpoint with curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accelwall/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "accelwalld:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is cancelled. Split from main for
+// the test suite.
+func run(ctx context.Context, args []string, logDst io.Writer) error {
+	fs := flag.NewFlagSet("accelwalld", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	seed := fs.Int64("seed", 1, "synthetic datasheet corpus seed for the default study")
+	published := fs.Bool("published", false, "use published regression constants (skip corpus fitting)")
+	full := fs.Bool("full", false, "use the full Table III grid for the default study's sweep experiments")
+	workers := fs.Int("workers", 0, "sweep worker pool size per request (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain bound")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing API requests (0 = 2x GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 32, "max resident compiled workload engines")
+	maxGrid := fs.Int("max-grid", 0, "max design points per sweep request (0 = 65536)")
+	quiet := fs.Bool("quiet", false, "disable access logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(logDst, "accelwalld ", log.LstdFlags)
+	}
+	s := server.New(server.Options{
+		Seed:            *seed,
+		Published:       *published,
+		FullGrid:        *full,
+		Workers:         *workers,
+		RequestTimeout:  *timeout,
+		ShutdownTimeout: *shutdownTimeout,
+		MaxInflight:     *maxInflight,
+		EngineCacheSize: *cacheSize,
+		MaxGridPoints:   *maxGrid,
+		Logger:          logger,
+	})
+	return s.ListenAndServe(ctx, *addr)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunFlagErrors covers the fail-fast validation paths: bad flags must
+// be rejected before any listener binds.
+func TestRunFlagErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"negative workers": {[]string{"-workers=-1"}, "-workers must be >= 0"},
+		"extra args":       {[]string{"serve", "now"}, "unexpected arguments"},
+		"unknown flag":     {[]string{"-frobnicate"}, "flag provided but not defined"},
+		"bad duration":     {[]string{"-timeout", "fast"}, "invalid value"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunBadAddr verifies a listen failure surfaces as an error instead of
+// hanging.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.0.0.1:0"}, io.Discard)
+	if err == nil {
+		t.Fatal("run with bad addr succeeded")
+	}
+}
+
+// TestRunServesAndShutsDown is the end-to-end smoke test: boot on an
+// ephemeral port, answer a health probe and a model query, then shut down
+// cleanly on context cancellation (the signal path main wires up).
+func TestRunServesAndShutsDown(t *testing.T) {
+	// Find a free port; a race with another process is possible but
+	// vanishingly unlikely in CI.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-published", "-quiet"}, io.Discard)
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/v1/cmos?node=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "node_nm") {
+		t.Fatalf("cmos: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+
+	// The port must be released.
+	if ln, err := net.Listen("tcp", addr); err != nil {
+		t.Fatalf("port not released: %v", err)
+	} else {
+		ln.Close()
+	}
+}

@@ -1,0 +1,647 @@
+// Machine-readable result structs. Every experiment the CLI renders as a
+// text table has (or is growing) a typed, JSON-tagged counterpart here, so
+// the `accelwall -json` flag and the accelwalld HTTP API emit byte-
+// compatible payloads from one codec layer instead of each re-rendering
+// the sub-package row types.
+package core
+
+import (
+	"fmt"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/casestudy"
+	"accelwall/internal/cmos"
+	"accelwall/internal/csr"
+	"accelwall/internal/gains"
+	"accelwall/internal/projection"
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+)
+
+// TargetName canonicalizes a gains target for wire payloads.
+func TargetName(t gains.Target) string {
+	if t == gains.TargetEfficiency {
+		return "efficiency"
+	}
+	return "performance"
+}
+
+// ParseTarget inverts TargetName, accepting a few common spellings.
+func ParseTarget(s string) (gains.Target, error) {
+	switch s {
+	case "", "performance", "throughput", "perf":
+		return gains.TargetThroughput, nil
+	case "efficiency", "energy", "energy-efficiency":
+		return gains.TargetEfficiency, nil
+	}
+	return 0, fmt.Errorf("core: unknown target %q (want performance or efficiency)", s)
+}
+
+// ObjectiveName canonicalizes a sweep objective for wire payloads.
+func ObjectiveName(o sweep.Objective) string {
+	if o == sweep.Efficiency {
+		return "efficiency"
+	}
+	return "performance"
+}
+
+// ParseObjective inverts ObjectiveName.
+func ParseObjective(s string) (sweep.Objective, error) {
+	switch s {
+	case "", "efficiency", "energy", "energy-efficiency":
+		return sweep.Efficiency, nil
+	case "performance", "throughput", "perf":
+		return sweep.Performance, nil
+	}
+	return 0, fmt.Errorf("core: unknown objective %q (want performance or efficiency)", s)
+}
+
+// DesignJSON is the wire form of an accelerator design point.
+type DesignJSON struct {
+	NodeNM         float64 `json:"node_nm"`
+	Partition      int     `json:"partition"`
+	Simplification int     `json:"simplification"`
+	Fusion         bool    `json:"fusion"`
+	ClockGHz       float64 `json:"clock_ghz,omitempty"`
+	MemoryBanks    int     `json:"memory_banks,omitempty"`
+}
+
+// NewDesignJSON converts a simulator design to its wire form.
+func NewDesignJSON(d aladdin.Design) DesignJSON {
+	return DesignJSON{
+		NodeNM:         d.NodeNM,
+		Partition:      d.Partition,
+		Simplification: d.Simplification,
+		Fusion:         d.Fusion,
+		ClockGHz:       d.ClockGHz,
+		MemoryBanks:    d.MemoryBanks,
+	}
+}
+
+// Design converts the wire form back to a simulator design.
+func (j DesignJSON) Design() aladdin.Design {
+	return aladdin.Design{
+		NodeNM:         j.NodeNM,
+		Partition:      j.Partition,
+		Simplification: j.Simplification,
+		Fusion:         j.Fusion,
+		ClockGHz:       j.ClockGHz,
+		MemoryBanks:    j.MemoryBanks,
+	}
+}
+
+// ResultJSON is the wire form of one simulation result, with the two
+// derived target-function values precomputed.
+type ResultJSON struct {
+	Cycles           int     `json:"cycles"`
+	RuntimeNS        float64 `json:"runtime_ns"`
+	DynEnergy        float64 `json:"dyn_energy"`
+	LeakEnergy       float64 `json:"leak_energy"`
+	Energy           float64 `json:"energy"`
+	PowerW           float64 `json:"power_w"`
+	Area             float64 `json:"area"`
+	Utilization      float64 `json:"utilization"`
+	FusedOps         int     `json:"fused_ops"`
+	Throughput       float64 `json:"throughput"`
+	EnergyEfficiency float64 `json:"energy_efficiency"`
+}
+
+// NewResultJSON converts a simulation result to its wire form.
+func NewResultJSON(r aladdin.Result) ResultJSON {
+	return ResultJSON{
+		Cycles:           r.Cycles,
+		RuntimeNS:        r.RuntimeNS,
+		DynEnergy:        r.DynEnergy,
+		LeakEnergy:       r.LeakEnergy,
+		Energy:           r.Energy,
+		PowerW:           r.Power,
+		Area:             r.Area,
+		Utilization:      r.Utilization,
+		FusedOps:         r.FusedOps,
+		Throughput:       r.Throughput(),
+		EnergyEfficiency: r.EnergyEfficiency(),
+	}
+}
+
+// SweepPointJSON couples a design with its simulated result.
+type SweepPointJSON struct {
+	Design DesignJSON `json:"design"`
+	Result ResultJSON `json:"result"`
+}
+
+// NewSweepPointJSON converts one sweep point.
+func NewSweepPointJSON(p sweep.Point) SweepPointJSON {
+	return SweepPointJSON{Design: NewDesignJSON(p.Design), Result: NewResultJSON(p.Result)}
+}
+
+// FrontierPointJSON is one Pareto-efficient design on the runtime/power
+// trade-off.
+type FrontierPointJSON struct {
+	Design    DesignJSON `json:"design"`
+	RuntimeNS float64    `json:"runtime_ns"`
+	PowerW    float64    `json:"power_w"`
+}
+
+// NewFrontierJSON converts a design frontier.
+func NewFrontierJSON(fps []sweep.FrontierPoint) []FrontierPointJSON {
+	out := make([]FrontierPointJSON, 0, len(fps))
+	for _, fp := range fps {
+		out = append(out, FrontierPointJSON{Design: NewDesignJSON(fp.Design), RuntimeNS: fp.RuntimeNS, PowerW: fp.PowerW})
+	}
+	return out
+}
+
+// CSRRowJSON is one Equation 1 decomposition row: reported gain, physical
+// (CMOS-driven) gain, and their quotient, the chip specialization return.
+type CSRRowJSON struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind,omitempty"`
+	Year         float64 `json:"year,omitempty"`
+	NodeNM       float64 `json:"node_nm,omitempty"`
+	Gain         float64 `json:"gain"`
+	PhysicalGain float64 `json:"physical_gain,omitempty"`
+	CSR          float64 `json:"csr"`
+}
+
+// NewCSRRows converts csr.Analyze output to wire rows.
+func NewCSRRows(rows []csr.Row) []CSRRowJSON {
+	out := make([]CSRRowJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, CSRRowJSON{
+			Name:         r.Name,
+			Year:         r.Year,
+			Gain:         r.Gain,
+			PhysicalGain: r.PhysicalGain,
+			CSR:          r.CSR,
+		})
+	}
+	return out
+}
+
+// CMOSNodeJSON is the wire form of one CMOS node's scaling factors, all
+// normalized so the 45 nm entry equals 1, plus the absolute density model.
+type CMOSNodeJSON struct {
+	NodeNM        float64 `json:"node_nm"`
+	Freq          float64 `json:"freq"`
+	VDD           float64 `json:"vdd"`
+	Cap           float64 `json:"cap"`
+	Leak          float64 `json:"leak"`
+	DynEnergy     float64 `json:"dyn_energy"`
+	DensityMTrMM2 float64 `json:"density_mtr_mm2"`
+}
+
+// NewCMOSNodeJSON converts one node-table entry.
+func NewCMOSNodeJSON(n cmos.Node) CMOSNodeJSON {
+	return CMOSNodeJSON{
+		NodeNM:        n.NM,
+		Freq:          n.Freq,
+		VDD:           n.VDD,
+		Cap:           n.Cap,
+		Leak:          n.Leak,
+		DynEnergy:     n.DynEnergy(),
+		DensityMTrMM2: n.Density(),
+	}
+}
+
+// Fig3aRowJSON is one device-scaling curve sample of Figure 3a.
+type Fig3aRowJSON struct {
+	Metric string  `json:"metric"`
+	NodeNM float64 `json:"node_nm"`
+	Value  float64 `json:"value"`
+}
+
+// ProjectionJSON is the accelerator-wall summary for one (domain, target)
+// pair: the physical limit of the Table V chip at 5 nm, the best existing
+// chip, and the bracketing wall projections in both relative and absolute
+// units.
+type ProjectionJSON struct {
+	Domain        string  `json:"domain"`
+	Target        string  `json:"target"`
+	PhysLimit     float64 `json:"phys_limit"`
+	CurrentBest   float64 `json:"current_best"`
+	ProjLog       float64 `json:"proj_log"`
+	ProjLinear    float64 `json:"proj_linear"`
+	RemainLog     float64 `json:"remain_log"`
+	RemainLinear  float64 `json:"remain_linear"`
+	WallLogAbs    float64 `json:"wall_log_abs"`
+	WallLinearAbs float64 `json:"wall_linear_abs"`
+	Unit          string  `json:"unit"`
+}
+
+// NewProjectionJSON converts one wall projection.
+func NewProjectionJSON(p projection.Projection) ProjectionJSON {
+	return ProjectionJSON{
+		Domain:        p.Domain.String(),
+		Target:        TargetName(p.Target),
+		PhysLimit:     p.PhysLimit,
+		CurrentBest:   p.CurrentBest,
+		ProjLog:       p.ProjLog,
+		ProjLinear:    p.ProjLinear,
+		RemainLog:     p.RemainLog,
+		RemainLinear:  p.RemainLinear,
+		WallLogAbs:    p.ProjLog * p.BaselineAbs,
+		WallLinearAbs: p.ProjLinear * p.BaselineAbs,
+		Unit:          p.Unit,
+	}
+}
+
+// AttributionJSON is the Figure 14 gain decomposition for one workload.
+type AttributionJSON struct {
+	App               string  `json:"app"`
+	Objective         string  `json:"objective"`
+	Partitioning      float64 `json:"partitioning"`
+	Heterogeneity     float64 `json:"heterogeneity"`
+	Simplification    float64 `json:"simplification"`
+	CMOS              float64 `json:"cmos"`
+	Total             float64 `json:"total"`
+	PctPartitioning   float64 `json:"pct_partitioning"`
+	PctHeterogeneity  float64 `json:"pct_heterogeneity"`
+	PctSimplification float64 `json:"pct_simplification"`
+	PctCMOS           float64 `json:"pct_cmos"`
+	CSR               float64 `json:"csr"`
+}
+
+// NewAttributionJSON converts one attribution row.
+func NewAttributionJSON(a sweep.Attribution) AttributionJSON {
+	return AttributionJSON{
+		App:               a.App,
+		Objective:         ObjectiveName(a.Objective),
+		Partitioning:      a.Partitioning,
+		Heterogeneity:     a.Heterogeneity,
+		Simplification:    a.Simplification,
+		CMOS:              a.CMOS,
+		Total:             a.Total,
+		PctPartitioning:   a.PctPartitioning,
+		PctHeterogeneity:  a.PctHeterogeneity,
+		PctSimplification: a.PctSimplification,
+		PctCMOS:           a.PctCMOS,
+		CSR:               a.CSR,
+	}
+}
+
+// SweepCloudRowJSON is one design point of the Figure 13 runtime/power
+// cloud.
+type SweepCloudRowJSON struct {
+	NodeNM         float64 `json:"node_nm"`
+	Partition      int     `json:"partition"`
+	Simplification int     `json:"simplification"`
+	Fusion         bool    `json:"fusion"`
+	RuntimeNS      float64 `json:"runtime_ns"`
+	PowerW         float64 `json:"power_w"`
+	EnergyEff      float64 `json:"energy_eff"`
+}
+
+// Fig13JSON is the typed Figure 13 payload: the full cloud plus the
+// energy-efficiency optimum.
+type Fig13JSON struct {
+	Points []SweepCloudRowJSON `json:"points"`
+	Best   SweepPointJSON      `json:"best"`
+}
+
+// HardwareRowJSON is one hardware-budget row (Figure 4b).
+type HardwareRowJSON struct {
+	Name           string  `json:"name"`
+	NodeNM         float64 `json:"node_nm"`
+	RelTransistors float64 `json:"rel_transistors"`
+	FreqMHz        float64 `json:"freq_mhz"`
+}
+
+// UtilizationRowJSON is one FPGA resource-utilization row (Figure 8b).
+type UtilizationRowJSON struct {
+	Name    string  `json:"name"`
+	Model   string  `json:"model"`
+	LUTPct  float64 `json:"lut_pct"`
+	DSPPct  float64 `json:"dsp_pct"`
+	BRAMPct float64 `json:"bram_pct"`
+	FreqMHz float64 `json:"freq_mhz"`
+}
+
+// GPUSeriesJSON summarizes one application's GPU gain series (Figure 5).
+type GPUSeriesJSON struct {
+	App       string  `json:"app"`
+	Target    string  `json:"target"`
+	TotalGain float64 `json:"total_gain"`
+	FinalCSR  float64 `json:"final_csr"`
+	Trend     string  `json:"trend"`
+}
+
+// WallConfigJSON is one Table V physical-parameter row.
+type WallConfigJSON struct {
+	Domain    string  `json:"domain"`
+	Platform  string  `json:"platform"`
+	DieMinMM2 float64 `json:"die_min_mm2"`
+	DieMaxMM2 float64 `json:"die_max_mm2"`
+	TDPW      float64 `json:"tdp_w"`
+	FreqMHz   float64 `json:"freq_mhz"`
+}
+
+// FigureJSON couples a figure identifier with its typed rows.
+type FigureJSON struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Rows  any    `json:"rows"`
+}
+
+// CaseStudyJSON is one Section IV case-study summary: every figure of the
+// domain, with typed rows.
+type CaseStudyJSON struct {
+	Domain  string       `json:"domain"`
+	Title   string       `json:"title"`
+	Figures []FigureJSON `json:"figures"`
+}
+
+// CaseStudyNames lists the served case-study identifiers.
+func CaseStudyNames() []string { return []string{"bitcoin", "videodec", "gpu", "fpgacnn"} }
+
+// CaseStudy builds the typed summary of one case-study domain. Valid names
+// are those of CaseStudyNames.
+func CaseStudy(name string) (CaseStudyJSON, error) {
+	switch name {
+	case "bitcoin":
+		return bitcoinCaseStudy()
+	case "videodec":
+		return videodecCaseStudy()
+	case "gpu":
+		return gpuCaseStudy()
+	case "fpgacnn":
+		return fpgacnnCaseStudy()
+	}
+	return CaseStudyJSON{}, fmt.Errorf("core: unknown case study %q (want one of %v)", name, CaseStudyNames())
+}
+
+func bitcoinCaseStudy() (CaseStudyJSON, error) {
+	cs := CaseStudyJSON{Domain: "bitcoin", Title: casestudy.DomainBitcoin.String()}
+	fig1, err := casestudy.Fig1()
+	if err != nil {
+		return CaseStudyJSON{}, err
+	}
+	rows := make([]CSRRowJSON, 0, len(fig1))
+	for _, r := range fig1 {
+		rows = append(rows, CSRRowJSON{
+			Name: r.Name, Year: r.Year, NodeNM: r.NodeNM,
+			Gain: r.RelPerformance, PhysicalGain: r.TransistorPerformance, CSR: r.CSR,
+		})
+	}
+	cs.Figures = append(cs.Figures, FigureJSON{ID: "fig1", Title: "Bitcoin ASIC evolution", Rows: rows})
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		fig9, err := casestudy.Fig9(target)
+		if err != nil {
+			return CaseStudyJSON{}, err
+		}
+		rows := make([]CSRRowJSON, 0, len(fig9))
+		for _, r := range fig9 {
+			rows = append(rows, CSRRowJSON{
+				Name: r.Name, Kind: r.Kind.String(), Year: r.Year, NodeNM: r.NodeNM,
+				Gain: r.RelGain, CSR: r.CSR,
+			})
+		}
+		id := "fig9a"
+		if target == gains.TargetEfficiency {
+			id = "fig9b"
+		}
+		cs.Figures = append(cs.Figures, FigureJSON{
+			ID: id, Title: "Cross-platform mining, " + TargetName(target), Rows: rows,
+		})
+	}
+	return cs, nil
+}
+
+func videodecCaseStudy() (CaseStudyJSON, error) {
+	cs := CaseStudyJSON{Domain: "videodec", Title: casestudy.DomainVideoDecode.String()}
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		fig4, err := casestudy.Fig4(target)
+		if err != nil {
+			return CaseStudyJSON{}, err
+		}
+		rows := make([]CSRRowJSON, 0, len(fig4))
+		for _, r := range fig4 {
+			rows = append(rows, CSRRowJSON{Name: r.Pub, Year: r.Year, NodeNM: r.NodeNM, Gain: r.RelGain, CSR: r.CSR})
+		}
+		id := "fig4a"
+		if target == gains.TargetEfficiency {
+			id = "fig4c"
+		}
+		cs.Figures = append(cs.Figures, FigureJSON{
+			ID: id, Title: "Decoder ASIC gains, " + TargetName(target), Rows: rows,
+		})
+	}
+	fig4b, err := casestudy.Fig4b()
+	if err != nil {
+		return CaseStudyJSON{}, err
+	}
+	hw := make([]HardwareRowJSON, 0, len(fig4b))
+	for _, r := range fig4b {
+		hw = append(hw, HardwareRowJSON{Name: r.Pub, NodeNM: r.NodeNM, RelTransistors: r.RelTransistors, FreqMHz: r.FreqMHz})
+	}
+	cs.Figures = append(cs.Figures, FigureJSON{ID: "fig4b", Title: "Decoder hardware budget", Rows: hw})
+	return cs, nil
+}
+
+func gpuCaseStudy() (CaseStudyJSON, error) {
+	cs := CaseStudyJSON{Domain: "gpu", Title: casestudy.DomainGPUGraphics.String()}
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		series, err := casestudy.Fig5(target)
+		if err != nil {
+			return CaseStudyJSON{}, err
+		}
+		rows := make([]GPUSeriesJSON, 0, len(series))
+		for _, sr := range series {
+			rows = append(rows, GPUSeriesJSON{
+				App: sr.App.Name, Target: TargetName(target),
+				TotalGain: sr.TotalGain, FinalCSR: sr.FinalCSR, Trend: sr.TrendRel.String(),
+			})
+		}
+		id := "fig5a"
+		if target == gains.TargetEfficiency {
+			id = "fig5b"
+		}
+		cs.Figures = append(cs.Figures, FigureJSON{
+			ID: id, Title: "GPU frame-rate series, " + TargetName(target), Rows: rows,
+		})
+	}
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		points, err := casestudy.ArchScaling(target)
+		if err != nil {
+			return CaseStudyJSON{}, err
+		}
+		rows := make([]CSRRowJSON, 0, len(points))
+		for _, p := range points {
+			rows = append(rows, CSRRowJSON{Name: p.Arch, Year: p.Year, NodeNM: p.NodeNM, Gain: p.RelGain, CSR: p.CSR})
+		}
+		id, title := "fig6", "Architecture + CMOS scaling, performance"
+		if target == gains.TargetEfficiency {
+			id, title = "fig7", "Architecture + CMOS scaling, efficiency"
+		}
+		cs.Figures = append(cs.Figures, FigureJSON{ID: id, Title: title, Rows: rows})
+	}
+	return cs, nil
+}
+
+func fpgacnnCaseStudy() (CaseStudyJSON, error) {
+	cs := CaseStudyJSON{Domain: "fpgacnn", Title: casestudy.DomainFPGACNN.String()}
+	for _, target := range []gains.Target{gains.TargetThroughput, gains.TargetEfficiency} {
+		var rows []CSRRowJSON
+		for _, model := range []casestudy.CNNModel{casestudy.AlexNet, casestudy.VGG16} {
+			fig8, err := casestudy.Fig8(model, target)
+			if err != nil {
+				return CaseStudyJSON{}, err
+			}
+			for _, r := range fig8 {
+				rows = append(rows, CSRRowJSON{
+					Name: r.Pub, Kind: r.Model.String(), Year: r.Year, NodeNM: r.NodeNM,
+					Gain: r.RelGain, CSR: r.CSR,
+				})
+			}
+		}
+		id := "fig8a"
+		if target == gains.TargetEfficiency {
+			id = "fig8c"
+		}
+		cs.Figures = append(cs.Figures, FigureJSON{
+			ID: id, Title: "FPGA CNN gains, " + TargetName(target), Rows: rows,
+		})
+	}
+	var util []UtilizationRowJSON
+	for _, model := range []casestudy.CNNModel{casestudy.AlexNet, casestudy.VGG16} {
+		for _, r := range casestudy.Fig8b(model) {
+			util = append(util, UtilizationRowJSON{
+				Name: r.Pub, Model: r.Model.String(),
+				LUTPct: r.UtilLUT, DSPPct: r.UtilDSP, BRAMPct: r.UtilBRAM, FreqMHz: r.FreqMHz,
+			})
+		}
+	}
+	cs.Figures = append(cs.Figures, FigureJSON{ID: "fig8b", Title: "FPGA resource utilization", Rows: util})
+	return cs, nil
+}
+
+// ExperimentJSON is one experiment's machine-readable payload. Rows holds
+// typed rows where the experiment has a structured codec; experiments that
+// are inherently textual (static figures, concept tables) fall back to the
+// rendered Text.
+type ExperimentJSON struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Rows  any    `json:"rows,omitempty"`
+	Text  string `json:"text,omitempty"`
+}
+
+// ExperimentJSON builds the machine-readable payload of one experiment,
+// resolving both paper experiments and extensions. It shares the row
+// codecs with the accelwalld HTTP API.
+func (s *Study) ExperimentJSON(id string) (ExperimentJSON, error) {
+	e, err := ExperimentByID(id)
+	if err != nil {
+		return ExperimentJSON{}, err
+	}
+	out := ExperimentJSON{ID: e.ID, Title: e.Title}
+	switch id {
+	case "fig1":
+		cs, err := bitcoinCaseStudy()
+		if err != nil {
+			return ExperimentJSON{}, err
+		}
+		out.Rows = cs.Figures[0].Rows
+	case "fig3a":
+		rows, err := cmos.Fig3a()
+		if err != nil {
+			return ExperimentJSON{}, err
+		}
+		jrows := make([]Fig3aRowJSON, 0, len(rows))
+		for _, r := range rows {
+			jrows = append(jrows, Fig3aRowJSON{Metric: r.Metric.String(), NodeNM: r.NodeNM, Value: r.Value})
+		}
+		out.Rows = jrows
+	case "fig4a", "fig4b", "fig4c":
+		out.Rows, err = caseStudyFigure("videodec", id)
+	case "fig5a", "fig5b", "fig6", "fig7":
+		out.Rows, err = caseStudyFigure("gpu", id)
+	case "fig8a", "fig8b", "fig8c":
+		out.Rows, err = caseStudyFigure("fpgacnn", id)
+	case "fig9a", "fig9b":
+		out.Rows, err = caseStudyFigure("bitcoin", id)
+	case "fig13":
+		out.Rows, err = s.Fig13JSON()
+	case "fig14":
+		var attrs []AttributionJSON
+		for _, objective := range []sweep.Objective{sweep.Performance, sweep.Efficiency} {
+			rows, err := s.Fig14Attributions(objective)
+			if err != nil {
+				return ExperimentJSON{}, err
+			}
+			for _, a := range rows {
+				attrs = append(attrs, NewAttributionJSON(a))
+			}
+		}
+		out.Rows = attrs
+	case "fig15", "fig16":
+		run := projection.Fig15
+		if id == "fig16" {
+			run = projection.Fig16
+		}
+		projs, err := run()
+		if err != nil {
+			return ExperimentJSON{}, err
+		}
+		rows := make([]ProjectionJSON, 0, len(projs))
+		for _, p := range projs {
+			rows = append(rows, NewProjectionJSON(p))
+		}
+		out.Rows = rows
+	case "table5":
+		rows := projection.TableV()
+		jrows := make([]WallConfigJSON, 0, len(rows))
+		for _, r := range rows {
+			jrows = append(jrows, WallConfigJSON{
+				Domain: r.Domain.String(), Platform: r.Platform,
+				DieMinMM2: r.DieMinMM2, DieMaxMM2: r.DieMaxMM2, TDPW: r.TDPW, FreqMHz: r.FreqMHz,
+			})
+		}
+		out.Rows = jrows
+	default:
+		out.Text, err = e.Run(s)
+	}
+	if err != nil {
+		return ExperimentJSON{}, err
+	}
+	return out, nil
+}
+
+// caseStudyFigure extracts one figure's typed rows from a case-study
+// summary.
+func caseStudyFigure(domain, figID string) (any, error) {
+	cs, err := CaseStudy(domain)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range cs.Figures {
+		if f.ID == figID {
+			return f.Rows, nil
+		}
+	}
+	return nil, fmt.Errorf("core: case study %q has no figure %q", domain, figID)
+}
+
+// Fig13JSON computes the typed Figure 13 payload over the study's grid.
+func (s *Study) Fig13JSON() (Fig13JSON, error) {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		return Fig13JSON{}, err
+	}
+	g, err := spec.Build(0)
+	if err != nil {
+		return Fig13JSON{}, err
+	}
+	rows, best, err := sweep.Fig13(g, s.Sweep, s.Workers)
+	if err != nil {
+		return Fig13JSON{}, err
+	}
+	out := Fig13JSON{Best: NewSweepPointJSON(best)}
+	out.Points = make([]SweepCloudRowJSON, 0, len(rows))
+	for _, r := range rows {
+		out.Points = append(out.Points, SweepCloudRowJSON{
+			NodeNM: r.NodeNM, Partition: r.Partition, Simplification: r.Simplification,
+			Fusion: r.Fusion, RuntimeNS: r.RuntimeNS, PowerW: r.PowerW, EnergyEff: r.EnergyEff,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+
+	"accelwall/internal/core"
+	"accelwall/internal/dfg"
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+	"sync"
+)
+
+// engineCache is an LRU of compiled sweep engines keyed by
+// "workload@size", with singleflight-style deduplication: when several
+// requests for the same cold workload arrive at once, one goroutine
+// compiles while the rest wait on the entry's ready channel, so each
+// workload graph is compiled exactly once per residency. Entries carry the
+// engine's memoized simulations with them, which is the whole point of the
+// daemon: the expensive per-workload state outlives any one request.
+type engineCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*engineEntry
+	lru     *list.List // front = most recent; values are keys (string)
+	load    func(key string) (*sweep.Engine, error)
+	metrics *Metrics
+}
+
+type engineEntry struct {
+	ready chan struct{} // closed when eng/err are set
+	eng   *sweep.Engine
+	err   error
+	elem  *list.Element
+}
+
+// newEngineCache builds a cache of at most max engines (max <= 0 selects
+// 32) loading through load.
+func newEngineCache(max int, metrics *Metrics, load func(key string) (*sweep.Engine, error)) *engineCache {
+	if max <= 0 {
+		max = 32
+	}
+	return &engineCache{
+		max:     max,
+		entries: make(map[string]*engineEntry),
+		lru:     list.New(),
+		load:    load,
+		metrics: metrics,
+	}
+}
+
+// get returns the engine for the key, compiling it at most once no matter
+// how many goroutines ask concurrently. Failed loads are not cached.
+func (c *engineCache) get(key string) (*sweep.Engine, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		c.metrics.EngineHits.Add(1)
+		<-e.ready
+		return e.eng, e.err
+	}
+	e := &engineEntry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+	// Evict the least-recent *ready* engines beyond capacity. In-flight
+	// compiles are skipped: their waiters hold the entry pointer.
+	for c.lru.Len() > c.max {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			k := el.Value.(string)
+			victim := c.entries[k]
+			select {
+			case <-victim.ready:
+			default:
+				continue // still compiling
+			}
+			c.lru.Remove(el)
+			delete(c.entries, k)
+			c.metrics.EngineEvicted.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	c.mu.Unlock()
+
+	c.metrics.EngineMisses.Add(1)
+	e.eng, e.err = c.load(key)
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Only remove our own failed entry; it may already be evicted.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.eng, e.err
+}
+
+// len reports resident entries (including in-flight loads).
+func (c *engineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// engineKey normalizes a workload reference onto its cache key.
+func engineKey(workload string, size int) string {
+	if size < 0 {
+		size = 0
+	}
+	return fmt.Sprintf("%s@%d", workload, size)
+}
+
+// buildWorkload resolves a kernel name across the three registries — a
+// Table IV abbreviation (S3D), an algorithm variant (GMM/strassen), or a
+// case-study domain kernel (SHA256d) — and builds its DFG at the given
+// problem size (<= 0 selects the kernel default).
+func buildWorkload(name string, size int) (*dfg.Graph, error) {
+	if spec, err := workloads.ByAbbrev(name); err == nil {
+		return spec.Build(size)
+	}
+	if v, err := workloads.VariantByName(name); err == nil {
+		return v.Build(size)
+	}
+	if k, err := workloads.DomainKernelByName(name); err == nil {
+		return k.Build(size)
+	}
+	return nil, fmt.Errorf("unknown workload %q (see /v1/workloads)", name)
+}
+
+// loadEngine is the engineCache loader: parse the key, build the graph,
+// compile. The compile counter feeds both /v1/metrics and the
+// compile-once test.
+func (s *Server) loadEngine(key string) (*sweep.Engine, error) {
+	name, sizeStr, ok := strings.Cut(key, "@")
+	if !ok {
+		return nil, fmt.Errorf("malformed engine key %q", key)
+	}
+	size := 0
+	fmt.Sscanf(sizeStr, "%d", &size) //nolint:errcheck // key built by engineKey
+	g, err := buildWorkload(name, size)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Compiles.Add(1)
+	return sweep.NewEngine(g)
+}
+
+// studyKey identifies one fitted model configuration.
+type studyKey struct {
+	published bool
+	seed      int64
+}
+
+// studyCache memoizes fitted studies per seed with the same singleflight
+// discipline as engineCache. Studies are small and there are few seeds in
+// practice, so no eviction.
+type studyCache struct {
+	mu      sync.Mutex
+	entries map[studyKey]*studyEntry
+	metrics *Metrics
+}
+
+type studyEntry struct {
+	ready chan struct{}
+	study *core.Study
+	err   error
+}
+
+func newStudyCache(metrics *Metrics) *studyCache {
+	return &studyCache{entries: make(map[studyKey]*studyEntry), metrics: metrics}
+}
+
+// get returns the fitted study for the key, fitting the corpus regressions
+// at most once per key.
+func (c *studyCache) get(key studyKey, workers int, grid sweep.Params) (*core.Study, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.metrics.StudyHits.Add(1)
+		<-e.ready
+		return e.study, e.err
+	}
+	e := &studyEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.metrics.StudyFits.Add(1)
+	if key.published {
+		e.study = core.NewPublished()
+	} else {
+		e.study, e.err = core.New(key.seed)
+	}
+	if e.study != nil {
+		e.study.Workers = workers
+		e.study.Sweep = grid
+	}
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.study, e.err
+}

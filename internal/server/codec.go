@@ -1,0 +1,58 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; design lists are small and grids are
+// described intensionally, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// apiError is the uniform error envelope of every non-2xx response.
+type apiError struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeJSON encodes v with an explicit status. Encoding errors at this
+// point can only be programming mistakes; they are surfaced on the
+// connection as a trailing failure, not hidden.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are sent; nothing left to do
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	var e apiError
+	e.Error.Code = status
+	e.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, e)
+}
+
+// decodeJSON strictly decodes the request body into v: unknown fields,
+// trailing garbage, and bodies over maxBodyBytes are errors.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("body exceeds %d bytes", maxErr.Limit)
+		}
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}

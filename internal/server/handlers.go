@@ -1,0 +1,383 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/cmos"
+	"accelwall/internal/core"
+	"accelwall/internal/csr"
+	"accelwall/internal/gains"
+	"accelwall/internal/projection"
+	"accelwall/internal/sweep"
+	"accelwall/internal/workloads"
+)
+
+// handleHealthz is the liveness probe: cheap, unthrottled, no model state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the operational counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// handleCMOS serves the node-scaling model: every modeled node, or one
+// (possibly interpolated) node via ?node=7.5.
+func (s *Server) handleCMOS(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("node"); q != "" {
+		nm, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad node %q: %v", q, err)
+			return
+		}
+		n, err := cmos.Lookup(nm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, core.NewCMOSNodeJSON(n))
+		return
+	}
+	nodes := cmos.Nodes()
+	out := make([]core.CMOSNodeJSON, 0, len(nodes))
+	for _, nm := range nodes {
+		n, err := cmos.Lookup(nm)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		out = append(out, core.NewCMOSNodeJSON(n))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": out})
+}
+
+// chipJSON is the wire form of a gains.Config.
+type chipJSON struct {
+	NodeNM  float64 `json:"node_nm"`
+	DieMM2  float64 `json:"die_mm2"`
+	TDPW    float64 `json:"tdp_w"`
+	FreqGHz float64 `json:"freq_ghz"`
+}
+
+func (c chipJSON) config() gains.Config {
+	return gains.Config{NodeNM: c.NodeNM, DieMM2: c.DieMM2, TDPW: c.TDPW, FreqGHz: c.FreqGHz}
+}
+
+// csrRequest is the body of POST /v1/csr: a series of chip observations to
+// decompose against a baseline under the CMOS potential model (Equation 1
+// in ratio form).
+type csrRequest struct {
+	Target        string `json:"target"` // performance | efficiency
+	Model         string `json:"model"`  // cmos (default) | device
+	Published     bool   `json:"published"`
+	Seed          int64  `json:"seed"`
+	BaselineIndex int    `json:"baseline_index"`
+	Observations  []struct {
+		Name string   `json:"name"`
+		Gain float64  `json:"gain"`
+		Year float64  `json:"year"`
+		Chip chipJSON `json:"chip"`
+	} `json:"observations"`
+}
+
+// handleCSR decomposes arbitrary chip observations into reported gain,
+// physical (CMOS-driven) gain, and specialization return.
+func (s *Server) handleCSR(w http.ResponseWriter, r *http.Request) {
+	var req csrRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	target, err := core.ParseTarget(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	var model csr.Physical
+	switch req.Model {
+	case "", "cmos":
+		study, err := s.study(req.Published, req.Seed)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "fitting study: %v", err)
+			return
+		}
+		model = study.Gains
+	case "device":
+		model = casestudy.DevicePotential{}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown model %q (want cmos or device)", req.Model)
+		return
+	}
+	obs := make([]csr.Observation, 0, len(req.Observations))
+	for _, o := range req.Observations {
+		obs = append(obs, csr.Observation{Name: o.Name, Gain: o.Gain, Year: o.Year, Chip: o.Chip.config()})
+	}
+	rows, err := csr.Analyze(model, target, obs, req.BaselineIndex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"target": core.TargetName(target),
+		"rows":   core.NewCSRRows(rows),
+	})
+}
+
+// handleProjection serves the accelerator-wall projections of Figures 15
+// and 16, optionally filtered by ?target=.
+func (s *Server) handleProjection(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("target")
+	var runs []func() ([]projection.Projection, error)
+	switch q {
+	case "":
+		runs = []func() ([]projection.Projection, error){projection.Fig15, projection.Fig16}
+	default:
+		target, err := core.ParseTarget(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if target == gains.TargetEfficiency {
+			runs = []func() ([]projection.Projection, error){projection.Fig16}
+		} else {
+			runs = []func() ([]projection.Projection, error){projection.Fig15}
+		}
+	}
+	var out []core.ProjectionJSON
+	for _, run := range runs {
+		projs, err := run()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for _, p := range projs {
+			out = append(out, core.NewProjectionJSON(p))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"projections": out})
+}
+
+// handleCaseStudy serves one Section IV case-study summary.
+func (s *Server) handleCaseStudy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	cs, err := core.CaseStudy(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cs)
+}
+
+// handleExperiments lists every experiment id the daemon can run.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Kind  string `json:"kind"`
+	}
+	var out []row
+	for _, e := range core.Experiments() {
+		out = append(out, row{ID: e.ID, Title: e.Title, Kind: "paper"})
+	}
+	for _, e := range core.Extensions() {
+		out = append(out, row{ID: e.ID, Title: e.Title, Kind: "extension"})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// handleExperiment runs one experiment against the daemon's default study
+// and returns its machine-readable payload.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	study, err := s.study(s.opts.Published, s.opts.Seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "fitting study: %v", err)
+		return
+	}
+	out, err := study.ExperimentJSON(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if _, lookupErr := core.ExperimentByID(id); lookupErr != nil {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleWorkloads lists the kernels /v1/sweep accepts, across the three
+// registries.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Domain string `json:"domain,omitempty"`
+		Full   string `json:"full_name,omitempty"`
+	}
+	var out []row
+	for _, spec := range workloads.All() {
+		out = append(out, row{Name: spec.Abbrev, Kind: "table4", Domain: spec.Domain, Full: spec.Name})
+	}
+	for _, v := range workloads.Variants() {
+		out = append(out, row{Name: v.Base + "/" + v.Name, Kind: "variant", Full: v.Effect})
+	}
+	for _, k := range workloads.DomainKernels() {
+		out = append(out, row{Name: k.Name, Kind: "domain", Domain: k.Domain})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+// gridJSON describes a sweep grid intensionally.
+type gridJSON struct {
+	Nodes           []float64 `json:"nodes"`
+	Partitions      []int     `json:"partitions"`
+	Simplifications []int     `json:"simplifications"`
+	Fusion          []bool    `json:"fusion"`
+}
+
+func (g gridJSON) params() sweep.Params {
+	return sweep.Params{
+		Nodes:           g.Nodes,
+		Partitions:      g.Partitions,
+		Simplifications: g.Simplifications,
+		Fusion:          g.Fusion,
+	}
+}
+
+// sweepRequest is the body of POST /v1/sweep. Exactly one of Designs
+// (evaluate these points) or Grid (sweep this grid) must be set; the
+// string presets "reduced" and "full" select the Table III grids.
+type sweepRequest struct {
+	Workload      string            `json:"workload"`
+	Size          int               `json:"size"`
+	Objective     string            `json:"objective"`
+	Designs       []core.DesignJSON `json:"designs"`
+	Grid          *gridJSON         `json:"grid"`
+	Preset        string            `json:"preset"` // "" | reduced | full
+	Workers       int               `json:"workers"`
+	IncludePoints bool              `json:"include_points"`
+}
+
+// sweepResponse is the /v1/sweep payload.
+type sweepResponse struct {
+	Workload  string                   `json:"workload"`
+	Objective string                   `json:"objective"`
+	Evaluated int                      `json:"evaluated"`
+	Cached    int                      `json:"cached_points"`
+	Points    []core.SweepPointJSON    `json:"points,omitempty"`
+	Best      *core.SweepPointJSON     `json:"best,omitempty"`
+	Frontier  []core.FrontierPointJSON `json:"frontier,omitempty"`
+}
+
+// handleSweep evaluates single design points or a grid on the workload's
+// cached engine. Concurrent identical requests share one compilation (the
+// engine cache deduplicates) and one memo table (the engine itself).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload")
+		return
+	}
+	objective, err := core.ParseObjective(req.Objective)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var grid *sweep.Params
+	switch {
+	case req.Grid != nil && req.Preset != "":
+		writeError(w, http.StatusBadRequest, "grid and preset are mutually exclusive")
+		return
+	case req.Grid != nil:
+		p := req.Grid.params()
+		grid = &p
+	case req.Preset == "reduced":
+		p := sweep.Reduced()
+		grid = &p
+	case req.Preset == "full":
+		p := sweep.Default()
+		grid = &p
+	case req.Preset != "":
+		writeError(w, http.StatusBadRequest, "unknown preset %q (want reduced or full)", req.Preset)
+		return
+	}
+	if grid == nil && len(req.Designs) == 0 {
+		writeError(w, http.StatusBadRequest, "provide designs, a grid, or a preset")
+		return
+	}
+	if grid != nil && len(req.Designs) > 0 {
+		writeError(w, http.StatusBadRequest, "designs and grid/preset are mutually exclusive")
+		return
+	}
+	if grid != nil {
+		if err := grid.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if n := len(grid.Nodes) * len(grid.Partitions) * len(grid.Simplifications) * len(grid.Fusion); n > s.opts.MaxGridPoints {
+			writeError(w, http.StatusBadRequest, "grid has %d points, limit %d", n, s.opts.MaxGridPoints)
+			return
+		}
+	}
+	if len(req.Designs) > s.opts.MaxGridPoints {
+		writeError(w, http.StatusBadRequest, "design list has %d points, limit %d", len(req.Designs), s.opts.MaxGridPoints)
+		return
+	}
+
+	eng, err := s.engines.get(engineKey(req.Workload, req.Size))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+
+	resp := sweepResponse{Workload: req.Workload, Objective: core.ObjectiveName(objective)}
+	var points []sweep.Point
+	if grid != nil {
+		points, err = eng.Run(*grid, workers)
+	} else {
+		points = make([]sweep.Point, 0, len(req.Designs))
+		for _, dj := range req.Designs {
+			d := dj.Design()
+			res, evalErr := eng.Evaluate(d)
+			if evalErr != nil {
+				err = evalErr
+				break
+			}
+			points = append(points, sweep.Point{Design: d, Result: res})
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp.Evaluated = len(points)
+	resp.Cached = eng.CachedPoints()
+	if best, err := sweep.Best(points, objective); err == nil {
+		bj := core.NewSweepPointJSON(best)
+		resp.Best = &bj
+	}
+	resp.Frontier = core.NewFrontierJSON(sweep.DesignFrontier(points))
+	if req.IncludePoints || grid == nil {
+		resp.Points = make([]core.SweepPointJSON, 0, len(points))
+		for _, p := range points {
+			resp.Points = append(resp.Points, core.NewSweepPointJSON(p))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

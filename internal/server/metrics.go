@@ -1,0 +1,128 @@
+package server
+
+import (
+	"expvar"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// request-latency histogram; requests slower than the last bound land in
+// the +Inf bucket.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Metrics holds the server's operational counters. All fields are expvar
+// vars, so every update is lock-free and safe under concurrent request
+// handling; Snapshot renders them as one JSON-ready tree for /v1/metrics.
+type Metrics struct {
+	Requests  expvar.Int // completed requests, any status
+	Errors4xx expvar.Int
+	Errors5xx expvar.Int
+	InFlight  expvar.Int // currently executing requests (gauge)
+	Panics    expvar.Int // handler panics recovered
+
+	// Compile/cache telemetry for the process-lifetime state.
+	Compiles      expvar.Int // workload graphs compiled (engine-cache loads)
+	EngineHits    expvar.Int
+	EngineMisses  expvar.Int
+	EngineEvicted expvar.Int
+	StudyFits     expvar.Int // corpus regressions fitted (study-cache loads)
+	StudyHits     expvar.Int
+
+	LatencySumMS expvar.Float
+	latency      []expvar.Int // len(latencyBucketsMS)+1; last is +Inf
+
+	mu       sync.Mutex
+	perRoute map[string]*expvar.Int
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		latency:  make([]expvar.Int, len(latencyBucketsMS)+1),
+		perRoute: make(map[string]*expvar.Int),
+	}
+}
+
+// Observe records one completed request: its route, status class, and
+// latency.
+func (m *Metrics) Observe(route string, status int, d time.Duration) {
+	m.Requests.Add(1)
+	switch {
+	case status >= 500:
+		m.Errors5xx.Add(1)
+	case status >= 400:
+		m.Errors4xx.Add(1)
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	m.LatencySumMS.Add(ms)
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	m.latency[i].Add(1)
+
+	m.mu.Lock()
+	c, ok := m.perRoute[route]
+	if !ok {
+		c = new(expvar.Int)
+		m.perRoute[route] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// Snapshot renders the counters as a JSON-encodable tree.
+func (m *Metrics) Snapshot() map[string]any {
+	buckets := make(map[string]int64, len(m.latency))
+	for i, b := range latencyBucketsMS {
+		buckets[bucketLabel(b)] = m.latency[i].Value()
+	}
+	buckets["inf"] = m.latency[len(latencyBucketsMS)].Value()
+
+	m.mu.Lock()
+	routes := make(map[string]int64, len(m.perRoute))
+	for r, c := range m.perRoute {
+		routes[r] = c.Value()
+	}
+	m.mu.Unlock()
+
+	return map[string]any{
+		"requests":   m.Requests.Value(),
+		"errors_4xx": m.Errors4xx.Value(),
+		"errors_5xx": m.Errors5xx.Value(),
+		"in_flight":  m.InFlight.Value(),
+		"panics":     m.Panics.Value(),
+		"engine_cache": map[string]int64{
+			"hits":     m.EngineHits.Value(),
+			"misses":   m.EngineMisses.Value(),
+			"evicted":  m.EngineEvicted.Value(),
+			"compiles": m.Compiles.Value(),
+		},
+		"study_cache": map[string]int64{
+			"hits": m.StudyHits.Value(),
+			"fits": m.StudyFits.Value(),
+		},
+		"latency_ms": map[string]any{
+			"sum":     m.LatencySumMS.Value(),
+			"buckets": buckets,
+		},
+		"per_route": routes,
+	}
+}
+
+// bucketLabel formats a histogram bound as a stable map key ("le_25").
+func bucketLabel(b float64) string {
+	return "le_" + strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// publishOnce exposes the first-created server's metrics in the global
+// expvar registry (GET /debug/vars when the caller mounts it) under the
+// key "accelwalld". Later servers — the test suite constructs many — keep
+// private metrics only, since expvar forbids re-publishing a name.
+var publishOnce sync.Once
+
+func (m *Metrics) publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("accelwalld", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}

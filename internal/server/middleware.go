@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the outermost middleware: panic recovery, in-flight
+// gauge, access logging, and per-route metrics. route is the registration
+// pattern, recorded verbatim so /v1/metrics aggregates by endpoint rather
+// than by raw URL.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.metrics.InFlight.Add(1)
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			if v := recover(); v != nil {
+				s.metrics.Panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			d := time.Since(start)
+			s.metrics.Observe(route, sw.status, d)
+			s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, d.Round(time.Microsecond))
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// limit applies the heavy-endpoint policy: a bounded worker-admission
+// semaphore (so a burst of sweeps cannot fork an unbounded number of
+// simulation pools) followed by a hard request timeout. The timeout handler cancels the request context and replies
+// 503 with a JSON envelope once the deadline passes.
+func (s *Server) limit(h http.Handler) http.Handler {
+	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "server saturated, request abandoned while queued")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+	if s.opts.RequestTimeout <= 0 {
+		return limited
+	}
+	return http.TimeoutHandler(limited, s.opts.RequestTimeout,
+		`{"error":{"code":503,"message":"request timed out"}}`)
+}
+
+// logf writes to the configured logger; a nil logger silences access logs
+// (the test suite) while errors still surface in responses.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,203 @@
+// Package server is the HTTP/JSON serving layer over the accelerator-wall
+// model stack: the accelwalld daemon. Where the accelwall CLI re-fits the
+// datasheet corpus and re-compiles workload graphs on every invocation,
+// the server holds that state for the life of the process — fitted studies
+// per seed, and an LRU of compiled sweep engines (each carrying its
+// memoized simulations) with singleflight deduplication so concurrent
+// identical requests compile a workload exactly once.
+//
+// Endpoint groups (see docs/API.md for the wire formats):
+//
+//	GET  /healthz                  liveness
+//	GET  /v1/metrics               request/latency/cache counters (expvar-backed)
+//	GET  /v1/cmos[?node=N]         CMOS node-scaling model
+//	POST /v1/csr                   CSR decomposition of chip observations
+//	GET  /v1/projection[?target=]  accelerator-wall projections (Fig. 15/16)
+//	GET  /v1/casestudy/{name}      bitcoin | videodec | gpu | fpgacnn
+//	POST /v1/sweep                 design-point / grid evaluation
+//	GET  /v1/workloads             kernels /v1/sweep accepts
+//	GET  /v1/experiments           experiment registry
+//	GET  /v1/experiments/{id}      one experiment, machine-readable
+//
+// Every /v1 endpoint (except /v1/metrics) flows through panic recovery,
+// access logging, per-route metrics, a bounded admission semaphore, and a
+// hard request timeout.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"accelwall/internal/core"
+	"accelwall/internal/sweep"
+)
+
+// Options configures a Server. The zero value is usable: seed-1 corpus,
+// GOMAXPROCS sweep pools, 60 s request timeout, 32-engine cache.
+type Options struct {
+	// Seed selects the synthetic datasheet corpus of the default study;
+	// Published substitutes the paper's regression constants instead.
+	Seed      int64
+	Published bool
+
+	// Workers sizes each sweep's simulation pool (<= 0: GOMAXPROCS).
+	Workers int
+
+	// FullGrid switches the default study's design-space experiments to
+	// the full Table III grid.
+	FullGrid bool
+
+	// RequestTimeout bounds each /v1 request end to end (<= 0: 60 s;
+	// the field is respected verbatim once Normalize has run).
+	RequestTimeout time.Duration
+
+	// MaxInflight bounds concurrently executing /v1 requests; excess
+	// requests queue until a slot frees or the client gives up
+	// (<= 0: 2 × GOMAXPROCS).
+	MaxInflight int
+
+	// EngineCacheSize bounds resident compiled workload engines
+	// (<= 0: 32).
+	EngineCacheSize int
+
+	// MaxGridPoints rejects sweep requests whose grid enumerates more
+	// points (<= 0: 65536 — the full Table III grid is 3,640).
+	MaxGridPoints int
+
+	// ShutdownTimeout bounds the graceful drain on Serve cancellation
+	// (<= 0: 15 s).
+	ShutdownTimeout time.Duration
+
+	// Logger receives access logs and panics; nil silences logging.
+	Logger *log.Logger
+}
+
+// normalize fills defaulted fields in place.
+func (o *Options) normalize() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.EngineCacheSize <= 0 {
+		o.EngineCacheSize = 32
+	}
+	if o.MaxGridPoints <= 0 {
+		o.MaxGridPoints = 65536
+	}
+	if o.ShutdownTimeout <= 0 {
+		o.ShutdownTimeout = 15 * time.Second
+	}
+}
+
+// Server is the accelwalld HTTP server: routing plus the process-lifetime
+// model state.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	engines *engineCache
+	studies *studyCache
+	sem     chan struct{}
+	handler http.Handler
+}
+
+// New builds a server; no model state is fitted until the first request
+// needs it.
+func New(opts Options) *Server {
+	opts.normalize()
+	s := &Server{
+		opts:    opts,
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+	}
+	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
+	s.studies = newStudyCache(s.metrics)
+	s.handler = s.routes()
+	s.metrics.publish()
+	return s
+}
+
+// study returns the fitted study for a configuration, memoized across
+// requests.
+func (s *Server) study(published bool, seed int64) (*core.Study, error) {
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	grid := sweep.Reduced()
+	if s.opts.FullGrid {
+		grid = sweep.Default()
+	}
+	return s.studies.get(studyKey{published: published, seed: seed}, s.opts.Workers, grid)
+}
+
+// routes assembles the handler tree: observability endpoints bypass the
+// admission/timeout policy, everything else runs under it.
+func (s *Server) routes() http.Handler {
+	// The throttled API mux.
+	api := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		api.Handle(pattern, s.instrument(pattern, s.limit(h)))
+	}
+	route("GET /v1/cmos", s.handleCMOS)
+	route("POST /v1/csr", s.handleCSR)
+	route("GET /v1/projection", s.handleProjection)
+	route("GET /v1/casestudy/{name}", s.handleCaseStudy)
+	route("POST /v1/sweep", s.handleSweep)
+	route("GET /v1/workloads", s.handleWorkloads)
+	route("GET /v1/experiments", s.handleExperiments)
+	route("GET /v1/experiments/{id}", s.handleExperiment)
+
+	// Observability: instrumented but never throttled or timed out, so
+	// probes stay truthful under saturation.
+	api.Handle("GET /healthz", s.instrument("GET /healthz", http.HandlerFunc(s.handleHealthz)))
+	api.Handle("GET /v1/metrics", s.instrument("GET /v1/metrics", http.HandlerFunc(s.handleMetrics)))
+	return api
+}
+
+// Handler returns the server's root handler, for embedding and tests.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests drain
+// (bounded by Options.ShutdownTimeout), and Serve returns nil on a clean
+// drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("shutting down: draining in-flight requests (timeout %s)", s.opts.ShutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("accelwalld listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}

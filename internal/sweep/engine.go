@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+)
+
+// Engine is a process-lifetime, concurrency-safe design-point evaluator
+// over one compiled workload graph. It is the exported hook long-lived
+// services build on: the graph is compiled exactly once, every simulation
+// is memoized under the normalized cache key (partition plateau clamped,
+// zero-value defaults spelled out), and any number of goroutines may call
+// Evaluate, Warm, and Run concurrently — the memo table is guarded by a
+// read-write lock while the underlying *aladdin.Compiled is immutable and
+// shared by all workers.
+//
+// Unlike the per-call Run/RunParallel entry points, an Engine keeps its
+// cache across calls, so repeated sweeps over overlapping grids (the
+// serving workload) only simulate the points they have never seen.
+type Engine struct {
+	c    *aladdin.Compiled
+	maxP int
+
+	mu    sync.RWMutex
+	cache map[aladdin.Design]aladdin.Result
+}
+
+// NewEngine compiles the graph and returns an empty-cache engine.
+func NewEngine(g *dfg.Graph) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("sweep: nil graph")
+	}
+	c, err := aladdin.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	maxP := c.Stats().VCmp
+	if maxP < 1 {
+		maxP = 1
+	}
+	return &Engine{c: c, maxP: maxP, cache: make(map[aladdin.Design]aladdin.Result)}, nil
+}
+
+// Stats returns the compiled graph's structural statistics.
+func (e *Engine) Stats() dfg.Stats { return e.c.Stats() }
+
+// CachedPoints reports how many distinct design points are memoized.
+func (e *Engine) CachedPoints() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}
+
+// Evaluate simulates one design point, serving it from the memo table when
+// its normalized key has been simulated before. The returned result carries
+// the caller's design spelling (not the normalized key). Safe for
+// concurrent use.
+func (e *Engine) Evaluate(d aladdin.Design) (aladdin.Result, error) {
+	key := normalizeKey(e.maxP, d)
+	e.mu.RLock()
+	res, ok := e.cache[key]
+	e.mu.RUnlock()
+	if !ok {
+		var err error
+		res, err = e.c.Simulate(key)
+		if err != nil {
+			return aladdin.Result{}, err
+		}
+		e.mu.Lock()
+		e.cache[key] = res
+		e.mu.Unlock()
+	}
+	res.Design = d
+	return res, nil
+}
+
+// Warm simulates every design of the grid whose normalized key is not yet
+// cached, fanning the missing unique points over a worker pool
+// (workers <= 0 selects GOMAXPROCS). It returns how many fresh simulations
+// ran — zero means the grid was already fully resident.
+func (e *Engine) Warm(p Params, workers int) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	seen := make(map[aladdin.Design]bool)
+	var missing []aladdin.Design
+	e.mu.RLock()
+	for _, d := range p.enumerate() {
+		k := normalizeKey(e.maxP, d)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := e.cache[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	e.mu.RUnlock()
+	if len(missing) == 0 {
+		return 0, nil
+	}
+	results, err := simulateDesigns(e.c, missing, workers)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	for i, k := range missing {
+		e.cache[k] = results[i]
+	}
+	e.mu.Unlock()
+	return len(missing), nil
+}
+
+// Run sweeps the grid and returns every design point in the deterministic
+// (node, fusion, simplification, partition) Run order — point-for-point
+// identical to Run and RunParallel — warming the cache first so the unique
+// simulations execute on the pool.
+func (e *Engine) Run(p Params, workers int) ([]Point, error) {
+	if _, err := e.Warm(p, workers); err != nil {
+		return nil, err
+	}
+	designs := p.enumerate()
+	out := make([]Point, 0, len(designs))
+	for _, d := range designs {
+		res, err := e.Evaluate(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{Design: d, Result: res})
+	}
+	return out, nil
+}

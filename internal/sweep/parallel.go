@@ -17,27 +17,20 @@ import (
 // than partition-1 points).
 const chunkSize = 8
 
-// simulateGrid populates the runner's cache with every distinct cache key
-// of the grid, distributing the unique simulations over a worker pool. All
-// workers share the runner's one *aladdin.Compiled, which is immutable and
-// concurrency-safe; only cache assembly happens on the calling goroutine.
-func (r *runner) simulateGrid(p Params, workers int) error {
+// simulateDesigns fans the design list out over a worker pool and returns
+// one result per design, in input order. All workers share the one
+// *aladdin.Compiled, which is immutable and concurrency-safe. workers <= 0
+// selects GOMAXPROCS. The first simulation error wins; remaining chunks
+// still drain (workers are not cancelled) but the error is reported.
+func simulateDesigns(c *aladdin.Compiled, designs []aladdin.Design, workers int) ([]aladdin.Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	seen := make(map[aladdin.Design]bool)
-	var uniques []aladdin.Design
-	for _, d := range p.enumerate() {
-		if k := r.keyOf(d); !seen[k] {
-			seen[k] = true
-			uniques = append(uniques, k)
-		}
+	if workers > len(designs) {
+		workers = len(designs)
 	}
-	if workers > len(uniques) {
-		workers = len(uniques)
-	}
-	results := make([]aladdin.Result, len(uniques))
-	errs := make([]error, len(uniques))
+	results := make([]aladdin.Result, len(designs))
+	errs := make([]error, len(designs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -46,24 +39,45 @@ func (r *runner) simulateGrid(p Params, workers int) error {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(chunkSize)) - chunkSize
-				if lo >= len(uniques) {
+				if lo >= len(designs) {
 					return
 				}
 				hi := lo + chunkSize
-				if hi > len(uniques) {
-					hi = len(uniques)
+				if hi > len(designs) {
+					hi = len(designs)
 				}
 				for i := lo; i < hi; i++ {
-					results[i], errs[i] = r.c.Simulate(uniques[i])
+					results[i], errs[i] = c.Simulate(designs[i])
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	for i, k := range uniques {
-		if errs[i] != nil {
-			return errs[i]
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	return results, nil
+}
+
+// simulateGrid populates the runner's cache with every distinct cache key
+// of the grid, distributing the unique simulations over a worker pool; only
+// cache assembly happens on the calling goroutine.
+func (r *runner) simulateGrid(p Params, workers int) error {
+	seen := make(map[aladdin.Design]bool)
+	var uniques []aladdin.Design
+	for _, d := range p.enumerate() {
+		if k := r.keyOf(d); !seen[k] {
+			seen[k] = true
+			uniques = append(uniques, k)
+		}
+	}
+	results, err := simulateDesigns(r.c, uniques, workers)
+	if err != nil {
+		return err
+	}
+	for i, k := range uniques {
 		r.cache[k] = results[i]
 	}
 	return nil

@@ -159,13 +159,14 @@ func newRunner(g *dfg.Graph) (*runner, error) {
 	return &runner{c: c, maxP: maxP, cache: make(map[aladdin.Design]aladdin.Result)}, nil
 }
 
-// keyOf normalizes a design onto its cache key: the partition plateau is
-// clamped, and the zero-value defaults (ClockGHz 0 meaning 1 GHz,
-// MemoryBanks 0 meaning banked with the datapath) are spelled out so that
-// a zero and its explicit default share one cache slot.
-func (r *runner) keyOf(d aladdin.Design) aladdin.Design {
-	if d.Partition > r.maxP {
-		d.Partition = r.maxP
+// normalizeKey maps a design onto its simulation cache key: the partition
+// plateau is clamped to the workload's computation-node count, and the
+// zero-value defaults (ClockGHz 0 meaning 1 GHz, MemoryBanks 0 meaning
+// banked with the datapath) are spelled out so that a zero and its explicit
+// default share one cache slot.
+func normalizeKey(maxP int, d aladdin.Design) aladdin.Design {
+	if d.Partition > maxP {
+		d.Partition = maxP
 	}
 	if d.ClockGHz == 0 {
 		d.ClockGHz = 1
@@ -174,6 +175,11 @@ func (r *runner) keyOf(d aladdin.Design) aladdin.Design {
 		d.MemoryBanks = d.Partition
 	}
 	return d
+}
+
+// keyOf normalizes a design onto its cache key.
+func (r *runner) keyOf(d aladdin.Design) aladdin.Design {
+	return normalizeKey(r.maxP, d)
 }
 
 func (r *runner) simulate(d aladdin.Design) (aladdin.Result, error) {
