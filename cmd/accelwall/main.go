@@ -19,6 +19,17 @@
 //	-json        emit experiments as machine-readable JSON (the same wire
 //	             format accelwalld serves); incompatible with -plot and the
 //	             dot/corpus/report commands
+//
+// Uncertainty mode (-uncertainty) replaces the experiment arguments with a
+// Monte Carlo run that bands every headline quantity:
+//
+//	-uncertainty     run the Monte Carlo uncertainty engine instead of
+//	                 experiments; -seed doubles as both the replicate root
+//	                 seed and the corpus seed
+//	-replicates N    number of bootstrap replicates (default 200)
+//	-conf C          band confidence level in (0,1) (default 0.90)
+//	-gain-target G   headroom factor for the wall-probability report
+//	                 (default 10)
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"accelwall/internal/chipdb"
 	"accelwall/internal/core"
 	"accelwall/internal/dfg"
+	"accelwall/internal/montecarlo"
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
 )
@@ -50,6 +62,10 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	plot := fs.Bool("plot", false, "append ASCII figures where available (fig1, fig13, fig15, fig16)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the accelwalld wire format)")
+	uncertainty := fs.Bool("uncertainty", false, "run the Monte Carlo uncertainty engine (confidence bands on the accelerator wall)")
+	replicates := fs.Int("replicates", montecarlo.DefaultReplicates, "Monte Carlo replicate count (with -uncertainty)")
+	conf := fs.Float64("conf", montecarlo.DefaultConfidence, "Monte Carlo band confidence level in (0,1) (with -uncertainty)")
+	gainTarget := fs.Float64("gain-target", montecarlo.DefaultGainTarget, "headroom factor for the wall-probability report (with -uncertainty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +75,15 @@ func run(args []string) error {
 	// here, before any corpus fit, graph compile, or experiment output.
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *uncertainty {
+		if *plot || *published || *full {
+			return fmt.Errorf("-uncertainty is incompatible with -plot, -published, and -full")
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("-uncertainty takes no experiment arguments (got %s)", strings.Join(rest, " "))
+		}
+		return runUncertainty(*seed, *replicates, *conf, *gainTarget, *workers, *jsonOut)
 	}
 	if len(rest) == 0 {
 		usage()
@@ -174,6 +199,35 @@ func run(args []string) error {
 	return nil
 }
 
+// runUncertainty runs the Monte Carlo engine and renders the result. The
+// single -seed flag feeds both the replicate root seed and the corpus
+// seed, so one number pins the whole run; the JSON output is the exact
+// payload POST /v1/uncertainty serves for the same configuration.
+func runUncertainty(seed int64, replicates int, conf, gainTarget float64, workers int, jsonOut bool) error {
+	cfg := montecarlo.Config{
+		Replicates: replicates,
+		Seed:       seed,
+		CorpusSeed: seed,
+		Workers:    workers,
+		Confidence: conf,
+		GainTarget: gainTarget,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	res, err := montecarlo.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.NewUncertaintyJSON(res))
+	}
+	fmt.Print(core.UncertaintyText(res))
+	return nil
+}
+
 // listJSON emits the experiment registry in the /v1/experiments wire shape.
 func listJSON() error {
 	type row struct {
@@ -280,6 +334,7 @@ func writeReport(path string, seed int64, published, full bool, workers int) err
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] [-plot] [-json] <command>
+       accelwall -uncertainty [-replicates N] [-conf C] [-gain-target G] [-seed N] [-workers N] [-json]
 commands:
   list               list every reproducible experiment
   all                run every experiment in paper order

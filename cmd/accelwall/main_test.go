@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"accelwall/internal/core"
 )
 
 // capture runs f while intercepting stdout. The pipe is drained
@@ -282,5 +284,60 @@ func TestRunReport(t *testing.T) {
 	// Every registered experiment appears.
 	if got := strings.Count(report, "\n## "); got < 30 {
 		t.Errorf("report has %d sections, want >= 30", got)
+	}
+}
+
+func TestRunUncertaintyText(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-uncertainty", "-replicates", "24", "-seed", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Monte Carlo uncertainty", "24 replicates", "Figure 3b area model", "Accelerator-wall headroom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+}
+
+func TestRunUncertaintyJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-uncertainty", "-replicates", "24", "-seed", "1", "-json"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var payload core.UncertaintyJSON
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("output is not UncertaintyJSON: %v", err)
+	}
+	if payload.Replicates+payload.Failed != 24 {
+		t.Errorf("replicates %d + failed %d != 24", payload.Replicates, payload.Failed)
+	}
+	if payload.Seed != 1 || payload.CorpusSeed != 1 {
+		t.Errorf("seeds not threaded: %+v", payload)
+	}
+	if len(payload.Domains) != 8 {
+		t.Errorf("got %d domain cells, want 8", len(payload.Domains))
+	}
+	if len(payload.Nodes) == 0 {
+		t.Errorf("no node bands in payload")
+	}
+}
+
+func TestRunUncertaintyErrors(t *testing.T) {
+	cases := [][]string{
+		{"-uncertainty", "fig1"},
+		{"-uncertainty", "-plot"},
+		{"-uncertainty", "-published"},
+		{"-uncertainty", "-full"},
+		{"-uncertainty", "-replicates", "5"},
+		{"-uncertainty", "-conf", "2"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
 	}
 }

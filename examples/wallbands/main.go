@@ -1,0 +1,51 @@
+// Wallbands runs the Monte Carlo uncertainty engine and reports the 90%
+// confidence band on the 5 nm accelerator wall for the Bitcoin and GPU
+// domains. The paper hedges its wall projections only by reporting a
+// linear-vs-logarithmic model range (Figures 15 and 16); the band shows
+// the other error sources — corpus resampling and CMOS-table jitter — and
+// whether they change the story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/montecarlo"
+)
+
+func main() {
+	cfg := montecarlo.Config{Replicates: 200, Seed: 1}
+	res, err := montecarlo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Monte Carlo over %d replicates (%d failed), seed %d: 90%% bands on the 5nm wall\n\n",
+		res.Replicates, res.Failed, res.Config.Seed)
+
+	show := map[casestudy.Domain]bool{
+		casestudy.DomainBitcoin:     true,
+		casestudy.DomainGPUGraphics: true,
+	}
+	for _, d := range res.Domains {
+		if !show[d.Domain] {
+			continue
+		}
+		fmt.Printf("== %s / %v ==\n", d.Domain, d.Target)
+		fmt.Printf("  point estimate (log model):  %.3gx remaining headroom\n", d.PointRemainLog)
+		fmt.Printf("  log-model band:              [%.3g, %.3g]x (median %.3g)\n",
+			d.RemainLog.Lo, d.RemainLog.Hi, d.RemainLog.P50)
+		fmt.Printf("  linear-model band:           [%.3g, %.3g]x (median %.3g)\n",
+			d.RemainLinear.Lo, d.RemainLinear.Hi, d.RemainLinear.P50)
+		fmt.Printf("  P(headroom < %gx):           log %.2f, linear %.2f\n\n",
+			res.Config.GainTarget, d.PBelowTargetLog, d.PBelowTargetLinear)
+	}
+
+	fmt.Println("Reading the bands: the spread inside one model (the [lo, hi]")
+	fmt.Println("interval) comes from datasheet noise — which chips happened to be")
+	fmt.Println("scraped, and tolerances on the CMOS scaling factors. The gap")
+	fmt.Println("between the log and linear bands is the paper's own model-form")
+	fmt.Println("uncertainty. When the two bands don't overlap, model choice")
+	fmt.Println("dominates the data noise; when they do, the wall estimate is")
+	fmt.Println("genuinely uncertain, not just model-dependent.")
+}

@@ -128,8 +128,15 @@ type Fig9Row struct {
 // target function (performance per area or energy efficiency), normalized
 // to the AMD Athlon 64 CPU miner.
 func Fig9(target gains.Target) ([]Fig9Row, error) {
+	return Fig9With(DevicePotential{}, target)
+}
+
+// Fig9With is Fig9 evaluated against a caller-supplied device-potential
+// model, so the Monte Carlo uncertainty engine can rerun the study under a
+// jittered scaling table.
+func Fig9With(dev DevicePotential, target gains.Target) ([]Fig9Row, error) {
 	obs := BitcoinObservations(target)
-	rows, err := csr.Analyze(DevicePotential{}, target, obs, 0)
+	rows, err := csr.Analyze(dev, target, obs, 0)
 	if err != nil {
 		return nil, fmt.Errorf("casestudy: fig9: %w", err)
 	}

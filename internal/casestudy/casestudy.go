@@ -27,15 +27,29 @@ import (
 // package gains it deliberately ignores die size and TDP, because the
 // metric already normalizes area away and miner ASICs are deployed in
 // arbitrarily large farms.
-type DevicePotential struct{}
+type DevicePotential struct {
+	// Nodes optionally substitutes a CMOS scaling table for the package
+	// default — the Monte Carlo uncertainty engine injects jittered tables
+	// here. The zero value reads the calibrated default table, preserving
+	// the paper's point estimates.
+	Nodes *cmos.Table
+}
+
+// lookup resolves a feature size against the model's scaling table.
+func (d DevicePotential) lookup(nm float64) (cmos.Node, error) {
+	if d.Nodes != nil {
+		return d.Nodes.Lookup(nm)
+	}
+	return cmos.Lookup(nm)
+}
 
 // Ratio implements the csr.Physical interface over raw device scaling.
-func (DevicePotential) Ratio(target gains.Target, a, b gains.Config) (float64, error) {
-	na, err := cmos.Lookup(a.NodeNM)
+func (d DevicePotential) Ratio(target gains.Target, a, b gains.Config) (float64, error) {
+	na, err := d.lookup(a.NodeNM)
 	if err != nil {
 		return 0, fmt.Errorf("casestudy: chip a: %w", err)
 	}
-	nb, err := cmos.Lookup(b.NodeNM)
+	nb, err := d.lookup(b.NodeNM)
 	if err != nil {
 		return 0, fmt.Errorf("casestudy: chip b: %w", err)
 	}

@@ -291,9 +291,9 @@ func appWindow(i int) (from, to float64) {
 }
 
 // archAppGains builds the architecture → application gain table feeding
-// BuildRelations, using each architecture's flagship chip.
-func archAppGains(target gains.Target) (csr.AppGains, map[string]GPUChip, error) {
-	m := gpuModel()
+// BuildRelations, using each architecture's flagship chip and the given
+// gains model.
+func archAppGains(m *gains.Model, target gains.Target) (csr.AppGains, map[string]GPUChip, error) {
 	flagships := make(map[string]GPUChip)
 	for _, c := range GPUChips() {
 		if !c.HighEnd {
@@ -348,7 +348,18 @@ type ArchPoint struct {
 // Equations 3/4 relation matrix, and the CSR obtained by dividing out the
 // CMOS potential ratio.
 func ArchScaling(target gains.Target) ([]ArchPoint, error) {
-	ag, flagships, err := archAppGains(target)
+	return ArchScalingWith(nil, target)
+}
+
+// ArchScalingWith is ArchScaling evaluated against a caller-supplied gains
+// model (nil selects the study's default), so the Monte Carlo uncertainty
+// engine can rerun the study under a refitted budget and jittered scaling
+// table.
+func ArchScalingWith(m *gains.Model, target gains.Target) ([]ArchPoint, error) {
+	if m == nil {
+		m = gpuModel()
+	}
+	ag, flagships, err := archAppGains(m, target)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +367,6 @@ func ArchScaling(target gains.Target) ([]ArchPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("casestudy: building GPU relations: %w", err)
 	}
-	m := gpuModel()
 	tesla := flagships["Tesla@65"]
 	var out []ArchPoint
 	for key, chip := range flagships {

@@ -59,12 +59,15 @@ func Decoders() []Decoder {
 	}
 }
 
-// videoModel returns the gains model used for the decoder study. Fixed-
-// function decoder ASICs are dynamic-power dominated, so the leakage
-// calibration is far below the general-purpose default.
+// VideoLeakShare is the leakage calibration of the decoder study. Fixed-
+// function decoder ASICs are dynamic-power dominated, so it is far below
+// the general-purpose default of package gains.
+const VideoLeakShare = 0.05
+
+// videoModel returns the gains model used for the decoder study.
 func videoModel() *gains.Model {
 	m := gains.NewModel(nil)
-	m.LeakShare = 0.05
+	m.LeakShare = VideoLeakShare
 	return m
 }
 
@@ -104,8 +107,20 @@ type Fig4Row struct {
 // Fig4 reproduces Figure 4a (target = throughput: MPixels/s scaling) or
 // Figure 4c (target = efficiency: MPixels/J scaling) with per-chip CSR.
 func Fig4(target gains.Target) ([]Fig4Row, error) {
+	return Fig4With(nil, target)
+}
+
+// Fig4With is Fig4 evaluated against a caller-supplied gains model (nil
+// selects the study's default), so the Monte Carlo uncertainty engine can
+// rerun the study under a refitted budget and jittered scaling table. The
+// model's LeakShare should be VideoLeakShare to match the study's
+// calibration.
+func Fig4With(m *gains.Model, target gains.Target) ([]Fig4Row, error) {
+	if m == nil {
+		m = videoModel()
+	}
 	obs := decoderObservations(target)
-	rows, err := csr.Analyze(videoModel(), target, obs, 0)
+	rows, err := csr.Analyze(m, target, obs, 0)
 	if err != nil {
 		return nil, fmt.Errorf("casestudy: fig4: %w", err)
 	}

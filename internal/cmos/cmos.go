@@ -20,10 +20,7 @@ package cmos
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
-
-	"accelwall/internal/stats"
 )
 
 // FinalNode is the last CMOS node the paper projects ("currently projected
@@ -96,47 +93,7 @@ func Fig3aNodes() []float64 { return []float64{45, 28, 16, 10, 7, 5} }
 // nanometers. Nodes between table entries are geometrically interpolated in
 // log-feature-size space; nodes outside [5, 180] return ErrUnknownNode.
 func Lookup(nm float64) (Node, error) {
-	if nm < FinalNode || nm > 180 {
-		return Node{}, fmt.Errorf("%w: %g nm", ErrUnknownNode, nm)
-	}
-	// Exact hits avoid interpolation noise.
-	for _, n := range table {
-		if n.NM == nm {
-			return n, nil
-		}
-	}
-	// Interpolate each factor geometrically against log(feature size).
-	// Knots must be ascending for stats.Interp, so build reversed views.
-	k := len(table)
-	xs := make([]float64, k)
-	freq := make([]float64, k)
-	vdd := make([]float64, k)
-	cp := make([]float64, k)
-	leak := make([]float64, k)
-	for i, n := range table {
-		j := k - 1 - i // ascending NM order
-		xs[j] = math.Log(n.NM)
-		freq[j] = n.Freq
-		vdd[j] = n.VDD
-		cp[j] = n.Cap
-		leak[j] = n.Leak
-	}
-	lx := math.Log(nm)
-	out := Node{NM: nm}
-	var err error
-	if out.Freq, err = stats.GeoInterp(xs, freq, lx); err != nil {
-		return Node{}, err
-	}
-	if out.VDD, err = stats.GeoInterp(xs, vdd, lx); err != nil {
-		return Node{}, err
-	}
-	if out.Cap, err = stats.GeoInterp(xs, cp, lx); err != nil {
-		return Node{}, err
-	}
-	if out.Leak, err = stats.GeoInterp(xs, leak, lx); err != nil {
-		return Node{}, err
-	}
-	return out, nil
+	return defaultTable.Lookup(nm)
 }
 
 // MustLookup is Lookup for nodes known to be in range; it panics otherwise.

@@ -1,0 +1,131 @@
+package cmos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"accelwall/internal/stats"
+)
+
+// Table is an immutable CMOS scaling table: a set of node entries in
+// descending feature size plus precomputed interpolation knots. The
+// package-level Lookup reads the default table (the calibrated constants
+// above); the Monte Carlo uncertainty engine builds jittered copies with
+// Perturb and threads them through the gains and projection models, so the
+// whole pipeline can be re-evaluated under perturbed device physics
+// without touching global state.
+type Table struct {
+	nodes []Node
+	byNM  map[float64]Node
+	// Ascending log-feature-size knots plus one factor column each, the
+	// layout stats.GeoInterp wants. Built once so Lookup never allocates.
+	lx, freq, vdd, capf, leak []float64
+}
+
+// errTable flags structurally invalid table constructions.
+var errTable = errors.New("cmos: invalid scaling table")
+
+// NewTable builds a Table from nodes listed in strictly descending feature
+// size. At least two nodes are required and every factor must be positive
+// (the interpolation is geometric).
+func NewTable(nodes []Node) (*Table, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 nodes, got %d", errTable, len(nodes))
+	}
+	k := len(nodes)
+	t := &Table{
+		nodes: make([]Node, k),
+		byNM:  make(map[float64]Node, k),
+		lx:    make([]float64, k),
+		freq:  make([]float64, k),
+		vdd:   make([]float64, k),
+		capf:  make([]float64, k),
+		leak:  make([]float64, k),
+	}
+	copy(t.nodes, nodes)
+	for i, n := range t.nodes {
+		if i > 0 && n.NM >= t.nodes[i-1].NM {
+			return nil, fmt.Errorf("%w: nodes must be strictly descending (%g nm after %g nm)", errTable, n.NM, t.nodes[i-1].NM)
+		}
+		if n.NM <= 0 || n.Freq <= 0 || n.VDD <= 0 || n.Cap <= 0 || n.Leak <= 0 {
+			return nil, fmt.Errorf("%w: non-positive factor at %g nm", errTable, n.NM)
+		}
+		j := k - 1 - i // ascending NM order
+		t.lx[j] = math.Log(n.NM)
+		t.freq[j] = n.Freq
+		t.vdd[j] = n.VDD
+		t.capf[j] = n.Cap
+		t.leak[j] = n.Leak
+		t.byNM[n.NM] = n
+	}
+	return t, nil
+}
+
+// defaultTable wraps the calibrated node constants; package-level Lookup
+// reads it.
+var defaultTable = func() *Table {
+	t, err := NewTable(table)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}()
+
+// DefaultTable returns the table of calibrated scaling constants the
+// package-level Lookup uses.
+func DefaultTable() *Table { return defaultTable }
+
+// Lookup returns the scaling factors for the given feature size, exactly
+// as the package-level Lookup does but against this table: exact entries
+// are returned verbatim, intermediate nodes are geometrically interpolated
+// in log-feature-size space, and nodes outside the table's range return
+// ErrUnknownNode.
+func (t *Table) Lookup(nm float64) (Node, error) {
+	if nm < t.nodes[len(t.nodes)-1].NM || nm > t.nodes[0].NM {
+		return Node{}, fmt.Errorf("%w: %g nm", ErrUnknownNode, nm)
+	}
+	if n, ok := t.byNM[nm]; ok {
+		return n, nil
+	}
+	lx := math.Log(nm)
+	out := Node{NM: nm}
+	var err error
+	if out.Freq, err = stats.GeoInterp(t.lx, t.freq, lx); err != nil {
+		return Node{}, err
+	}
+	if out.VDD, err = stats.GeoInterp(t.lx, t.vdd, lx); err != nil {
+		return Node{}, err
+	}
+	if out.Cap, err = stats.GeoInterp(t.lx, t.capf, lx); err != nil {
+		return Node{}, err
+	}
+	if out.Leak, err = stats.GeoInterp(t.lx, t.leak, lx); err != nil {
+		return Node{}, err
+	}
+	return out, nil
+}
+
+// Nodes returns the table's feature sizes in descending order, as a copy.
+func (t *Table) Nodes() []float64 {
+	out := make([]float64, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = n.NM
+	}
+	return out
+}
+
+// Perturb returns a new Table with every entry rewritten by f. Feature
+// sizes are pinned — f may scale the factor columns but not move nodes —
+// and the perturbed factors are validated like any NewTable input, so a
+// perturbation that drives a factor non-positive is an error rather than a
+// silently broken model.
+func (t *Table) Perturb(f func(Node) Node) (*Table, error) {
+	out := make([]Node, len(t.nodes))
+	for i, n := range t.nodes {
+		p := f(n)
+		p.NM = n.NM
+		out[i] = p
+	}
+	return NewTable(out)
+}

@@ -1,0 +1,123 @@
+package cmos
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDefaultTableMatchesPackageLookup pins the refactor contract: the
+// package-level Lookup and DefaultTable().Lookup are the same function, on
+// exact nodes and interpolated ones alike.
+func TestDefaultTableMatchesPackageLookup(t *testing.T) {
+	probes := append(Nodes(), 12, 33.5, 6.2)
+	for _, nm := range probes {
+		want, wantErr := Lookup(nm)
+		got, gotErr := DefaultTable().Lookup(nm)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("Lookup(%g): package err %v, table err %v", nm, wantErr, gotErr)
+		}
+		if got != want {
+			t.Errorf("Lookup(%g): table %+v != package %+v", nm, got, want)
+		}
+	}
+}
+
+func TestTableNodesDescending(t *testing.T) {
+	nodes := DefaultTable().Nodes()
+	if len(nodes) < 2 {
+		t.Fatalf("default table has %d nodes", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] >= nodes[i-1] {
+			t.Errorf("Nodes()[%d] = %g not below %g", i, nodes[i], nodes[i-1])
+		}
+	}
+	// The returned slice is a copy: mutating it must not corrupt the table.
+	nodes[0] = -1
+	if DefaultTable().Nodes()[0] == -1 {
+		t.Errorf("Nodes() leaked the internal slice")
+	}
+}
+
+func TestPerturbPinsFeatureSizes(t *testing.T) {
+	p, err := DefaultTable().Perturb(func(n Node) Node {
+		n.NM *= 3 // must be ignored
+		n.Freq *= 1.1
+		return n
+	})
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	orig := DefaultTable().Nodes()
+	got := p.Nodes()
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Errorf("Perturb moved node %g to %g", orig[i], got[i])
+		}
+	}
+	for _, nm := range orig {
+		before, _ := DefaultTable().Lookup(nm)
+		after, err := p.Lookup(nm)
+		if err != nil {
+			t.Fatalf("perturbed Lookup(%g): %v", nm, err)
+		}
+		if after.Freq != before.Freq*1.1 {
+			t.Errorf("node %g: Freq %g, want %g", nm, after.Freq, before.Freq*1.1)
+		}
+		if after.VDD != before.VDD {
+			t.Errorf("node %g: VDD changed without perturbation", nm)
+		}
+	}
+	// The default table itself must be untouched.
+	for _, nm := range orig {
+		n, _ := Lookup(nm)
+		b, _ := DefaultTable().Lookup(nm)
+		if n != b {
+			t.Fatalf("Perturb mutated the default table at %g nm", nm)
+		}
+	}
+}
+
+func TestPerturbRejectsNonPositiveFactors(t *testing.T) {
+	_, err := DefaultTable().Perturb(func(n Node) Node {
+		n.Leak = 0
+		return n
+	})
+	if !errors.Is(err, errTable) {
+		t.Errorf("zeroed factor should fail table validation, got %v", err)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	valid := []Node{
+		{NM: 45, Freq: 1, VDD: 1, Cap: 1, Leak: 1},
+		{NM: 28, Freq: 1.2, VDD: 0.9, Cap: 0.7, Leak: 1.1},
+	}
+	if _, err := NewTable(valid); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		nodes []Node
+	}{
+		{"one node", valid[:1]},
+		{"ascending", []Node{valid[1], valid[0]}},
+		{"duplicate", []Node{valid[0], valid[0]}},
+		{"negative factor", []Node{valid[0], {NM: 28, Freq: -1, VDD: 1, Cap: 1, Leak: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewTable(tc.nodes); !errors.Is(err, errTable) {
+			t.Errorf("%s: got %v, want errTable", tc.name, err)
+		}
+	}
+}
+
+func TestTableLookupOutOfRange(t *testing.T) {
+	tbl := DefaultTable()
+	nodes := tbl.Nodes()
+	for _, nm := range []float64{nodes[0] + 1, nodes[len(nodes)-1] / 2} {
+		if _, err := tbl.Lookup(nm); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("Lookup(%g): got %v, want ErrUnknownNode", nm, err)
+		}
+	}
+}

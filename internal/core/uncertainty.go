@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"accelwall/internal/montecarlo"
+)
+
+// BandJSON is the wire form of a Monte Carlo quantile band.
+type BandJSON struct {
+	P5  float64 `json:"p5"`
+	P25 float64 `json:"p25"`
+	P50 float64 `json:"p50"`
+	P75 float64 `json:"p75"`
+	P95 float64 `json:"p95"`
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+}
+
+// NewBandJSON converts one band.
+func NewBandJSON(b montecarlo.Band) BandJSON {
+	return BandJSON{P5: b.P5, P25: b.P25, P50: b.P50, P75: b.P75, P95: b.P95, Lo: b.Lo, Hi: b.Hi}
+}
+
+// NodeBandJSON is the banded CMOS potential of one Figure 3a node.
+type NodeBandJSON struct {
+	NodeNM     float64  `json:"node_nm"`
+	Throughput BandJSON `json:"throughput"`
+	Efficiency BandJSON `json:"efficiency"`
+}
+
+// UncertaintyDomainJSON is the banded accelerator wall of one
+// (domain, target) pair.
+type UncertaintyDomainJSON struct {
+	Domain             string   `json:"domain"`
+	Target             string   `json:"target"`
+	PointRemainLog     float64  `json:"point_remain_log"`
+	PointRemainLinear  float64  `json:"point_remain_linear"`
+	PhysLimit          BandJSON `json:"phys_limit"`
+	RemainLog          BandJSON `json:"remain_log"`
+	RemainLinear       BandJSON `json:"remain_linear"`
+	FinalCSR           BandJSON `json:"final_csr"`
+	PBelowTargetLog    float64  `json:"p_below_target_log"`
+	PBelowTargetLinear float64  `json:"p_below_target_linear"`
+}
+
+// UncertaintyJSON is the wire form of a full Monte Carlo run. It is the
+// payload of both `accelwall -uncertainty -json` and POST /v1/uncertainty.
+type UncertaintyJSON struct {
+	Replicates int                     `json:"replicates"`
+	Failed     int                     `json:"failed"`
+	Seed       int64                   `json:"seed"`
+	CorpusSeed int64                   `json:"corpus_seed"`
+	Confidence float64                 `json:"confidence"`
+	GainTarget float64                 `json:"gain_target"`
+	CMOSJitter float64                 `json:"cmos_jitter"`
+	AreaFitA   BandJSON                `json:"area_fit_a"`
+	AreaFitB   BandJSON                `json:"area_fit_b"`
+	Nodes      []NodeBandJSON          `json:"nodes"`
+	Domains    []UncertaintyDomainJSON `json:"domains"`
+}
+
+// NewUncertaintyJSON converts one Monte Carlo result.
+func NewUncertaintyJSON(r *montecarlo.Result) UncertaintyJSON {
+	out := UncertaintyJSON{
+		Replicates: r.Replicates,
+		Failed:     r.Failed,
+		Seed:       r.Config.Seed,
+		CorpusSeed: r.Config.CorpusSeed,
+		Confidence: r.Config.Confidence,
+		GainTarget: r.Config.GainTarget,
+		CMOSJitter: r.Config.CMOSJitter,
+		AreaFitA:   NewBandJSON(r.AreaFitA),
+		AreaFitB:   NewBandJSON(r.AreaFitB),
+	}
+	for _, n := range r.Nodes {
+		out.Nodes = append(out.Nodes, NodeBandJSON{
+			NodeNM:     n.NodeNM,
+			Throughput: NewBandJSON(n.Throughput),
+			Efficiency: NewBandJSON(n.Efficiency),
+		})
+	}
+	for _, d := range r.Domains {
+		out.Domains = append(out.Domains, UncertaintyDomainJSON{
+			Domain:             d.Domain.String(),
+			Target:             TargetName(d.Target),
+			PointRemainLog:     d.PointRemainLog,
+			PointRemainLinear:  d.PointRemainLinear,
+			PhysLimit:          NewBandJSON(d.PhysLimit),
+			RemainLog:          NewBandJSON(d.RemainLog),
+			RemainLinear:       NewBandJSON(d.RemainLinear),
+			FinalCSR:           NewBandJSON(d.FinalCSR),
+			PBelowTargetLog:    d.PBelowTargetLog,
+			PBelowTargetLinear: d.PBelowTargetLinear,
+		})
+	}
+	return out
+}
+
+// UncertaintyText renders a Monte Carlo result as the CLI's text report.
+func UncertaintyText(r *montecarlo.Result) string {
+	var sb strings.Builder
+	conf := r.Config.Confidence * 100
+	fmt.Fprintf(&sb, "Monte Carlo uncertainty: %d replicates (%d failed), seed %d, %.0f%% bands, ±%.0f%% CMOS jitter\n",
+		r.Replicates, r.Failed, r.Config.Seed, conf, r.Config.CMOSJitter*100)
+	fmt.Fprintf(&sb, "Corpus resampled from seed %d; bands are [lo, hi] at the %.0f%% level with the median in between.\n\n",
+		r.Config.CorpusSeed, conf)
+
+	fmt.Fprintf(&sb, "Figure 3b area model TC(D) = A*D^B across corpus resamples:\n")
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "  param\tlo\tmedian\thi\n")
+	fmt.Fprintf(w, "  A\t%.4g\t%.4g\t%.4g\n", r.AreaFitA.Lo, r.AreaFitA.P50, r.AreaFitA.Hi)
+	fmt.Fprintf(w, "  B\t%.4g\t%.4g\t%.4g\n", r.AreaFitB.Lo, r.AreaFitB.P50, r.AreaFitB.Hi)
+	w.Flush()
+
+	fmt.Fprintf(&sb, "\nCMOS potential per node (relative to the 45nm baseline, 250mm²/250W chip):\n")
+	w = tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "  node\tthroughput [lo, med, hi]\tefficiency [lo, med, hi]\n")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(w, "  %gnm\t%.3g  %.3g  %.3g\t%.3g  %.3g  %.3g\n",
+			n.NodeNM,
+			n.Throughput.Lo, n.Throughput.P50, n.Throughput.Hi,
+			n.Efficiency.Lo, n.Efficiency.P50, n.Efficiency.Hi)
+	}
+	w.Flush()
+
+	fmt.Fprintf(&sb, "\nAccelerator-wall headroom at 5nm (remaining gain over today's best):\n")
+	w = tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "  domain\ttarget\tpoint log\tlog band [lo, med, hi]\tlinear band [lo, med, hi]\tP(log<%gx)\tP(lin<%gx)\n",
+		r.Config.GainTarget, r.Config.GainTarget)
+	for _, d := range r.Domains {
+		fmt.Fprintf(w, "  %s\t%s\t%.3gx\t%.3g  %.3g  %.3g\t%.3g  %.3g  %.3g\t%.2f\t%.2f\n",
+			d.Domain, TargetName(d.Target), d.PointRemainLog,
+			d.RemainLog.Lo, d.RemainLog.P50, d.RemainLog.Hi,
+			d.RemainLinear.Lo, d.RemainLinear.P50, d.RemainLinear.Hi,
+			d.PBelowTargetLog, d.PBelowTargetLinear)
+	}
+	w.Flush()
+
+	fmt.Fprintf(&sb, "\nChip-specialization return of each domain's newest chip (CSR band):\n")
+	w = tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "  domain\ttarget\tCSR [lo, med, hi]\tphys limit [lo, med, hi]\n")
+	for _, d := range r.Domains {
+		fmt.Fprintf(w, "  %s\t%s\t%.3g  %.3g  %.3g\t%.3g  %.3g  %.3g\n",
+			d.Domain, TargetName(d.Target),
+			d.FinalCSR.Lo, d.FinalCSR.P50, d.FinalCSR.Hi,
+			d.PhysLimit.Lo, d.PhysLimit.P50, d.PhysLimit.Hi)
+	}
+	w.Flush()
+	return sb.String()
+}

@@ -52,6 +52,18 @@ type Model struct {
 	// configuration; it calibrates how strongly static power penalizes
 	// large dies. The default of 0.25 reflects the mid-2000s 45 nm regime.
 	LeakShare float64
+	// Nodes optionally substitutes a CMOS scaling table for the package
+	// default — the Monte Carlo uncertainty engine injects jittered tables
+	// here. nil reads the calibrated default table.
+	Nodes *cmos.Table
+}
+
+// node resolves a feature size against the model's scaling table.
+func (m *Model) node(nm float64) (cmos.Node, error) {
+	if m.Nodes != nil {
+		return m.Nodes.Lookup(nm)
+	}
+	return cmos.Lookup(nm)
 }
 
 // NewModel returns a gains model over the given budget model with the
@@ -98,7 +110,7 @@ func (m *Model) Power(cfg Config) (float64, error) {
 	if err := validate(cfg); err != nil {
 		return 0, err
 	}
-	node, err := cmos.Lookup(cfg.NodeNM)
+	node, err := m.node(cfg.NodeNM)
 	if err != nil {
 		return 0, err
 	}

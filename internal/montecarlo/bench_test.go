@@ -1,0 +1,32 @@
+package montecarlo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchReplicates sizes the benchmark run; bench.sh divides by it to
+// report replicates/sec.
+const benchReplicates = 40
+
+// BenchmarkUncertainty measures full Monte Carlo runs (resample + refit +
+// jitter + 8 projections per replicate) at several pool widths. One engine
+// is shared across iterations, matching how the server amortizes the base
+// fit.
+func BenchmarkUncertainty(b *testing.B) {
+	e, err := New(1)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{Replicates: benchReplicates, Seed: 1, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(cfg); err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+			}
+		})
+	}
+}

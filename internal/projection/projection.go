@@ -22,11 +22,43 @@ import (
 	"errors"
 	"fmt"
 
+	"accelwall/internal/budget"
 	"accelwall/internal/casestudy"
 	"accelwall/internal/chipdb"
+	"accelwall/internal/cmos"
 	"accelwall/internal/gains"
 	"accelwall/internal/stats"
 )
+
+// Env is the model substrate a projection is evaluated against: the fitted
+// transistor-budget model and the CMOS scaling table behind every physical
+// ratio. The zero value selects the paper's published budget constants and
+// the calibrated default table, which is exactly what Project uses; the
+// Monte Carlo uncertainty engine passes a refitted budget and a jittered
+// table per replicate to re-derive the whole wall under perturbed inputs.
+type Env struct {
+	Budget *budget.Model // nil → the published regression constants
+	Nodes  *cmos.Table   // nil → the calibrated default scaling table
+}
+
+// model builds the general-purpose gains model of the environment.
+func (e Env) model() *gains.Model {
+	m := gains.NewModel(e.Budget)
+	m.Nodes = e.Nodes
+	return m
+}
+
+// videoModel builds the decoder-study gains model of the environment.
+func (e Env) videoModel() *gains.Model {
+	m := e.model()
+	m.LeakShare = casestudy.VideoLeakShare
+	return m
+}
+
+// device builds the per-area device-potential model of the environment.
+func (e Env) device() casestudy.DevicePotential {
+	return casestudy.DevicePotential{Nodes: e.Nodes}
+}
 
 // WallConfig holds one domain's Table V physical parameters: the die-size
 // range, thermal budget, and frequency of the domain's accelerator class.
@@ -107,7 +139,7 @@ type Projection struct {
 
 // collect gathers a domain's (physical, gain) cloud and its wall-chip
 // physical limit.
-func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float64, float64, string, error) {
+func collect(env Env, domain casestudy.Domain, target gains.Target) ([]stats.Point, float64, float64, string, error) {
 	w, err := wallConfigFor(domain)
 	if err != nil {
 		return nil, 0, 0, "", err
@@ -118,7 +150,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		// CPU→GPU→FPGA→ASIC platform transitions deliver non-recurring CSR
 		// boosts (Section IV-E), so extrapolating them forward would
 		// overstate the wall. Points normalize to the first (130 nm) ASIC.
-		rows, err := casestudy.Fig9(target)
+		rows, err := casestudy.Fig9With(env.device(), target)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
@@ -143,7 +175,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		if asicBase == nil {
 			return nil, 0, 0, "", errors.New("projection: no ASIC miners in dataset")
 		}
-		limit, err := casestudy.DevicePotential{}.Ratio(target,
+		limit, err := env.device().Ratio(target,
 			gains.Config{NodeNM: 5, DieMM2: 25, TDPW: 50, FreqGHz: w.FreqMHz / 1000},
 			gains.Config{NodeNM: baseMiner.NodeNM, DieMM2: 25, TDPW: 50, FreqGHz: baseMiner.FreqGHz})
 		if err != nil {
@@ -156,7 +188,8 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		return pts, limit, baseAbs, unit, nil
 
 	case casestudy.DomainVideoDecode:
-		rows, err := casestudy.Fig4(target)
+		vm := env.videoModel()
+		rows, err := casestudy.Fig4With(vm, target)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
@@ -164,14 +197,15 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		for _, r := range rows {
 			pts = append(pts, stats.Point{X: r.RelGain / r.CSR, Y: r.RelGain})
 		}
-		limit, baseAbs, unit, err := videoLimit(target, w)
+		limit, baseAbs, unit, err := videoLimit(vm, target, w)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
 		return pts, limit, baseAbs, unit, nil
 
 	case casestudy.DomainGPUGraphics:
-		points, err := casestudy.ArchScaling(target)
+		gm := env.model()
+		points, err := casestudy.ArchScalingWith(gm, target)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
@@ -179,7 +213,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		for _, p := range points {
 			pts = append(pts, stats.Point{X: p.RelGain / p.CSR, Y: p.RelGain})
 		}
-		limit, baseAbs, unit, err := gpuLimit(target, w)
+		limit, baseAbs, unit, err := gpuLimit(gm, target, w)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
@@ -189,7 +223,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 		var pts []stats.Point
 		// The paper pools AlexNet and VGG-16 on one axis ("AlexNet+VGG-16
 		// GOP/s"); both series normalize to the AlexNet baseline board.
-		m := gains.NewModel(nil)
+		m := env.model()
 		alexBase := casestudy.FPGAImpls(casestudy.AlexNet)[0]
 		baseCfg := alexBase.Config()
 		baseAbs, unit := alexBase.GOPS, "GOP/s"
@@ -209,7 +243,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 				pts = append(pts, stats.Point{X: phys, Y: abs / baseAbs})
 			}
 		}
-		limit, err := fpgaLimit(target, w)
+		limit, err := fpgaLimit(m, target, w)
 		if err != nil {
 			return nil, 0, 0, "", err
 		}
@@ -220,9 +254,7 @@ func collect(domain casestudy.Domain, target gains.Target) ([]stats.Point, float
 
 // videoLimit evaluates the decoder wall chip against the ISSCC2006
 // baseline using the video study's gains model.
-func videoLimit(target gains.Target, w WallConfig) (float64, float64, string, error) {
-	m := gains.NewModel(nil)
-	m.LeakShare = 0.05
+func videoLimit(m *gains.Model, target gains.Target, w WallConfig) (float64, float64, string, error) {
 	decs := casestudy.Decoders()
 	base := decs[0]
 	baseCfg := gains.Config{NodeNM: base.NodeNM, DieMM2: base.DieMM2, TDPW: 5, FreqGHz: base.FreqGHz}
@@ -238,8 +270,7 @@ func videoLimit(target gains.Target, w WallConfig) (float64, float64, string, er
 }
 
 // gpuLimit evaluates the GPU wall chip against the 65 nm Tesla flagship.
-func gpuLimit(target gains.Target, w WallConfig) (float64, float64, string, error) {
-	m := gains.NewModel(nil)
+func gpuLimit(m *gains.Model, target gains.Target, w WallConfig) (float64, float64, string, error) {
 	var tesla casestudy.GPUChip
 	for _, c := range casestudy.GPUChips() {
 		if c.Arch == "Tesla" && c.HighEnd {
@@ -261,15 +292,21 @@ func gpuLimit(target gains.Target, w WallConfig) (float64, float64, string, erro
 
 // fpgaLimit evaluates the FPGA wall chip (a fully utilized 5 nm fabric)
 // against the AlexNet baseline board.
-func fpgaLimit(target gains.Target, w WallConfig) (float64, error) {
-	m := gains.NewModel(nil)
+func fpgaLimit(m *gains.Model, target gains.Target, w WallConfig) (float64, error) {
 	baseImpl := casestudy.FPGAImpls(casestudy.AlexNet)[0]
 	return m.Ratio(target, w.wallChip(target), baseImpl.Config())
 }
 
-// Project runs the accelerator-wall analysis for one domain and target.
+// Project runs the accelerator-wall analysis for one domain and target
+// against the paper's published models (the zero Env).
 func Project(domain casestudy.Domain, target gains.Target) (Projection, error) {
-	pts, limit, baseAbs, unit, err := collect(domain, target)
+	return ProjectEnv(Env{}, domain, target)
+}
+
+// ProjectEnv runs the accelerator-wall analysis for one domain and target
+// against a caller-supplied model environment.
+func ProjectEnv(env Env, domain casestudy.Domain, target gains.Target) (Projection, error) {
+	pts, limit, baseAbs, unit, err := collect(env, domain, target)
 	if err != nil {
 		return Projection{}, err
 	}

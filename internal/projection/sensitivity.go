@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"accelwall/internal/casestudy"
 	"accelwall/internal/gains"
@@ -116,23 +115,17 @@ func Sensitize(domain casestudy.Domain, target gains.Target, cfg SensitivityConf
 		PointLog:    base.RemainLog,
 		PointLinear: base.RemainLinear,
 	}
-	s.LogQ05, s.LogMedian, s.LogQ95 = quantiles(logs)
-	s.LinearQ05, s.LinearMedian, s.LinearQ95 = quantiles(lins)
-	return s, nil
-}
-
-func quantiles(xs []float64) (q05, med, q95 float64) {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	at := func(q float64) float64 {
-		idx := q * float64(len(s)-1)
-		lo := int(math.Floor(idx))
-		hi := int(math.Ceil(idx))
-		frac := idx - float64(lo)
-		return s[lo]*(1-frac) + s[hi]*frac
+	lq, err := stats.Quantiles(logs, 5, 50, 95)
+	if err != nil {
+		return Sensitivity{}, err
 	}
-	return at(0.05), at(0.5), at(0.95)
+	nq, err := stats.Quantiles(lins, 5, 50, 95)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	s.LogQ05, s.LogMedian, s.LogQ95 = lq[0], lq[1], lq[2]
+	s.LinearQ05, s.LinearMedian, s.LinearQ95 = nq[0], nq[1], nq[2]
+	return s, nil
 }
 
 // SensitizeAll runs the robustness analysis for every domain.

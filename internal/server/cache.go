@@ -7,6 +7,7 @@ import (
 
 	"accelwall/internal/core"
 	"accelwall/internal/dfg"
+	"accelwall/internal/montecarlo"
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
 	"sync"
@@ -176,6 +177,84 @@ type studyEntry struct {
 
 func newStudyCache(metrics *Metrics) *studyCache {
 	return &studyCache{entries: make(map[studyKey]*studyEntry), metrics: metrics}
+}
+
+// uncertaintyCache memoizes Monte Carlo runs keyed by the normalized
+// configuration (seed, replicates, corpus seed, confidence, gain target,
+// jitter — worker count is excluded because it never changes results),
+// with the same singleflight discipline as engineCache. Runs are capped by
+// the handler's replicate limit, so a small FIFO bound on ready entries is
+// enough to keep memory flat.
+type uncertaintyCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[montecarlo.Config]*uncertaintyEntry
+	order   []montecarlo.Config // ready keys in completion order
+	metrics *Metrics
+}
+
+type uncertaintyEntry struct {
+	ready chan struct{}
+	out   core.UncertaintyJSON
+	err   error
+}
+
+// newUncertaintyCache builds a cache of at most max completed runs
+// (max <= 0 selects 64).
+func newUncertaintyCache(max int, metrics *Metrics) *uncertaintyCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &uncertaintyCache{
+		max:     max,
+		entries: make(map[montecarlo.Config]*uncertaintyEntry),
+		metrics: metrics,
+	}
+}
+
+// get returns the wire payload for the config, running the Monte Carlo
+// engine at most once per normalized key no matter how many goroutines ask
+// concurrently. Failed runs are not cached. The workers argument sizes the
+// pool of a run this call happens to start; it is not part of the key.
+func (c *uncertaintyCache) get(cfg montecarlo.Config, workers int) (core.UncertaintyJSON, error) {
+	key := cfg.Normalized()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.metrics.UncertaintyHits.Add(1)
+		<-e.ready
+		return e.out, e.err
+	}
+	e := &uncertaintyEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.metrics.UncertaintyRuns.Add(1)
+	run := key
+	run.Workers = workers
+	res, err := montecarlo.Run(run)
+	if err != nil {
+		e.err = err
+	} else {
+		e.out = core.NewUncertaintyJSON(res)
+	}
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+	} else {
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, victim)
+		}
+	}
+	c.mu.Unlock()
+	return e.out, e.err
 }
 
 // get returns the fitted study for the key, fitting the corpus regressions

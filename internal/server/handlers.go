@@ -9,6 +9,7 @@ import (
 	"accelwall/internal/core"
 	"accelwall/internal/csr"
 	"accelwall/internal/gains"
+	"accelwall/internal/montecarlo"
 	"accelwall/internal/projection"
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
@@ -380,4 +381,60 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxServedReplicates bounds a single /v1/uncertainty request: Monte Carlo
+// cost is linear in replicates and each run holds a worker pool for its
+// duration, so the daemon refuses open-ended work the CLI would accept.
+const maxServedReplicates = 10000
+
+// uncertaintyRequest is the POST /v1/uncertainty body. Every field is
+// optional; zero values select the montecarlo defaults (200 replicates,
+// seed 1, 90% bands, 10x gain target, 2% CMOS jitter).
+type uncertaintyRequest struct {
+	Replicates int     `json:"replicates,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	CorpusSeed int64   `json:"corpus_seed,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	GainTarget float64 `json:"gain_target,omitempty"`
+	CMOSJitter float64 `json:"cmos_jitter,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// handleUncertainty serves Monte Carlo confidence bands over the full
+// accelerator-wall pipeline. Results are memoized on the normalized
+// configuration (worker count excluded — it never changes output), so
+// repeated dashboards hit the cache instead of re-running replicates.
+func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
+	var req uncertaintyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Replicates > maxServedReplicates {
+		writeError(w, http.StatusBadRequest, "replicates %d exceeds served limit %d", req.Replicates, maxServedReplicates)
+		return
+	}
+	cfg := montecarlo.Config{
+		Replicates: req.Replicates,
+		Seed:       req.Seed,
+		CorpusSeed: req.CorpusSeed,
+		Confidence: req.Confidence,
+		GainTarget: req.GainTarget,
+		CMOSJitter: req.CMOSJitter,
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	out, err := s.uncertainty.get(cfg, workers)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }

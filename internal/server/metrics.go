@@ -31,6 +31,9 @@ type Metrics struct {
 	StudyFits     expvar.Int // corpus regressions fitted (study-cache loads)
 	StudyHits     expvar.Int
 
+	UncertaintyRuns expvar.Int // Monte Carlo runs executed (uncertainty-cache loads)
+	UncertaintyHits expvar.Int
+
 	LatencySumMS expvar.Float
 	latency      []expvar.Int // len(latencyBucketsMS)+1; last is +Inf
 
@@ -101,6 +104,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"study_cache": map[string]int64{
 			"hits": m.StudyHits.Value(),
 			"fits": m.StudyFits.Value(),
+		},
+		"uncertainty_cache": map[string]int64{
+			"hits": m.UncertaintyHits.Value(),
+			"runs": m.UncertaintyRuns.Value(),
 		},
 		"latency_ms": map[string]any{
 			"sum":     m.LatencySumMS.Value(),

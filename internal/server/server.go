@@ -15,6 +15,7 @@
 //	GET  /v1/projection[?target=]  accelerator-wall projections (Fig. 15/16)
 //	GET  /v1/casestudy/{name}      bitcoin | videodec | gpu | fpgacnn
 //	POST /v1/sweep                 design-point / grid evaluation
+//	POST /v1/uncertainty           Monte Carlo confidence bands on the wall
 //	GET  /v1/workloads             kernels /v1/sweep accepts
 //	GET  /v1/experiments           experiment registry
 //	GET  /v1/experiments/{id}      one experiment, machine-readable
@@ -102,12 +103,13 @@ func (o *Options) normalize() {
 // Server is the accelwalld HTTP server: routing plus the process-lifetime
 // model state.
 type Server struct {
-	opts    Options
-	metrics *Metrics
-	engines *engineCache
-	studies *studyCache
-	sem     chan struct{}
-	handler http.Handler
+	opts        Options
+	metrics     *Metrics
+	engines     *engineCache
+	studies     *studyCache
+	uncertainty *uncertaintyCache
+	sem         chan struct{}
+	handler     http.Handler
 }
 
 // New builds a server; no model state is fitted until the first request
@@ -121,6 +123,7 @@ func New(opts Options) *Server {
 	}
 	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
 	s.studies = newStudyCache(s.metrics)
+	s.uncertainty = newUncertaintyCache(0, s.metrics)
 	s.handler = s.routes()
 	s.metrics.publish()
 	return s
@@ -152,6 +155,7 @@ func (s *Server) routes() http.Handler {
 	route("GET /v1/projection", s.handleProjection)
 	route("GET /v1/casestudy/{name}", s.handleCaseStudy)
 	route("POST /v1/sweep", s.handleSweep)
+	route("POST /v1/uncertainty", s.handleUncertainty)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/experiments/{id}", s.handleExperiment)

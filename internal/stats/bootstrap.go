@@ -32,6 +32,15 @@ type PowerLawCI struct {
 // without reporting uncertainty; this utility makes the reproduction's fit
 // stability measurable — DESIGN.md's corpus-size ablation relies on it.
 func BootstrapPowerLaw(xs, ys []float64, resamples int, conf float64, seed int64) (PowerLawCI, error) {
+	return BootstrapPowerLawRand(xs, ys, resamples, conf, rand.New(rand.NewSource(seed)))
+}
+
+// BootstrapPowerLawRand is BootstrapPowerLaw drawing its resamples from a
+// caller-owned PRNG instead of an internally seeded one, so callers that
+// manage deterministic substreams (the Monte Carlo uncertainty engine
+// derives one stream per replicate) can inject their own source. The rng
+// is consumed: n draws per resample, in resample order.
+func BootstrapPowerLawRand(xs, ys []float64, resamples int, conf float64, rng *rand.Rand) (PowerLawCI, error) {
 	if len(xs) != len(ys) || len(xs) < 3 {
 		return PowerLawCI{}, fmt.Errorf("%w: bootstrap needs >= 3 paired points", ErrInsufficientData)
 	}
@@ -45,7 +54,6 @@ func BootstrapPowerLaw(xs, ys []float64, resamples int, conf float64, seed int64
 	if _, err := FitPowerLaw(xs, ys); err != nil {
 		return PowerLawCI{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	n := len(xs)
 	as := make([]float64, 0, resamples)
 	bs := make([]float64, 0, resamples)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -114,5 +115,44 @@ func TestSpearmanErrors(t *testing.T) {
 	}
 	if _, err := Spearman([]float64{1, 2}, []float64{5, 5}); err == nil {
 		t.Error("constant y should error")
+	}
+}
+
+// TestBootstrapRandMatchesSeeded pins the wrapper contract: the seeded
+// entry point is exactly the injected-PRNG variant over a fresh source.
+func TestBootstrapRandMatchesSeeded(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := []float64{2, 3.9, 8.1, 15.8, 32.5, 63}
+	want, err := BootstrapPowerLaw(xs, ys, 200, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BootstrapPowerLawRand(xs, ys, 200, 0.9, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("injected-PRNG result %+v != seeded result %+v", got, want)
+	}
+}
+
+// TestBootstrapRandConsumption checks the documented draw count: n draws
+// per resample, so a shared PRNG advances predictably between calls.
+func TestBootstrapRandConsumption(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{2, 4.1, 7.9, 16.2}
+	const resamples = 50
+	rng := rand.New(rand.NewSource(7))
+	if _, err := BootstrapPowerLawRand(xs, ys, resamples, 0.9, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the documented consumption on a fresh source; the shared rng
+	// must now be positioned exactly past it.
+	replay := rand.New(rand.NewSource(7))
+	for i := 0; i < resamples*len(xs); i++ {
+		replay.Intn(len(xs))
+	}
+	if got, want := rng.Int63(), replay.Int63(); got != want {
+		t.Errorf("PRNG advanced to %d, want %d (n draws per resample)", got, want)
 	}
 }

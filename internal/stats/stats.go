@@ -437,26 +437,54 @@ func Normalize(xs []float64) ([]float64, error) {
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. The input is not modified.
 func Percentile(xs []float64, p float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrInsufficientData
+	qs, err := Quantiles(xs, p)
+	if err != nil {
+		return 0, err
 	}
-	if p < 0 || p > 100 {
-		return 0, fmt.Errorf("%w: percentile %g outside [0,100]", ErrDomain, p)
+	return qs[0], nil
+}
+
+// Quantiles returns the requested percentiles (each in 0..100) of xs using
+// linear interpolation between closest ranks, the same estimator as
+// Percentile but sorting a single copy of the input once for all of them.
+// The result preserves the order of ps; the input is not modified.
+//
+// Both the projection sensitivity sweep and the Monte Carlo replicate
+// reducer band their samples with this helper, so every reported quantile
+// in the repo uses one estimator.
+func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrInsufficientData
+	}
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("%w: percentile %g outside [0,100]", ErrDomain, p)
+		}
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+// quantileSorted reads the p-th percentile out of an already-sorted,
+// non-empty sample.
+func quantileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 1 {
-		return sorted[0], nil
+		return sorted[0]
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Interp linearly interpolates the y value at x over the piecewise-linear

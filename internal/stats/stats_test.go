@@ -494,3 +494,61 @@ func TestStringers(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantilesMatchesPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 9, 7}
+	ps := []float64{0, 12.5, 25, 50, 75, 95, 100}
+	got, err := Quantiles(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("got %d quantiles for %d probes", len(got), len(ps))
+	}
+	for i, p := range ps {
+		want, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("Quantiles[%g] = %g, Percentile = %g", p, got[i], want)
+		}
+	}
+}
+
+func TestQuantilesPreservesProbeOrder(t *testing.T) {
+	// Probes deliberately out of order: results must follow the probes,
+	// not the sorted data.
+	got, err := Quantiles([]float64{1, 2, 3, 4}, 100, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 1, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles result[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantilesInputUnmodified(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantiles(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantiles sorted the caller's slice: %v", xs)
+	}
+}
+
+func TestQuantilesErrors(t *testing.T) {
+	if _, err := Quantiles(nil, 50); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty input should return ErrInsufficientData, got %v", err)
+	}
+	if _, err := Quantiles([]float64{1, 2}, 50, 101); !errors.Is(err, ErrDomain) {
+		t.Errorf("probe 101 should return ErrDomain, got %v", err)
+	}
+	if _, err := Quantiles([]float64{1, 2}, -1); !errors.Is(err, ErrDomain) {
+		t.Errorf("probe -1 should return ErrDomain, got %v", err)
+	}
+}
