@@ -33,11 +33,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"accelwall/internal/chipdb"
 	"accelwall/internal/core"
@@ -48,13 +52,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the context; the worker pools observe it
+	// within one chunk of simulations, so a long -full sweep dies in
+	// milliseconds instead of minutes. A second signal kills the process
+	// outright (NotifyContext restores default handling after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "accelwall: interrupted — partial results discarded")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "accelwall:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("accelwall", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "synthetic datasheet corpus seed")
 	published := fs.Bool("published", false, "use published regression constants (skip corpus fitting)")
@@ -83,7 +97,7 @@ func run(args []string) error {
 		if len(rest) > 0 {
 			return fmt.Errorf("-uncertainty takes no experiment arguments (got %s)", strings.Join(rest, " "))
 		}
-		return runUncertainty(*seed, *replicates, *conf, *gainTarget, *workers, *jsonOut)
+		return runUncertainty(ctx, *seed, *replicates, *conf, *gainTarget, *workers, *jsonOut)
 	}
 	if len(rest) == 0 {
 		usage()
@@ -136,7 +150,7 @@ func run(args []string) error {
 		if len(rest) > 1 {
 			path = rest[1]
 		}
-		return writeReport(path, *seed, *published, *full, *workers)
+		return writeReport(ctx, path, *seed, *published, *full, *workers)
 	case "list":
 		if *jsonOut {
 			return listJSON()
@@ -163,6 +177,7 @@ func run(args []string) error {
 		study.Sweep = sweep.Default()
 	}
 	study.Workers = *workers
+	study.Ctx = ctx
 
 	if *jsonOut {
 		out := make([]core.ExperimentJSON, 0, len(experiments))
@@ -203,7 +218,7 @@ func run(args []string) error {
 // single -seed flag feeds both the replicate root seed and the corpus
 // seed, so one number pins the whole run; the JSON output is the exact
 // payload POST /v1/uncertainty serves for the same configuration.
-func runUncertainty(seed int64, replicates int, conf, gainTarget float64, workers int, jsonOut bool) error {
+func runUncertainty(ctx context.Context, seed int64, replicates int, conf, gainTarget float64, workers int, jsonOut bool) error {
 	cfg := montecarlo.Config{
 		Replicates: replicates,
 		Seed:       seed,
@@ -215,7 +230,7 @@ func runUncertainty(seed int64, replicates int, conf, gainTarget float64, worker
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	res, err := montecarlo.Run(cfg)
+	res, err := montecarlo.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -283,7 +298,7 @@ func writeCorpus(seed int64) error {
 
 // writeReport runs every experiment and extension and writes a single
 // Markdown report.
-func writeReport(path string, seed int64, published, full bool, workers int) error {
+func writeReport(ctx context.Context, path string, seed int64, published, full bool, workers int) error {
 	var study *core.Study
 	if published {
 		study = core.NewPublished()
@@ -297,6 +312,7 @@ func writeReport(path string, seed int64, published, full bool, workers int) err
 		study.Sweep = sweep.Default()
 	}
 	study.Workers = workers
+	study.Ctx = ctx
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -308,6 +324,11 @@ func writeReport(path string, seed int64, published, full bool, workers int) err
 	write := func(e core.Experiment) error {
 		out, err := e.Run(study)
 		if err != nil {
+			// Cancellation aborts the whole report (a half-written file
+			// plus exit 130 beats a file full of "unavailable" rows).
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			// Corpus-dependent experiments are unavailable in published
 			// mode; note it and continue.
 			fmt.Fprintf(f, "## %s: %s\n\nunavailable: %v\n\n", e.ID, e.Title, err)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -44,7 +46,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunList(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"list"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"list"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"table5"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"table5"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunPublishedMode(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-published", "fig3d"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-published", "fig3d"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,24 +76,24 @@ func TestRunPublishedMode(t *testing.T) {
 		t.Errorf("fig3d output unexpected:\n%s", out)
 	}
 	// Corpus-dependent experiment must fail in published mode.
-	if _, err := capture(t, func() error { return run([]string{"-published", "fig3b"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"-published", "fig3b"}) }); err == nil {
 		t.Error("fig3b in published mode should error")
 	}
 }
 
 func TestRunSeedFlag(t *testing.T) {
-	a, err := capture(t, func() error { return run([]string{"-seed", "7", "fig3b"}) })
+	a, err := capture(t, func() error { return run(context.Background(), []string{"-seed", "7", "fig3b"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := capture(t, func() error { return run([]string{"-seed", "7", "fig3b"}) })
+	b, err := capture(t, func() error { return run(context.Background(), []string{"-seed", "7", "fig3b"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("same seed produced different output")
 	}
-	c, err := capture(t, func() error { return run([]string{"-seed", "8", "fig3b"}) })
+	c, err := capture(t, func() error { return run(context.Background(), []string{"-seed", "8", "fig3b"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,13 +103,13 @@ func TestRunSeedFlag(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run([]string{}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{}) }); err == nil {
 		t.Error("no arguments should error")
 	}
-	if _, err := capture(t, func() error { return run([]string{"fig99"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"fig99"}) }); err == nil {
 		t.Error("unknown experiment should error")
 	}
-	if _, err := capture(t, func() error { return run([]string{"-bogusflag"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"-bogusflag"}) }); err == nil {
 		t.Error("unknown flag should error")
 	}
 }
@@ -116,7 +118,7 @@ func TestRunErrors(t *testing.T) {
 // flag or ID is rejected with a clear error before any experiment output.
 func TestRunFailFast(t *testing.T) {
 	// Negative worker pool.
-	out, err := capture(t, func() error { return run([]string{"-workers", "-1", "table5"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-workers", "-1", "table5"}) })
 	if err == nil || !strings.Contains(err.Error(), "-workers must be >= 0") {
 		t.Errorf("-workers=-1: err = %v", err)
 	}
@@ -126,7 +128,7 @@ func TestRunFailFast(t *testing.T) {
 
 	// A typo'd trailing ID aborts the whole run, names every bad ID, and
 	// nothing executes — not even the valid leading experiments.
-	out, err = capture(t, func() error { return run([]string{"table5", "fig99", "figZZ"}) })
+	out, err = capture(t, func() error { return run(context.Background(), []string{"table5", "fig99", "figZZ"}) })
 	if err == nil {
 		t.Fatal("unknown trailing ID should error")
 	}
@@ -146,7 +148,7 @@ func TestRunFailFast(t *testing.T) {
 		{"-json", "corpus"},
 		{"-json", "report"},
 	} {
-		if _, err := capture(t, func() error { return run(args) }); err == nil {
+		if _, err := capture(t, func() error { return run(context.Background(), args) }); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
 	}
@@ -156,17 +158,19 @@ func TestRunFailFast(t *testing.T) {
 // error instead of a zero-byte success.
 func TestRunReportUnwritable(t *testing.T) {
 	// A directory path cannot be os.Create'd.
-	if _, err := capture(t, func() error { return run([]string{"report", t.TempDir()}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"report", t.TempDir()}) }); err == nil {
 		t.Error("report to a directory path should error")
 	}
-	if _, err := capture(t, func() error { return run([]string{"report", t.TempDir() + "/no/such/dir/report.md"}) }); err == nil {
+	if _, err := capture(t, func() error {
+		return run(context.Background(), []string{"report", t.TempDir() + "/no/such/dir/report.md"})
+	}); err == nil {
 		t.Error("report into a missing directory should error")
 	}
 }
 
 // TestRunJSON verifies -json emits the accelwalld wire format.
 func TestRunJSON(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-json", "-published", "table5", "fig15"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-json", "-published", "table5", "fig15"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +198,7 @@ func TestRunJSON(t *testing.T) {
 	}
 
 	// list -json emits the registry rows.
-	out, err = capture(t, func() error { return run([]string{"-json", "list"}) })
+	out, err = capture(t, func() error { return run(context.Background(), []string{"-json", "list"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +217,7 @@ func TestRunJSON(t *testing.T) {
 }
 
 func TestRunMultipleIDs(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"fig3a", "table5"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"fig3a", "table5"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +228,7 @@ func TestRunMultipleIDs(t *testing.T) {
 
 func TestRunDot(t *testing.T) {
 	for _, kernel := range []string{"S3D", "GMM/strassen", "SHA256d"} {
-		out, err := capture(t, func() error { return run([]string{"dot", kernel}) })
+		out, err := capture(t, func() error { return run(context.Background(), []string{"dot", kernel}) })
 		if err != nil {
 			t.Fatalf("dot %s: %v", kernel, err)
 		}
@@ -232,16 +236,16 @@ func TestRunDot(t *testing.T) {
 			t.Errorf("dot %s output malformed:\n%.200s", kernel, out)
 		}
 	}
-	if _, err := capture(t, func() error { return run([]string{"dot", "NOPE"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"dot", "NOPE"}) }); err == nil {
 		t.Error("dot of unknown kernel should error")
 	}
-	if _, err := capture(t, func() error { return run([]string{"dot"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"dot"}) }); err == nil {
 		t.Error("dot without kernel should error")
 	}
 }
 
 func TestRunCorpus(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"corpus"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"corpus"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +259,7 @@ func TestRunCorpus(t *testing.T) {
 }
 
 func TestRunExt(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"ext"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"ext"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +272,7 @@ func TestRunExt(t *testing.T) {
 
 func TestRunReport(t *testing.T) {
 	path := t.TempDir() + "/report.md"
-	if _, err := capture(t, func() error { return run([]string{"report", path}) }); err != nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"report", path}) }); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -289,7 +293,7 @@ func TestRunReport(t *testing.T) {
 
 func TestRunUncertaintyText(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-uncertainty", "-replicates", "24", "-seed", "1"})
+		return run(context.Background(), []string{"-uncertainty", "-replicates", "24", "-seed", "1"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -303,7 +307,7 @@ func TestRunUncertaintyText(t *testing.T) {
 
 func TestRunUncertaintyJSON(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-uncertainty", "-replicates", "24", "-seed", "1", "-json"})
+		return run(context.Background(), []string{"-uncertainty", "-replicates", "24", "-seed", "1", "-json"})
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -336,8 +340,32 @@ func TestRunUncertaintyErrors(t *testing.T) {
 		{"-uncertainty", "-conf", "2"},
 	}
 	for _, args := range cases {
-		if _, err := capture(t, func() error { return run(args) }); err == nil {
+		if _, err := capture(t, func() error { return run(context.Background(), args) }); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
+	}
+}
+
+// TestRunCancelledContext checks Ctrl-C semantics end to end: a cancelled
+// context aborts the compute-heavy paths with context.Canceled (which main
+// maps to the interrupted message and exit 130) instead of running the
+// full sweep or replicate set.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"fig13"},
+		{"fig14"},
+		{"-uncertainty", "-replicates", "24"},
+	} {
+		_, err := capture(t, func() error { return run(ctx, args) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("run(cancelled, %v) = %v, want context.Canceled", args, err)
+		}
+	}
+	// Cheap non-compute commands still work under a cancelled context:
+	// nothing in their path consults it.
+	if _, err := capture(t, func() error { return run(ctx, []string{"list"}) }); err != nil {
+		t.Errorf("run(cancelled, list) = %v, want nil", err)
 	}
 }

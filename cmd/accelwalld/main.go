@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain bound")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing API requests (0 = 2x GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "max requests queued beyond -max-inflight before 503 shedding (0 = 4x max-inflight)")
 	cacheSize := fs.Int("cache", 32, "max resident compiled workload engines")
 	maxGrid := fs.Int("max-grid", 0, "max design points per sweep request (0 = 65536)")
 	quiet := fs.Bool("quiet", false, "disable access logging")
@@ -74,6 +75,7 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 		RequestTimeout:  *timeout,
 		ShutdownTimeout: *shutdownTimeout,
 		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
 		EngineCacheSize: *cacheSize,
 		MaxGridPoints:   *maxGrid,
 		Logger:          logger,

@@ -9,6 +9,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"text/tabwriter"
@@ -40,6 +41,19 @@ type Study struct {
 	// GOMAXPROCS. Each sweep compiles its workload graph once and shares
 	// the compiled state across the pool.
 	Workers int
+	// Ctx, when non-nil, bounds every parallel computation the study's
+	// experiments run: cancelling it stops the sweep pools within one
+	// chunk of work and surfaces the context's error. Nil means no bound
+	// (context.Background()), preserving the original blocking behavior.
+	Ctx context.Context
+}
+
+// ctx resolves the study's context, defaulting to Background.
+func (s *Study) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // New builds a study over the synthetic datasheet corpus with the given
@@ -301,7 +315,7 @@ func (s *Study) Fig13() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rows, best, err := sweep.Fig13(g, s.Sweep, s.Workers)
+	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
 	if err != nil {
 		return "", err
 	}
@@ -346,7 +360,7 @@ func (s *Study) Fig14Attributions(objective sweep.Objective) ([]sweep.Attributio
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", spec.Abbrev, err)
 		}
-		a, err := sweep.AttributeParallel(spec.Abbrev, g, s.Sweep, objective, s.Workers)
+		a, err := sweep.AttributeParallelContext(s.ctx(), spec.Abbrev, g, s.Sweep, objective, s.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: attributing %s: %w", spec.Abbrev, err)
 		}

@@ -161,11 +161,11 @@ func (s *Study) ExtDomainKernels() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		perf, err := sweep.AttributeParallel(k.Name, g, s.Sweep, sweep.Performance, s.Workers)
+		perf, err := sweep.AttributeParallelContext(s.ctx(), k.Name, g, s.Sweep, sweep.Performance, s.Workers)
 		if err != nil {
 			return "", err
 		}
-		eff, err := sweep.AttributeParallel(k.Name, g, s.Sweep, sweep.Efficiency, s.Workers)
+		eff, err := sweep.AttributeParallelContext(s.ctx(), k.Name, g, s.Sweep, sweep.Efficiency, s.Workers)
 		if err != nil {
 			return "", err
 		}

@@ -50,7 +50,7 @@ func (s *Study) PlotFig13() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rows, best, err := sweep.Fig13(g, s.Sweep, s.Workers)
+	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
 	if err != nil {
 		return "", err
 	}

@@ -631,7 +631,7 @@ func (s *Study) Fig13JSON() (Fig13JSON, error) {
 	if err != nil {
 		return Fig13JSON{}, err
 	}
-	rows, best, err := sweep.Fig13(g, s.Sweep, s.Workers)
+	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
 	if err != nil {
 		return Fig13JSON{}, err
 	}

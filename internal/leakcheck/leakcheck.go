@@ -1,0 +1,52 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for the
+// cancellation and chaos test suites. It compares runtime.NumGoroutine
+// before the test body and after quiescence: worker pools must wind down
+// completely once their context is cancelled or their input drains, so
+// any residual goroutine is a leaked worker (or a deadlocked channel
+// operation holding one).
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long After waits for stragglers to exit before declaring
+// a leak. Pools quiesce in microseconds; the generous bound keeps slow
+// race-detector runs from flaking.
+const grace = 5 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the baseline once the test
+// body (and all its own cleanups registered after this call) finish.
+//
+// Tests using Check must not call t.Parallel: a sibling test's transient
+// goroutines would show up in the comparison.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if leaked, stacks := wait(base); leaked > 0 {
+			t.Errorf("goroutine leak: %d goroutines above the %d baseline after %s\n%s",
+				leaked, base, grace, stacks)
+		}
+	})
+}
+
+// wait polls until the goroutine count drops to base or the grace period
+// expires, returning the excess and a full stack dump on failure.
+func wait(base int) (int, string) {
+	deadline := time.Now().Add(grace)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return 0, ""
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return n - base, string(buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

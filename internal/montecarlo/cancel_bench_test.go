@@ -1,0 +1,33 @@
+package montecarlo
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkCancelLatency measures the time from cancelling a mid-run
+// Monte Carlo pool to full quiescence (RunContext returning). The timer
+// runs only across cancel() → return, so ns/op is the cancellation
+// latency itself; scripts/bench.sh records it in BENCH_cancel.json.
+func BenchmarkCancelLatency(b *testing.B) {
+	e, err := New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Replicates: 2000, Seed: 1, CorpusSeed: 1}.withDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			e.RunContext(ctx, cfg) //nolint:errcheck // cancelled on purpose
+			close(done)
+		}()
+		time.Sleep(2 * time.Millisecond) // let the pool get mid-run
+		b.StartTimer()
+		cancel()
+		<-done
+	}
+}

@@ -25,6 +25,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +37,7 @@ import (
 	"accelwall/internal/casestudy"
 	"accelwall/internal/chipdb"
 	"accelwall/internal/cmos"
+	"accelwall/internal/faultinject"
 	"accelwall/internal/gains"
 	"accelwall/internal/projection"
 	"accelwall/internal/stats"
@@ -247,6 +249,13 @@ func New(corpusSeed int64) (*Engine, error) {
 // Run builds an engine from cfg.CorpusSeed and runs it — the one-call
 // front door shared by the CLI and the server.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: a cancelled ctx stops the replicate
+// pool within one replicate per worker, leaks no goroutines, and returns
+// ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -255,7 +264,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(cfg)
+	return e.RunContext(ctx, cfg)
 }
 
 // substream derives the PRNG seed of replicate i from the root seed with a
@@ -362,12 +371,31 @@ func (e *Engine) replicate(cfg Config, idx int, scratch *[]chipdb.Chip) (replica
 	return out, nil
 }
 
-// Run executes cfg.Replicates replicates and reduces them to bands.
-func (e *Engine) Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
+// SiteReplicate is the fault-injection seam hit at the start of every
+// replicate on the pool. Chaos tests arm it to prove the pool survives
+// panicking, erroring, and stalling replicates.
+var SiteReplicate = faultinject.Register("montecarlo.replicate")
+
+// replicateSafe evaluates one replicate, converting a panic anywhere in
+// the refit/projection pipeline (including an injected one) into a
+// failed-replicate error so the worker goroutine survives it.
+func (e *Engine) replicateSafe(cfg Config, idx int, scratch *[]chipdb.Chip) (out replicateOut, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			out, err = replicateOut{}, fmt.Errorf("montecarlo: replicate %d panic: %v", idx, v)
+		}
+	}()
+	if err := faultinject.Hit(SiteReplicate); err != nil {
+		return replicateOut{}, fmt.Errorf("montecarlo: %w", err)
 	}
+	return e.replicate(cfg, idx, scratch)
+}
+
+// runReplicates executes the replicate pool and returns the raw slots;
+// cancelled runs return early with whatever completed. Separated from
+// RunContext so the cancellation tests can assert the completed slots are
+// bit-identical to an uncancelled run's.
+func (e *Engine) runReplicates(ctx context.Context, cfg Config) []replicateOut {
 	outs := make([]replicateOut, cfg.Replicates)
 	workers := cfg.Workers
 	if workers > cfg.Replicates {
@@ -381,6 +409,9 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			var scratch []chipdb.Chip
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				start := int(next.Add(chunkSize)) - chunkSize
 				if start >= cfg.Replicates {
 					return
@@ -390,10 +421,16 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 					end = cfg.Replicates
 				}
 				for i := start; i < end; i++ {
+					// Replicates are the unit of cancellation latency: a
+					// cancelled run finishes at most the replicate each
+					// worker is inside, never the rest of its chunk.
+					if ctx.Err() != nil {
+						return
+					}
 					// A failed replicate leaves its slot ok=false; which
 					// replicates fail depends only on their substreams, so
 					// the failure set is worker-count-invariant too.
-					if out, err := e.replicate(cfg, i, &scratch); err == nil {
+					if out, err := e.replicateSafe(cfg, i, &scratch); err == nil {
 						outs[i] = out
 					}
 				}
@@ -401,6 +438,26 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	return outs
+}
+
+// Run executes cfg.Replicates replicates and reduces them to bands.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	return e.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: workers re-check ctx between
+// replicates, so cancellation quiesces the pool within one replicate per
+// worker and the call returns ctx.Err() with no partial Result.
+func (e *Engine) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	outs := e.runReplicates(ctx, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.reduce(cfg, outs)
 }
 

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admitKind classifies the outcome of one admission attempt.
+type admitKind int
+
+const (
+	// admitOK: a slot was acquired; the caller must release it.
+	admitOK admitKind = iota
+	// admitShedSaturated: the wait queue is full — 503.
+	admitShedSaturated
+	// admitShedDeadline: the expected queue wait exceeds the request's
+	// remaining deadline, so executing it would only burn CPU on a
+	// response nobody receives — 429 with Retry-After.
+	admitShedDeadline
+	// admitAbandoned: the client's context ended while queued.
+	admitAbandoned
+)
+
+// admitVerdict is the outcome plus the shed hint for Retry-After.
+type admitVerdict struct {
+	kind       admitKind
+	retryAfter time.Duration
+}
+
+// admission is the server's overload-protection front door: a bounded
+// slot semaphore (concurrently executing requests), a bounded wait queue,
+// and an EWMA of recent service times that turns queue length into an
+// expected wait. Requests whose deadline cannot survive the expected wait
+// are shed immediately instead of queueing to die, which is what keeps a
+// burst of slow sweeps from pinning every core on abandoned work.
+type admission struct {
+	slots    chan struct{}
+	capacity int
+	maxQueue int
+
+	// queued counts requests currently inside admit() — i.e. waiting for
+	// (or about to take) a slot.
+	queued atomic.Int64
+
+	mu   sync.Mutex
+	ewma time.Duration // smoothed service time; 0 until the first sample
+}
+
+// newAdmission builds the controller: maxInflight execution slots and a
+// wait queue of maxQueue requests beyond them.
+func newAdmission(maxInflight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		capacity: maxInflight,
+		maxQueue: maxQueue,
+	}
+}
+
+// serviceEWMA returns the current smoothed service time.
+func (a *admission) serviceEWMA() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ewma
+}
+
+// setServiceEWMA primes the estimator (tests).
+func (a *admission) setServiceEWMA(d time.Duration) {
+	a.mu.Lock()
+	a.ewma = d
+	a.mu.Unlock()
+}
+
+// expectedWait estimates how long an arrival with `waiting` requests in
+// the admission section will queue: each capacity-wide wave of waiters
+// costs one smoothed service time. Zero until a first sample exists.
+func (a *admission) expectedWait(waiting int64) time.Duration {
+	e := a.serviceEWMA()
+	if e == 0 || waiting <= 0 {
+		return 0
+	}
+	return time.Duration(float64(e) * float64(waiting) / float64(a.capacity))
+}
+
+// admit runs the admission policy for one request. On admitOK the caller
+// owns a slot and must call release exactly once, even if its handler
+// panics.
+func (a *admission) admit(ctx context.Context) admitVerdict {
+	q := a.queued.Add(1)
+	defer a.queued.Add(-1)
+
+	// waiting estimates how many of the in-admit requests (self included)
+	// will actually block: those beyond the currently free slots. The slot
+	// count is a racy snapshot, but admission is an estimator, not an
+	// invariant — the slot channel itself is the invariant.
+	waiting := int(q) - (a.capacity - len(a.slots))
+
+	if waiting > a.maxQueue {
+		wait := a.expectedWait(int64(waiting))
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return admitVerdict{kind: admitShedSaturated, retryAfter: wait}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if wait := a.expectedWait(int64(waiting)); wait > 0 && wait > time.Until(d) {
+			return admitVerdict{kind: admitShedDeadline, retryAfter: wait}
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return admitVerdict{kind: admitOK}
+	case <-ctx.Done():
+		return admitVerdict{kind: admitAbandoned}
+	}
+}
+
+// release frees the slot and folds the observed service time into the
+// EWMA (α = 1/4: a few requests move the estimate, one outlier does not).
+func (a *admission) release(served time.Duration) {
+	<-a.slots
+	a.mu.Lock()
+	if a.ewma == 0 {
+		a.ewma = served
+	} else {
+		a.ewma = (3*a.ewma + served) / 4
+	}
+	a.mu.Unlock()
+}

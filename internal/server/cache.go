@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 
@@ -185,6 +186,13 @@ func newStudyCache(metrics *Metrics) *studyCache {
 // with the same singleflight discipline as engineCache. Runs are capped by
 // the handler's replicate limit, so a small FIFO bound on ready entries is
 // enough to keep memory flat.
+//
+// Cancellation is reference-counted: every request (the one that started
+// the run and every singleflight joiner) holds a stake in the in-flight
+// entry, and the run's own context is cancelled only when the last
+// interested request goes away — so one impatient client cannot kill a
+// run three other clients are still waiting on, but a run every client
+// has abandoned stops burning cores within one replicate per worker.
 type uncertaintyCache struct {
 	mu      sync.Mutex
 	max     int
@@ -197,6 +205,59 @@ type uncertaintyEntry struct {
 	ready chan struct{}
 	out   core.UncertaintyJSON
 	err   error
+
+	mu      sync.Mutex
+	waiters int
+	done    bool
+	cancel  context.CancelFunc
+	drop    func() // detaches this entry from the cache map
+}
+
+// join registers one more request waiting on the entry.
+func (e *uncertaintyEntry) join() {
+	e.mu.Lock()
+	e.waiters++
+	e.mu.Unlock()
+}
+
+// leave withdraws one request's interest; the last leaver of an
+// unfinished run cancels it and detaches the doomed entry so the next
+// request for the same config starts fresh.
+func (e *uncertaintyEntry) leave() {
+	e.mu.Lock()
+	e.waiters--
+	abandon := e.waiters <= 0 && !e.done
+	e.mu.Unlock()
+	if abandon {
+		e.cancel()
+		e.drop()
+	}
+}
+
+// finish marks the run complete (successfully or not) and wakes waiters;
+// late leaves become no-ops.
+func (e *uncertaintyEntry) finish() {
+	e.mu.Lock()
+	e.done = true
+	e.mu.Unlock()
+	close(e.ready)
+}
+
+// await blocks until the entry finishes or ctx ends, maintaining the
+// waiter refcount either way.
+func (e *uncertaintyEntry) await(ctx context.Context) (core.UncertaintyJSON, error) {
+	stop := context.AfterFunc(ctx, e.leave)
+	select {
+	case <-e.ready:
+		if stop() {
+			// AfterFunc never ran; drop the stake it was holding.
+			e.leave()
+		}
+		return e.out, e.err
+	case <-ctx.Done():
+		// leave() runs (or ran) via AfterFunc.
+		return core.UncertaintyJSON{}, ctx.Err()
+	}
 }
 
 // newUncertaintyCache builds a cache of at most max completed runs
@@ -214,47 +275,63 @@ func newUncertaintyCache(max int, metrics *Metrics) *uncertaintyCache {
 
 // get returns the wire payload for the config, running the Monte Carlo
 // engine at most once per normalized key no matter how many goroutines ask
-// concurrently. Failed runs are not cached. The workers argument sizes the
-// pool of a run this call happens to start; it is not part of the key.
-func (c *uncertaintyCache) get(cfg montecarlo.Config, workers int) (core.UncertaintyJSON, error) {
+// concurrently. Failed and abandoned runs are not cached. The workers
+// argument sizes the pool of a run this call happens to start; it is not
+// part of the key. ctx bounds only this caller's wait: the run itself is
+// cancelled only when every request waiting on it has gone away.
+func (c *uncertaintyCache) get(ctx context.Context, cfg montecarlo.Config, workers int) (core.UncertaintyJSON, error) {
 	key := cfg.Normalized()
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		e.join()
 		c.mu.Unlock()
 		c.metrics.UncertaintyHits.Add(1)
-		<-e.ready
-		return e.out, e.err
+		return e.await(ctx)
 	}
-	e := &uncertaintyEntry{ready: make(chan struct{})}
+	runCtx, cancel := context.WithCancel(context.Background())
+	e := &uncertaintyEntry{ready: make(chan struct{}), cancel: cancel}
+	e.drop = func() {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	e.join() // the leader's own stake
 	c.entries[key] = e
 	c.mu.Unlock()
 
 	c.metrics.UncertaintyRuns.Add(1)
-	run := key
-	run.Workers = workers
-	res, err := montecarlo.Run(run)
-	if err != nil {
-		e.err = err
-	} else {
-		e.out = core.NewUncertaintyJSON(res)
-	}
-	close(e.ready)
+	go func() {
+		run := key
+		run.Workers = workers
+		res, err := montecarlo.RunContext(runCtx, run)
+		if err != nil {
+			e.err = err
+		} else {
+			e.out = core.NewUncertaintyJSON(res)
+		}
+		e.finish()
+		cancel() // release the context's timer resources
 
-	c.mu.Lock()
-	if e.err != nil {
-		if cur, ok := c.entries[key]; ok && cur == e {
+		c.mu.Lock()
+		cur, resident := c.entries[key]
+		switch {
+		case !resident || cur != e:
+			// Abandoned in the final instant; nothing to cache.
+		case e.err != nil:
 			delete(c.entries, key)
+		default:
+			c.order = append(c.order, key)
+			for len(c.order) > c.max {
+				victim := c.order[0]
+				c.order = c.order[1:]
+				delete(c.entries, victim)
+			}
 		}
-	} else {
-		c.order = append(c.order, key)
-		for len(c.order) > c.max {
-			victim := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, victim)
-		}
-	}
-	c.mu.Unlock()
-	return e.out, e.err
+		c.mu.Unlock()
+	}()
+	return e.await(ctx)
 }
 
 // get returns the fitted study for the key, fitting the corpus regressions

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"accelwall/internal/montecarlo"
+)
+
+// decodeBody runs a raw body through the production decode path (size
+// cap, strict fields, trailing-garbage rejection) into v.
+func decodeBody(v any, body []byte) error {
+	r := httptest.NewRequest("POST", "/", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	return decodeJSON(httptest.NewRecorder(), r, v)
+}
+
+// FuzzSweepRequestDecode hammers the sweep codec + validator: no input
+// may panic, and any body both accept must contain only finite, sanely
+// bounded numerics — the properties the compute path relies on.
+func FuzzSweepRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"workload": "S3D", "preset": "reduced"}`))
+	f.Add([]byte(`{"workload": "RED", "designs": [{"node_nm": 45, "partition": 1, "simplification": 1}]}`))
+	f.Add([]byte(`{"workload": "GEM", "grid": {"nodes": [45, 5], "partitions": [1], "simplifications": [1], "fusion": [false]}}`))
+	f.Add([]byte(`{"workload": "S3D", "designs": [{"node_nm": 1e309}]}`))
+	f.Add([]byte(`{"workload": "S3D", "workers": -1}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req sweepRequest
+		if err := decodeBody(&req, body); err != nil {
+			return
+		}
+		if err := req.validate(); err != nil {
+			return
+		}
+		for i, d := range req.Designs {
+			if math.IsNaN(d.NodeNM) || math.IsInf(d.NodeNM, 0) || math.IsNaN(d.ClockGHz) || math.IsInf(d.ClockGHz, 0) {
+				t.Fatalf("validate accepted non-finite design %d: %+v", i, d)
+			}
+		}
+		if req.Grid != nil {
+			for i, nm := range req.Grid.Nodes {
+				if math.IsNaN(nm) || math.IsInf(nm, 0) || nm < 1 {
+					t.Fatalf("validate accepted bad grid node %d: %v", i, nm)
+				}
+			}
+		}
+		if req.Workers < 0 || req.Workers > maxWorkers {
+			t.Fatalf("validate accepted workers %d", req.Workers)
+		}
+	})
+}
+
+// FuzzUncertaintyRequestDecode checks the property that motivated the
+// validator: a body that clears both the server validator and the
+// montecarlo validator can never smuggle NaN/Inf into the Monte Carlo
+// configuration (whose own range checks use ordered comparisons that NaN
+// slips through).
+func FuzzUncertaintyRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"replicates": 16, "seed": 3}`))
+	f.Add([]byte(`{"replicates": 200, "confidence": 0.9, "gain_target": 10, "cmos_jitter": 0.02}`))
+	f.Add([]byte(`{"confidence": null}`))
+	f.Add([]byte(`{"gain_target": 1e400}`))
+	f.Add([]byte(`{"replicates": -5}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req uncertaintyRequest
+		if err := decodeBody(&req, body); err != nil {
+			return
+		}
+		if err := req.validate(); err != nil {
+			return
+		}
+		cfg := montecarlo.Config{
+			Replicates: req.Replicates,
+			Seed:       req.Seed,
+			CorpusSeed: req.CorpusSeed,
+			Confidence: req.Confidence,
+			GainTarget: req.GainTarget,
+			CMOSJitter: req.CMOSJitter,
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		n := cfg.Normalized()
+		for name, v := range map[string]float64{
+			"confidence": n.Confidence, "gain_target": n.GainTarget, "cmos_jitter": n.CMOSJitter,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted config has non-finite %s: %v (body %q)", name, v, body)
+			}
+		}
+	})
+}
+
+// FuzzCSRRequestDecode checks the CSR codec + validator never panic and
+// never accept non-finite observation numerics.
+func FuzzCSRRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"target": "performance", "observations": [{"name": "a", "gain": 2, "year": 2010, "chip": {"node_nm": 45, "die_mm2": 100, "tdp_w": 100, "freq_ghz": 2}}]}`))
+	f.Add([]byte(`{"observations": []}`))
+	f.Add([]byte(`{"observations": [{"gain": -1}]}`))
+	f.Add([]byte(`{"observations": [{"gain": 1, "chip": {"node_nm": 1e309}}]}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req csrRequest
+		if err := decodeBody(&req, body); err != nil {
+			return
+		}
+		if err := req.validate(); err != nil {
+			return
+		}
+		for i, o := range req.Observations {
+			for name, v := range map[string]float64{
+				"gain": o.Gain, "year": o.Year,
+				"node_nm": o.Chip.NodeNM, "die_mm2": o.Chip.DieMM2,
+				"tdp_w": o.Chip.TDPW, "freq_ghz": o.Chip.FreqGHz,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("validate accepted non-finite %s in observation %d", name, i)
+				}
+			}
+		}
+	})
+}

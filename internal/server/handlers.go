@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"strconv"
 
@@ -14,6 +16,25 @@ import (
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
 )
+
+// cancelled maps a compute-path error onto the cancellation statuses,
+// recording the per-route cancel metric; it reports false for ordinary
+// errors so the caller falls through to its own status.
+func (s *Server) cancelled(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.metrics.Cancel(routeOf(r.Context()))
+		writeError(w, statusClientClosedRequest, "request cancelled before the computation finished")
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		// The timeout handler has already written its 503 envelope; this
+		// write is discarded, but the metric records why the work stopped.
+		s.metrics.Cancel(routeOf(r.Context()))
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded during computation")
+		return true
+	}
+	return false
+}
 
 // handleHealthz is the liveness probe: cheap, unthrottled, no model state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +111,10 @@ func (s *Server) handleCSR(w http.ResponseWriter, r *http.Request) {
 	var req csrRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	target, err := core.ParseTarget(req.Target)
@@ -291,6 +316,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing workload")
 		return
 	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	objective, err := core.ParseObjective(req.Objective)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -350,12 +379,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp := sweepResponse{Workload: req.Workload, Objective: core.ObjectiveName(objective)}
 	var points []sweep.Point
 	if grid != nil {
-		points, err = eng.Run(*grid, workers)
+		points, err = eng.RunContext(r.Context(), *grid, workers)
 	} else {
 		points = make([]sweep.Point, 0, len(req.Designs))
 		for _, dj := range req.Designs {
 			d := dj.Design()
-			res, evalErr := eng.Evaluate(d)
+			res, evalErr := eng.EvaluateContext(r.Context(), d)
 			if evalErr != nil {
 				err = evalErr
 				break
@@ -364,6 +393,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		if s.cancelled(w, r, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -411,6 +443,10 @@ func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if req.Replicates > maxServedReplicates {
 		writeError(w, http.StatusBadRequest, "replicates %d exceeds served limit %d", req.Replicates, maxServedReplicates)
 		return
@@ -431,8 +467,11 @@ func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
-	out, err := s.uncertainty.get(cfg, workers)
+	out, err := s.uncertainty.get(r.Context(), cfg, workers)
 	if err != nil {
+		if s.cancelled(w, r, err) {
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}

@@ -34,19 +34,60 @@ type Metrics struct {
 	UncertaintyRuns expvar.Int // Monte Carlo runs executed (uncertainty-cache loads)
 	UncertaintyHits expvar.Int
 
+	// Overload-protection telemetry: requests shed by the admission queue
+	// (429 deadline-aware, 503 saturation) and requests whose client went
+	// away before completion (queue abandonment or mid-compute cancel).
+	Shed429 expvar.Int
+	Shed503 expvar.Int
+	Cancels expvar.Int
+
 	LatencySumMS expvar.Float
 	latency      []expvar.Int // len(latencyBucketsMS)+1; last is +Inf
 
-	mu       sync.Mutex
-	perRoute map[string]*expvar.Int
+	mu             sync.Mutex
+	perRoute       map[string]*expvar.Int
+	perRouteShed   map[string]*expvar.Int
+	perRouteCancel map[string]*expvar.Int
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		latency:  make([]expvar.Int, len(latencyBucketsMS)+1),
-		perRoute: make(map[string]*expvar.Int),
+		latency:        make([]expvar.Int, len(latencyBucketsMS)+1),
+		perRoute:       make(map[string]*expvar.Int),
+		perRouteShed:   make(map[string]*expvar.Int),
+		perRouteCancel: make(map[string]*expvar.Int),
 	}
+}
+
+// counter returns (creating on demand) the per-route counter in m.
+func (m *Metrics) counter(set map[string]*expvar.Int, route string) *expvar.Int {
+	m.mu.Lock()
+	c, ok := set[route]
+	if !ok {
+		c = new(expvar.Int)
+		set[route] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// Shed records one load-shed request on a route: status 429 (deadline-
+// aware shed) or 503 (queue saturation).
+func (m *Metrics) Shed(route string, status int) {
+	if status == 429 {
+		m.Shed429.Add(1)
+	} else {
+		m.Shed503.Add(1)
+	}
+	m.counter(m.perRouteShed, route).Add(1)
+}
+
+// Cancel records one cancelled request on a route — the client abandoned
+// it while queued, or the engine returned the request context's error.
+func (m *Metrics) Cancel(route string) {
+	m.Cancels.Add(1)
+	m.counter(m.perRouteCancel, route).Add(1)
 }
 
 // Observe records one completed request: its route, status class, and
@@ -64,14 +105,7 @@ func (m *Metrics) Observe(route string, status int, d time.Duration) {
 	i := sort.SearchFloat64s(latencyBucketsMS, ms)
 	m.latency[i].Add(1)
 
-	m.mu.Lock()
-	c, ok := m.perRoute[route]
-	if !ok {
-		c = new(expvar.Int)
-		m.perRoute[route] = c
-	}
-	m.mu.Unlock()
-	c.Add(1)
+	m.counter(m.perRoute, route).Add(1)
 }
 
 // Snapshot renders the counters as a JSON-encodable tree.
@@ -82,14 +116,25 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	buckets["inf"] = m.latency[len(latencyBucketsMS)].Value()
 
-	m.mu.Lock()
-	routes := make(map[string]int64, len(m.perRoute))
-	for r, c := range m.perRoute {
-		routes[r] = c.Value()
+	dump := func(set map[string]*expvar.Int) map[string]int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		out := make(map[string]int64, len(set))
+		for r, c := range set {
+			out[r] = c.Value()
+		}
+		return out
 	}
-	m.mu.Unlock()
+	routes := dump(m.perRoute)
 
 	return map[string]any{
+		"overload": map[string]any{
+			"shed_429":            m.Shed429.Value(),
+			"shed_503":            m.Shed503.Value(),
+			"cancelled":           m.Cancels.Value(),
+			"per_route_shed":      dump(m.perRouteShed),
+			"per_route_cancelled": dump(m.perRouteCancel),
+		},
 		"requests":   m.Requests.Value(),
 		"errors_4xx": m.Errors4xx.Value(),
 		"errors_5xx": m.Errors5xx.Value(),

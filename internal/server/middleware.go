@@ -1,10 +1,30 @@
 package server
 
 import (
+	"context"
+	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
+
+// statusClientClosedRequest is the non-standard (nginx-originated) status
+// for "the client went away before we could answer". It never reaches a
+// live client — by definition nobody is reading — but it keeps access
+// logs and metrics truthful about why the request produced no 2xx.
+const statusClientClosedRequest = 499
+
+// routeCtxKey carries the registration pattern through the middleware
+// chain so deep handlers can attribute shed/cancel metrics per route.
+type routeCtxKey struct{}
+
+// routeOf extracts the route pattern stored by instrument; empty if the
+// request bypassed it (direct handler tests).
+func routeOf(ctx context.Context) string {
+	s, _ := ctx.Value(routeCtxKey{}).(string)
+	return s
+}
 
 // statusWriter captures the response status for logging and metrics.
 type statusWriter struct {
@@ -29,9 +49,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // instrument is the outermost middleware: panic recovery, in-flight
 // gauge, access logging, and per-route metrics. route is the registration
 // pattern, recorded verbatim so /v1/metrics aggregates by endpoint rather
-// than by raw URL.
+// than by raw URL; it is also stowed in the request context for the
+// admission layer and handlers below.
 func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r = r.WithContext(context.WithValue(r.Context(), routeCtxKey{}, route))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		s.metrics.InFlight.Add(1)
@@ -52,20 +74,48 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	})
 }
 
-// limit applies the heavy-endpoint policy: a bounded worker-admission
-// semaphore (so a burst of sweeps cannot fork an unbounded number of
-// simulation pools) followed by a hard request timeout. The timeout handler cancels the request context and replies
-// 503 with a JSON envelope once the deadline passes.
-func (s *Server) limit(h http.Handler) http.Handler {
+// retrySeconds renders a Retry-After value: whole seconds, rounded up,
+// at least 1.
+func retrySeconds(d time.Duration) string {
+	sec := int(math.Ceil(d.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
+}
+
+// limit applies the heavy-endpoint overload policy. Outermost, a hard
+// request timeout (http.TimeoutHandler) puts a deadline on the request
+// context; inside it, the admission controller either grants an
+// execution slot, sheds the request (429 when its deadline cannot
+// survive the expected queue wait, 503 when the wait queue itself is
+// full — both with Retry-After), or observes the client abandoning the
+// queue. The deadline also propagates into the engines via the request
+// context, so a request that times out stops computing within one chunk
+// instead of burning its worker pool to completion.
+func (s *Server) limit(route string, h http.Handler) http.Handler {
 	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, "server saturated, request abandoned while queued")
-			return
+		v := s.adm.admit(r.Context())
+		switch v.kind {
+		case admitOK:
+			start := time.Now()
+			defer func() { s.adm.release(time.Since(start)) }()
+			h.ServeHTTP(w, r)
+		case admitShedDeadline:
+			s.metrics.Shed(route, http.StatusTooManyRequests)
+			w.Header().Set("Retry-After", retrySeconds(v.retryAfter))
+			writeError(w, http.StatusTooManyRequests,
+				"expected queue wait %s exceeds the request deadline; retry after %ss",
+				v.retryAfter.Round(time.Millisecond), retrySeconds(v.retryAfter))
+		case admitShedSaturated:
+			s.metrics.Shed(route, http.StatusServiceUnavailable)
+			w.Header().Set("Retry-After", retrySeconds(v.retryAfter))
+			writeError(w, http.StatusServiceUnavailable,
+				"server saturated: admission queue full; retry after %ss", retrySeconds(v.retryAfter))
+		case admitAbandoned:
+			s.metrics.Cancel(route)
+			writeError(w, statusClientClosedRequest, "client abandoned request while queued")
 		}
-		h.ServeHTTP(w, r)
 	})
 	if s.opts.RequestTimeout <= 0 {
 		return limited

@@ -21,8 +21,13 @@
 //	GET  /v1/experiments/{id}      one experiment, machine-readable
 //
 // Every /v1 endpoint (except /v1/metrics) flows through panic recovery,
-// access logging, per-route metrics, a bounded admission semaphore, and a
-// hard request timeout.
+// access logging, per-route metrics, a hard request timeout, and a
+// bounded admission queue with deadline-aware load shedding: requests
+// whose expected queue wait exceeds their deadline are rejected with 429
+// + Retry-After, arrivals past the queue bound get 503, and cancellation
+// (client disconnect or deadline expiry) propagates from the request
+// context into the sweep and Monte Carlo worker pools, which stop within
+// one chunk of work.
 package server
 
 import (
@@ -58,9 +63,15 @@ type Options struct {
 	RequestTimeout time.Duration
 
 	// MaxInflight bounds concurrently executing /v1 requests; excess
-	// requests queue until a slot frees or the client gives up
-	// (<= 0: 2 × GOMAXPROCS).
+	// requests queue until a slot frees, their deadline becomes
+	// unservable (shed with 429 + Retry-After), the queue saturates
+	// (503), or the client gives up (<= 0: 2 × GOMAXPROCS).
 	MaxInflight int
+
+	// MaxQueue bounds requests waiting for an execution slot beyond
+	// MaxInflight; arrivals past it are shed with 503 + Retry-After
+	// (<= 0: 4 × MaxInflight).
+	MaxQueue int
 
 	// EngineCacheSize bounds resident compiled workload engines
 	// (<= 0: 32).
@@ -89,6 +100,9 @@ func (o *Options) normalize() {
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInflight
+	}
 	if o.EngineCacheSize <= 0 {
 		o.EngineCacheSize = 32
 	}
@@ -108,7 +122,7 @@ type Server struct {
 	engines     *engineCache
 	studies     *studyCache
 	uncertainty *uncertaintyCache
-	sem         chan struct{}
+	adm         *admission
 	handler     http.Handler
 }
 
@@ -119,7 +133,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		metrics: NewMetrics(),
-		sem:     make(chan struct{}, opts.MaxInflight),
+		adm:     newAdmission(opts.MaxInflight, opts.MaxQueue),
 	}
 	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
 	s.studies = newStudyCache(s.metrics)
@@ -148,7 +162,7 @@ func (s *Server) routes() http.Handler {
 	// The throttled API mux.
 	api := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
-		api.Handle(pattern, s.instrument(pattern, s.limit(h)))
+		api.Handle(pattern, s.instrument(pattern, s.limit(pattern, h)))
 	}
 	route("GET /v1/cmos", s.handleCMOS)
 	route("POST /v1/csr", s.handleCSR)

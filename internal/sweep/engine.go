@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -59,13 +60,23 @@ func (e *Engine) CachedPoints() int {
 // the caller's design spelling (not the normalized key). Safe for
 // concurrent use.
 func (e *Engine) Evaluate(d aladdin.Design) (aladdin.Result, error) {
+	return e.EvaluateContext(context.Background(), d)
+}
+
+// EvaluateContext is Evaluate under a context. Memoized points are served
+// regardless of ctx (they cost nothing); a cache miss checks ctx before
+// committing to the simulation.
+func (e *Engine) EvaluateContext(ctx context.Context, d aladdin.Design) (aladdin.Result, error) {
 	key := normalizeKey(e.maxP, d)
 	e.mu.RLock()
 	res, ok := e.cache[key]
 	e.mu.RUnlock()
 	if !ok {
+		if err := ctx.Err(); err != nil {
+			return aladdin.Result{}, err
+		}
 		var err error
-		res, err = e.c.Simulate(key)
+		res, err = simulateOne(e.c, key)
 		if err != nil {
 			return aladdin.Result{}, err
 		}
@@ -82,6 +93,14 @@ func (e *Engine) Evaluate(d aladdin.Design) (aladdin.Result, error) {
 // (workers <= 0 selects GOMAXPROCS). It returns how many fresh simulations
 // ran — zero means the grid was already fully resident.
 func (e *Engine) Warm(p Params, workers int) (int, error) {
+	return e.WarmContext(context.Background(), p, workers)
+}
+
+// WarmContext is Warm under a context. On cancellation it returns
+// ctx.Err(), but the design points that completed before the pool
+// quiesced are kept in the memo table — they are bit-identical to an
+// uncancelled run's, so abandoned work still warms later requests.
+func (e *Engine) WarmContext(ctx context.Context, p Params, workers int) (int, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
@@ -102,8 +121,20 @@ func (e *Engine) Warm(p Params, workers int) (int, error) {
 	if len(missing) == 0 {
 		return 0, nil
 	}
-	results, err := simulateDesigns(e.c, missing, workers)
+	results, completed, err := simulateDesigns(ctx, e.c, missing, workers)
 	if err != nil {
+		if ctx.Err() != nil && completed != nil {
+			fresh := 0
+			e.mu.Lock()
+			for i, k := range missing {
+				if completed[i] {
+					e.cache[k] = results[i]
+					fresh++
+				}
+			}
+			e.mu.Unlock()
+			return fresh, err
+		}
 		return 0, err
 	}
 	e.mu.Lock()
@@ -119,13 +150,20 @@ func (e *Engine) Warm(p Params, workers int) (int, error) {
 // identical to Run and RunParallel — warming the cache first so the unique
 // simulations execute on the pool.
 func (e *Engine) Run(p Params, workers int) ([]Point, error) {
-	if _, err := e.Warm(p, workers); err != nil {
+	return e.RunContext(context.Background(), p, workers)
+}
+
+// RunContext is Run under a context: a cancelled ctx stops the warming
+// pool within one chunk (keeping completed points in the memo table) and
+// aborts assembly, returning ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, p Params, workers int) ([]Point, error) {
+	if _, err := e.WarmContext(ctx, p, workers); err != nil {
 		return nil, err
 	}
 	designs := p.enumerate()
 	out := make([]Point, 0, len(designs))
 	for _, d := range designs {
-		res, err := e.Evaluate(d)
+		res, err := e.EvaluateContext(ctx, d)
 		if err != nil {
 			return nil, err
 		}

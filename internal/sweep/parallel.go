@@ -1,28 +1,63 @@
 package sweep
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"accelwall/internal/aladdin"
 	"accelwall/internal/dfg"
+	"accelwall/internal/faultinject"
 )
 
 // chunkSize is how many unique design points one worker claims per fetch.
 // Chunking cuts the queue-coordination overhead from one atomic operation
 // per point to one per chunk while staying small enough to balance load
 // across a heterogeneous grid (high-partition points simulate much faster
-// than partition-1 points).
+// than partition-1 points). It also bounds cancellation latency: workers
+// check the context between chunks, so a cancelled sweep stops within one
+// chunk of work per worker.
 const chunkSize = 8
+
+// SiteSimulate is the fault-injection seam hit before every design-point
+// simulation on the pool. Chaos tests arm it to prove the pool survives
+// panicking, erroring, and stalling workers.
+var SiteSimulate = faultinject.Register("sweep.simulate")
+
+// simulateOne runs one design through the compiled simulator, converting
+// a panic anywhere below (including an injected one) into an error so a
+// single poisoned design point cannot take down the whole pool — the
+// worker goroutine survives and moves on to its next chunk.
+func simulateOne(c *aladdin.Compiled, d aladdin.Design) (res aladdin.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("sweep: simulation panic on %+v: %v", d, v)
+		}
+	}()
+	if err := faultinject.Hit(SiteSimulate); err != nil {
+		return aladdin.Result{}, fmt.Errorf("sweep: %w", err)
+	}
+	return c.Simulate(d)
+}
 
 // simulateDesigns fans the design list out over a worker pool and returns
 // one result per design, in input order. All workers share the one
 // *aladdin.Compiled, which is immutable and concurrency-safe. workers <= 0
-// selects GOMAXPROCS. The first simulation error wins; remaining chunks
-// still drain (workers are not cancelled) but the error is reported.
-func simulateDesigns(c *aladdin.Compiled, designs []aladdin.Design, workers int) ([]aladdin.Result, error) {
+// selects GOMAXPROCS.
+//
+// Cancellation is cooperative: each worker re-checks ctx between chunks
+// (and between the designs of its current chunk), so after a cancel the
+// pool quiesces within at most one design simulation per worker and
+// simulateDesigns returns ctx.Err(). The results slice is still returned
+// on cancellation — completed slots are valid and bit-identical to an
+// uncancelled run's, which Engine.Warm exploits to keep partial work.
+//
+// With a live context, the first simulation error wins; remaining chunks
+// still drain (errors do not cancel the pool) but the error is reported.
+func simulateDesigns(ctx context.Context, c *aladdin.Compiled, designs []aladdin.Design, workers int) ([]aladdin.Result, []bool, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,6 +65,7 @@ func simulateDesigns(c *aladdin.Compiled, designs []aladdin.Design, workers int)
 		workers = len(designs)
 	}
 	results := make([]aladdin.Result, len(designs))
+	done := make([]bool, len(designs))
 	errs := make([]error, len(designs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -38,6 +74,9 @@ func simulateDesigns(c *aladdin.Compiled, designs []aladdin.Design, workers int)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				lo := int(next.Add(chunkSize)) - chunkSize
 				if lo >= len(designs) {
 					return
@@ -47,24 +86,31 @@ func simulateDesigns(c *aladdin.Compiled, designs []aladdin.Design, workers int)
 					hi = len(designs)
 				}
 				for i := lo; i < hi; i++ {
-					results[i], errs[i] = c.Simulate(designs[i])
+					if ctx.Err() != nil {
+						return
+					}
+					results[i], errs[i] = simulateOne(c, designs[i])
+					done[i] = errs[i] == nil
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, done, err
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, done, nil
 }
 
 // simulateGrid populates the runner's cache with every distinct cache key
 // of the grid, distributing the unique simulations over a worker pool; only
 // cache assembly happens on the calling goroutine.
-func (r *runner) simulateGrid(p Params, workers int) error {
+func (r *runner) simulateGrid(ctx context.Context, p Params, workers int) error {
 	seen := make(map[aladdin.Design]bool)
 	var uniques []aladdin.Design
 	for _, d := range p.enumerate() {
@@ -73,7 +119,7 @@ func (r *runner) simulateGrid(p Params, workers int) error {
 			uniques = append(uniques, k)
 		}
 	}
-	results, err := simulateDesigns(r.c, uniques, workers)
+	results, _, err := simulateDesigns(ctx, r.c, uniques, workers)
 	if err != nil {
 		return err
 	}
@@ -94,6 +140,13 @@ func (r *runner) simulateGrid(p Params, workers int) error {
 // compiled once and shared read-only by every worker, so the pool scales
 // without duplicating graph analysis.
 func RunParallel(g *dfg.Graph, p Params, workers int) ([]Point, error) {
+	return RunParallelContext(context.Background(), g, p, workers)
+}
+
+// RunParallelContext is RunParallel under a context: a cancelled ctx
+// stops the worker pool within one chunk, leaks no goroutines, and
+// surfaces ctx.Err().
+func RunParallelContext(ctx context.Context, g *dfg.Graph, p Params, workers int) ([]Point, error) {
 	if g == nil {
 		return nil, errors.New("sweep: nil graph")
 	}
@@ -104,8 +157,8 @@ func RunParallel(g *dfg.Graph, p Params, workers int) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.simulateGrid(p, workers); err != nil {
+	if err := r.simulateGrid(ctx, p, workers); err != nil {
 		return nil, err
 	}
-	return r.points(p)
+	return r.points(ctx, p)
 }

@@ -17,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -198,11 +199,16 @@ func (r *runner) simulate(d aladdin.Design) (aladdin.Result, error) {
 }
 
 // points assembles the grid's Points in Run order from the runner's state,
-// simulating any design not already cached.
-func (r *runner) points(p Params) ([]Point, error) {
+// simulating any design not already cached. The context is checked per
+// point: after a parallel warm the loop is pure cache assembly, but on
+// the sequential Run path it is where long sweeps get cancelled.
+func (r *runner) points(ctx context.Context, p Params) ([]Point, error) {
 	designs := p.enumerate()
 	out := make([]Point, 0, len(designs))
 	for _, d := range designs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, err := r.simulate(d)
 		if err != nil {
 			return nil, err
@@ -217,6 +223,12 @@ func (r *runner) points(p Params) ([]Point, error) {
 // order. The graph is compiled once; every design point reuses the
 // compiled state.
 func Run(g *dfg.Graph, p Params) ([]Point, error) {
+	return RunContext(context.Background(), g, p)
+}
+
+// RunContext is Run under a context: the sequential sweep checks ctx
+// between design points and returns ctx.Err() once cancelled.
+func RunContext(ctx context.Context, g *dfg.Graph, p Params) ([]Point, error) {
 	if g == nil {
 		return nil, errors.New("sweep: nil graph")
 	}
@@ -227,7 +239,7 @@ func Run(g *dfg.Graph, p Params) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.points(p)
+	return r.points(ctx, p)
 }
 
 // Best returns the point maximizing the objective. Ties resolve to the
@@ -262,7 +274,13 @@ type Fig13Row struct {
 // energy-efficiency optimum marked by Best. workers <= 0 selects
 // GOMAXPROCS.
 func Fig13(g *dfg.Graph, p Params, workers int) ([]Fig13Row, Point, error) {
-	points, err := RunParallel(g, p, workers)
+	return Fig13Context(context.Background(), g, p, workers)
+}
+
+// Fig13Context is Fig13 under a context: cancelling ctx stops the
+// underlying worker pool within one chunk and surfaces ctx.Err().
+func Fig13Context(ctx context.Context, g *dfg.Graph, p Params, workers int) ([]Fig13Row, Point, error) {
+	points, err := RunParallelContext(ctx, g, p, workers)
 	if err != nil {
 		return nil, Point{}, err
 	}
@@ -317,6 +335,12 @@ type Attribution struct {
 // full node list. Each stage searches a superset of the previous stage's
 // space, so factors are >= 1 up to simulator determinism.
 func Attribute(app string, g *dfg.Graph, p Params, o Objective) (Attribution, error) {
+	return AttributeContext(context.Background(), app, g, p, o)
+}
+
+// AttributeContext is Attribute under a context: the cumulative-knob scan
+// checks ctx between simulations and returns ctx.Err() once cancelled.
+func AttributeContext(ctx context.Context, app string, g *dfg.Graph, p Params, o Objective) (Attribution, error) {
 	if g == nil {
 		return Attribution{}, errors.New("sweep: nil graph")
 	}
@@ -327,7 +351,7 @@ func Attribute(app string, g *dfg.Graph, p Params, o Objective) (Attribution, er
 	if err != nil {
 		return Attribution{}, err
 	}
-	return attribute(app, r, p, o)
+	return attribute(ctx, app, r, p, o)
 }
 
 // AttributeParallel runs the same decomposition as Attribute but first
@@ -336,6 +360,13 @@ func Attribute(app string, g *dfg.Graph, p Params, o Objective) (Attribution, er
 // reads cached results. The decomposition is point-for-point identical to
 // Attribute. workers <= 0 selects GOMAXPROCS.
 func AttributeParallel(app string, g *dfg.Graph, p Params, o Objective, workers int) (Attribution, error) {
+	return AttributeParallelContext(context.Background(), app, g, p, o, workers)
+}
+
+// AttributeParallelContext is AttributeParallel under a context:
+// cancelling ctx stops the grid pool within one chunk and aborts the
+// cumulative-knob scan between simulations.
+func AttributeParallelContext(ctx context.Context, app string, g *dfg.Graph, p Params, o Objective, workers int) (Attribution, error) {
 	if g == nil {
 		return Attribution{}, errors.New("sweep: nil graph")
 	}
@@ -346,15 +377,15 @@ func AttributeParallel(app string, g *dfg.Graph, p Params, o Objective, workers 
 	if err != nil {
 		return Attribution{}, err
 	}
-	if err := r.simulateGrid(p, workers); err != nil {
+	if err := r.simulateGrid(ctx, p, workers); err != nil {
 		return Attribution{}, err
 	}
-	return attribute(app, r, p, o)
+	return attribute(ctx, app, r, p, o)
 }
 
 // attribute is the shared cumulative-knob scan behind Attribute and
 // AttributeParallel; the grid must already be validated.
-func attribute(app string, r *runner, p Params, o Objective) (Attribution, error) {
+func attribute(ctx context.Context, app string, r *runner, p Params, o Objective) (Attribution, error) {
 	oldest := p.Nodes[0]
 	for _, n := range p.Nodes[1:] {
 		if n > oldest {
@@ -372,6 +403,9 @@ func attribute(app string, r *runner, p Params, o Objective) (Attribution, error
 		for _, node := range nodes {
 			for _, fu := range fusion {
 				for _, s := range simps {
+					if err := ctx.Err(); err != nil {
+						return aladdin.Result{}, err
+					}
 					for _, f := range p.Partitions {
 						res, err := r.simulate(aladdin.Design{NodeNM: node, Partition: f, Simplification: s, Fusion: fu})
 						if err != nil {
