@@ -30,6 +30,16 @@
 //	-conf C          band confidence level in (0,1) (default 0.90)
 //	-gain-target G   headroom factor for the wall-probability report
 //	                 (default 10)
+//
+// Durability (-checkpoint) makes long runs survive interruption: progress
+// snapshots land in the given directory (created 0700, files 0600), a
+// Ctrl-C leaves the completed prefix on disk, and rerunning the same
+// command with -resume continues from it — bit-identical to a run that was
+// never interrupted:
+//
+//	-checkpoint DIR  write durable progress snapshots into DIR (applies to
+//	                 -uncertainty and the fig13 design-space sweep)
+//	-resume          restore the snapshot a previous run left in DIR
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"strings"
 	"syscall"
 
+	"accelwall/internal/checkpoint"
 	"accelwall/internal/chipdb"
 	"accelwall/internal/core"
 	"accelwall/internal/dfg"
@@ -60,7 +71,13 @@ func main() {
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "accelwall: interrupted — partial results discarded")
+			// A checkpointed run decorates the cancellation with where its
+			// parting snapshot went; a plain run's progress is simply gone.
+			if msg := err.Error(); msg != context.Canceled.Error() {
+				fmt.Fprintln(os.Stderr, "accelwall:", msg)
+			} else {
+				fmt.Fprintln(os.Stderr, "accelwall: interrupted — partial results discarded")
+			}
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "accelwall:", err)
@@ -80,6 +97,8 @@ func run(ctx context.Context, args []string) error {
 	replicates := fs.Int("replicates", montecarlo.DefaultReplicates, "Monte Carlo replicate count (with -uncertainty)")
 	conf := fs.Float64("conf", montecarlo.DefaultConfidence, "Monte Carlo band confidence level in (0,1) (with -uncertainty)")
 	gainTarget := fs.Float64("gain-target", montecarlo.DefaultGainTarget, "headroom factor for the wall-probability report (with -uncertainty)")
+	ckptDir := fs.String("checkpoint", "", "directory for durable progress snapshots; an interrupted run continues with -resume")
+	resume := fs.Bool("resume", false, "resume from the snapshot a previous run left in the -checkpoint directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +109,16 @@ func run(ctx context.Context, args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint <dir>")
+	}
+	var store *checkpoint.Store
+	if *ckptDir != "" {
+		var err error
+		if store, err = checkpoint.Open(*ckptDir); err != nil {
+			return err
+		}
+	}
 	if *uncertainty {
 		if *plot || *published || *full {
 			return fmt.Errorf("-uncertainty is incompatible with -plot, -published, and -full")
@@ -97,7 +126,7 @@ func run(ctx context.Context, args []string) error {
 		if len(rest) > 0 {
 			return fmt.Errorf("-uncertainty takes no experiment arguments (got %s)", strings.Join(rest, " "))
 		}
-		return runUncertainty(ctx, *seed, *replicates, *conf, *gainTarget, *workers, *jsonOut)
+		return runUncertainty(ctx, *seed, *replicates, *conf, *gainTarget, *workers, *jsonOut, store, *resume)
 	}
 	if len(rest) == 0 {
 		usage()
@@ -178,6 +207,13 @@ func run(ctx context.Context, args []string) error {
 	}
 	study.Workers = *workers
 	study.Ctx = ctx
+	if store != nil {
+		study.Ckpt = store
+		study.CkptResume = *resume
+		study.CkptLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "accelwall: "+format+"\n", args...)
+		}
+	}
 
 	if *jsonOut {
 		out := make([]core.ExperimentJSON, 0, len(experiments))
@@ -198,6 +234,9 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		out, err := e.Run(study)
 		if err != nil {
+			if errors.Is(err, context.Canceled) && store != nil {
+				return fmt.Errorf("interrupted (%w) — progress snapshots saved in %s; rerun with -resume to continue", err, store.Dir())
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(out)
@@ -214,11 +253,18 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
+// uncertaintyLog names the snapshot log a checkpointed -uncertainty run
+// writes.
+const uncertaintyLog = "uncertainty"
+
 // runUncertainty runs the Monte Carlo engine and renders the result. The
 // single -seed flag feeds both the replicate root seed and the corpus
 // seed, so one number pins the whole run; the JSON output is the exact
-// payload POST /v1/uncertainty serves for the same configuration.
-func runUncertainty(ctx context.Context, seed int64, replicates int, conf, gainTarget float64, workers int, jsonOut bool) error {
+// payload POST /v1/uncertainty serves for the same configuration. With a
+// checkpoint store the run is durable: snapshots of the completed
+// replicate prefix land in the store, an interrupt leaves a parting
+// snapshot, and -resume continues from it with bit-identical output.
+func runUncertainty(ctx context.Context, seed int64, replicates int, conf, gainTarget float64, workers int, jsonOut bool, store *checkpoint.Store, resume bool) error {
 	cfg := montecarlo.Config{
 		Replicates: replicates,
 		Seed:       seed,
@@ -230,9 +276,44 @@ func runUncertainty(ctx context.Context, seed int64, replicates int, conf, gainT
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	res, err := montecarlo.RunContext(ctx, cfg)
+	var ck *montecarlo.Checkpoint
+	if store != nil {
+		ck = &montecarlo.Checkpoint{
+			OnError: func(e error) { fmt.Fprintf(os.Stderr, "accelwall: checkpointing disabled: %v\n", e) },
+		}
+		if resume {
+			payload, err := store.ReadLast(uncertaintyLog)
+			switch {
+			case err == nil:
+				ck.Resume = payload
+			case errors.Is(err, checkpoint.ErrNoSnapshot), errors.Is(err, checkpoint.ErrCorrupt):
+				fmt.Fprintf(os.Stderr, "accelwall: no usable snapshot (%v), starting cold\n", err)
+			default:
+				return err
+			}
+		}
+		log, err := store.OpenLog(uncertaintyLog)
+		if err != nil {
+			return err
+		}
+		defer log.Close()
+		ck.Sink = log
+	}
+	res, err := montecarlo.RunCheckpointed(ctx, cfg, ck)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && store != nil {
+			return fmt.Errorf("interrupted (%w) — progress snapshot saved in %s; rerun with -resume to continue", err, store.Dir())
+		}
 		return err
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "accelwall: resumed — skipped %d of %d replicates already on disk\n", res.Resumed, cfg.Replicates)
+	}
+	if store != nil {
+		// The run finished; its progress log owes nobody anything.
+		if err := store.Remove(uncertaintyLog); err != nil {
+			fmt.Fprintf(os.Stderr, "accelwall: could not remove finished checkpoint: %v\n", err)
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -354,8 +435,8 @@ func writeReport(ctx context.Context, path string, seed int64, published, full b
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] [-plot] [-json] <command>
-       accelwall -uncertainty [-replicates N] [-conf C] [-gain-target G] [-seed N] [-workers N] [-json]
+	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] [-plot] [-json] [-checkpoint DIR [-resume]] <command>
+       accelwall -uncertainty [-replicates N] [-conf C] [-gain-target G] [-seed N] [-workers N] [-json] [-checkpoint DIR [-resume]]
 commands:
   list               list every reproducible experiment
   all                run every experiment in paper order

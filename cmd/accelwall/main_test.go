@@ -8,7 +8,9 @@ import (
 	"strings"
 	"testing"
 
+	"accelwall/internal/checkpoint"
 	"accelwall/internal/core"
+	"accelwall/internal/montecarlo"
 )
 
 // capture runs f while intercepting stdout. The pipe is drained
@@ -367,5 +369,136 @@ func TestRunCancelledContext(t *testing.T) {
 	// nothing in their path consults it.
 	if _, err := capture(t, func() error { return run(ctx, []string{"list"}) }); err != nil {
 		t.Errorf("run(cancelled, list) = %v, want nil", err)
+	}
+}
+
+// partialSnapshot produces a genuine interrupted-run snapshot for the
+// given uncertainty config by cancelling a checkpointed run after its
+// first durable save — the exact state a killed process leaves behind.
+func partialSnapshot(t *testing.T, dir string, cfg montecarlo.Config) {
+	t.Helper()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := store.OpenLog(uncertaintyLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = montecarlo.RunCheckpointed(ctx, cfg, &montecarlo.Checkpoint{
+		Sink:  cancelAfterSave{log, cancel},
+		Every: 8,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+}
+
+// cancelAfterSave persists one snapshot, then pulls the plug.
+type cancelAfterSave struct {
+	log    *checkpoint.Log
+	cancel context.CancelFunc
+}
+
+func (c cancelAfterSave) Save(p []byte) error {
+	err := c.log.Save(p)
+	c.cancel()
+	return err
+}
+
+// TestRunUncertaintyCheckpointResume is the CLI durability contract: an
+// interrupted -checkpoint run leaves a snapshot, and rerunning with
+// -resume produces output byte-identical to a never-interrupted run.
+func TestRunUncertaintyCheckpointResume(t *testing.T) {
+	args := []string{"-uncertainty", "-replicates", "24", "-seed", "1", "-workers", "1", "-json"}
+	ref, err := capture(t, func() error { return run(context.Background(), args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir() + "/ckpt"
+	partialSnapshot(t, dir, montecarlo.Config{
+		Replicates: 24, Seed: 1, CorpusSeed: 1, Workers: 1,
+		Confidence: montecarlo.DefaultConfidence, GainTarget: montecarlo.DefaultGainTarget,
+	})
+
+	resumed, err := capture(t, func() error {
+		return run(context.Background(), append(args, "-checkpoint", dir, "-resume"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != ref {
+		t.Error("resumed run output differs from uninterrupted run")
+	}
+	// The finished run removed its progress log.
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadLast(uncertaintyLog); !errors.Is(err, checkpoint.ErrNoSnapshot) {
+		t.Errorf("finished run left its checkpoint behind: %v", err)
+	}
+}
+
+// TestRunCheckpointFlagErrors pins the flag-validation and bad-directory
+// paths: -resume alone is refused, and a checkpoint directory that cannot
+// be created fails before any computation.
+func TestRunCheckpointFlagErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(context.Background(), []string{"-resume", "table5"})
+	}); err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
+		t.Errorf("-resume without -checkpoint: %v", err)
+	}
+	// A path under a regular file can never become a directory (works even
+	// as root, unlike permission-bit tests).
+	blocker := t.TempDir() + "/file"
+	if err := os.WriteFile(blocker, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := capture(t, func() error {
+		return run(context.Background(), []string{"-checkpoint", blocker + "/sub", "table5"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("unusable checkpoint dir: %v", err)
+	}
+}
+
+// TestRunFig13Checkpointed runs the design-space experiment through the
+// durable path, cold and resumed, and demands identical rendered output.
+func TestRunFig13Checkpointed(t *testing.T) {
+	ref, err := capture(t, func() error { return run(context.Background(), []string{"fig13"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/ckpt"
+	out, err := capture(t, func() error {
+		return run(context.Background(), []string{"-checkpoint", dir, "fig13"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != ref {
+		t.Error("checkpointed fig13 output differs from plain run")
+	}
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadLast("sweep-fig13"); !errors.Is(err, checkpoint.ErrNoSnapshot) {
+		t.Errorf("finished fig13 left its checkpoint behind: %v", err)
+	}
+	// -resume over an empty store is a cold start, not an error.
+	out, err = capture(t, func() error {
+		return run(context.Background(), []string{"-checkpoint", dir, "-resume", "fig13"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != ref {
+		t.Error("resume-over-empty-store fig13 output differs")
 	}
 }

@@ -12,6 +12,14 @@
 // immediately, in-flight requests drain (bounded by -shutdown-timeout),
 // and a second signal aborts the drain.
 //
+// With -jobs DIR, the daemon also accepts durable asynchronous jobs
+// (POST /v1/jobs): each job's manifest, progress snapshots, and result
+// are persisted to DIR (0700, files 0600) through crash-safe atomic
+// writes, so a daemon killed mid-run — even with SIGKILL — re-lists its
+// jobs on restart and resumes each from its last snapshot instead of
+// starting over. GET /readyz reports 503 until that recovery completes
+// and again once a drain begins.
+//
 // See docs/API.md for every endpoint with curl examples.
 package main
 
@@ -53,6 +61,8 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	maxQueue := fs.Int("max-queue", 0, "max requests queued beyond -max-inflight before 503 shedding (0 = 4x max-inflight)")
 	cacheSize := fs.Int("cache", 32, "max resident compiled workload engines")
 	maxGrid := fs.Int("max-grid", 0, "max design points per sweep request (0 = 65536)")
+	jobsDir := fs.String("jobs", "", "directory for durable async jobs (enables POST /v1/jobs; jobs resume here after a crash)")
+	maxJobs := fs.Int("max-jobs", 0, "max tracked jobs, finished included (0 = 64); requires -jobs")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,11 +73,14 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if *maxJobs != 0 && *jobsDir == "" {
+		return fmt.Errorf("-max-jobs requires -jobs")
+	}
 	var logger *log.Logger
 	if !*quiet {
 		logger = log.New(logDst, "accelwalld ", log.LstdFlags)
 	}
-	s := server.New(server.Options{
+	s, err := server.New(server.Options{
 		Seed:            *seed,
 		Published:       *published,
 		FullGrid:        *full,
@@ -78,7 +91,12 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 		MaxQueue:        *maxQueue,
 		EngineCacheSize: *cacheSize,
 		MaxGridPoints:   *maxGrid,
+		JobsDir:         *jobsDir,
+		MaxJobs:         *maxJobs,
 		Logger:          logger,
 	})
+	if err != nil {
+		return err
+	}
 	return s.ListenAndServe(ctx, *addr)
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +23,7 @@ func TestRunFlagErrors(t *testing.T) {
 		"extra args":       {[]string{"serve", "now"}, "unexpected arguments"},
 		"unknown flag":     {[]string{"-frobnicate"}, "flag provided but not defined"},
 		"bad duration":     {[]string{"-timeout", "fast"}, "invalid value"},
+		"orphan max-jobs":  {[]string{"-max-jobs", "8"}, "-max-jobs requires -jobs"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			err := run(context.Background(), tc.args, io.Discard)
@@ -31,6 +34,24 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Fatalf("run(%v) = %q, want substring %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestRunBadJobsDir verifies an unusable -jobs path refuses to start the
+// daemon with a clear error instead of failing minutes later on the first
+// snapshot write.
+func TestRunBadJobsDir(t *testing.T) {
+	// A path under a regular file fails even for root (ENOTDIR).
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-jobs", filepath.Join(blocker, "jobs")}, io.Discard)
+	if err == nil {
+		t.Fatal("run with unusable -jobs dir succeeded")
+	}
+	if !strings.Contains(err.Error(), "jobs directory") {
+		t.Fatalf("run = %q, want mention of the jobs directory", err)
 	}
 }
 

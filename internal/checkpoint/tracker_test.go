@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memSink records every payload it is handed; failN makes the Nth Save
+// (1-based) fail.
+type memSink struct {
+	mu    sync.Mutex
+	saves [][]byte
+	failN int
+}
+
+func (m *memSink) Save(p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.saves = append(m.saves, append([]byte(nil), p...))
+	if m.failN > 0 && len(m.saves) == m.failN {
+		return errors.New("sink full")
+	}
+	return nil
+}
+
+func (m *memSink) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.saves)
+}
+
+func encodePrefix(n int) ([]byte, error) { return []byte(fmt.Sprintf("prefix=%d", n)), nil }
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Complete(0)
+	tr.Final()
+	if tr.Prefix() != 0 || tr.Err() != nil {
+		t.Error("nil tracker not inert")
+	}
+	if NewTracker(nil, 10, 0, 1, encodePrefix, nil) != nil {
+		t.Error("NewTracker(nil sink) != nil")
+	}
+}
+
+func TestTrackerCadence(t *testing.T) {
+	sink := &memSink{}
+	tr := NewTracker(sink, 10, 0, 4, encodePrefix, nil)
+	for i := 0; i < 10; i++ {
+		tr.Complete(i)
+	}
+	// Prefix advances 1..10; snapshots at 4 and 8 (cadence 4).
+	if got := sink.count(); got != 2 {
+		t.Fatalf("saves = %d, want 2", got)
+	}
+	if string(sink.saves[0]) != "prefix=4" || string(sink.saves[1]) != "prefix=8" {
+		t.Errorf("saves = %q, %q", sink.saves[0], sink.saves[1])
+	}
+	tr.Final()
+	if got := sink.count(); got != 3 || string(sink.saves[2]) != "prefix=10" {
+		t.Fatalf("Final: saves = %d (%q), want prefix=10", got, sink.saves[len(sink.saves)-1])
+	}
+	// A second Final with no progress is a no-op.
+	tr.Final()
+	if got := sink.count(); got != 3 {
+		t.Errorf("idempotent Final: saves = %d, want 3", got)
+	}
+}
+
+func TestTrackerOutOfOrderCompletionSnapshotsPrefixOnly(t *testing.T) {
+	sink := &memSink{}
+	tr := NewTracker(sink, 8, 0, 2, encodePrefix, nil)
+	// Slots 2..7 complete first: prefix stays 0, nothing saves.
+	for i := 2; i < 8; i++ {
+		tr.Complete(i)
+	}
+	if got := sink.count(); got != 0 {
+		t.Fatalf("saves before prefix advanced = %d, want 0", got)
+	}
+	if tr.Prefix() != 0 {
+		t.Fatalf("prefix = %d, want 0", tr.Prefix())
+	}
+	// Slot 1 then 0: the prefix jumps 0 -> 8 in one Complete.
+	tr.Complete(1)
+	tr.Complete(0)
+	if tr.Prefix() != 8 {
+		t.Fatalf("prefix = %d, want 8", tr.Prefix())
+	}
+	if got := sink.count(); got != 1 || string(sink.saves[0]) != "prefix=8" {
+		t.Fatalf("saves = %d, want one prefix=8", got)
+	}
+}
+
+func TestTrackerResumeStart(t *testing.T) {
+	sink := &memSink{}
+	tr := NewTracker(sink, 10, 6, 2, encodePrefix, nil)
+	if tr.Prefix() != 6 {
+		t.Fatalf("resumed prefix = %d, want 6", tr.Prefix())
+	}
+	tr.Complete(6)
+	if got := sink.count(); got != 0 {
+		t.Fatalf("saved after 1 new slot at cadence 2: %d", got)
+	}
+	tr.Complete(7)
+	if got := sink.count(); got != 1 || string(sink.saves[0]) != "prefix=8" {
+		t.Fatalf("saves = %d, want one prefix=8", got)
+	}
+}
+
+func TestTrackerSaveFailureDisables(t *testing.T) {
+	sink := &memSink{failN: 1}
+	var reported error
+	tr := NewTracker(sink, 10, 0, 2, encodePrefix, func(err error) { reported = err })
+	for i := 0; i < 10; i++ {
+		tr.Complete(i)
+	}
+	tr.Final()
+	if got := sink.count(); got != 1 {
+		t.Fatalf("saves after failure = %d, want 1 (disabled)", got)
+	}
+	if tr.Err() == nil || reported == nil {
+		t.Errorf("Err = %v, onError got %v; want the save failure", tr.Err(), reported)
+	}
+	// The run itself is unaffected: prefix kept advancing.
+	if tr.Prefix() != 10 {
+		t.Errorf("prefix = %d, want 10", tr.Prefix())
+	}
+}
+
+func TestTrackerEncodeFailureDisables(t *testing.T) {
+	sink := &memSink{}
+	tr := NewTracker(sink, 4, 0, 1, func(int) ([]byte, error) { return nil, errors.New("encode boom") }, nil)
+	for i := 0; i < 4; i++ {
+		tr.Complete(i)
+	}
+	if tr.Err() == nil {
+		t.Error("encode failure not surfaced")
+	}
+}
+
+func TestTrackerConcurrentComplete(t *testing.T) {
+	sink := &memSink{}
+	const total = 512
+	tr := NewTracker(sink, total, 0, 16, encodePrefix, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += 8 {
+				tr.Complete(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Prefix() != total {
+		t.Fatalf("prefix = %d, want %d", tr.Prefix(), total)
+	}
+	tr.Final()
+	if got := string(sink.saves[sink.count()-1]); got != fmt.Sprintf("prefix=%d", total) {
+		t.Errorf("final snapshot = %q", got)
+	}
+	if tr.Err() != nil {
+		t.Errorf("Err = %v", tr.Err())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"accelwall/internal/aladdin"
 	"accelwall/internal/budget"
 	"accelwall/internal/casestudy"
+	"accelwall/internal/checkpoint"
 	"accelwall/internal/chipdb"
 	"accelwall/internal/cmos"
 	"accelwall/internal/dfg"
@@ -46,6 +47,78 @@ type Study struct {
 	// chunk of work and surfaces the context's error. Nil means no bound
 	// (context.Background()), preserving the original blocking behavior.
 	Ctx context.Context
+	// Ckpt, when non-nil, makes the long design-space experiments durable:
+	// the Figure 13 sweep appends progress snapshots into this store, so a
+	// killed run leaves its completed prefix on disk. Nil disables
+	// checkpointing (the default).
+	Ckpt *checkpoint.Store
+	// CkptResume makes a checkpointed experiment restore the snapshot a
+	// previous run left in Ckpt instead of starting cold. A snapshot from a
+	// different workload or grid is refused with an error, never blended.
+	CkptResume bool
+	// CkptLogf, when non-nil, receives human-readable checkpoint progress
+	// notes (resume counts, snapshot failures). Nil discards them.
+	CkptLogf func(format string, args ...any)
+}
+
+// ckptLogf reports checkpoint progress through the study's logger, if any.
+func (s *Study) ckptLogf(format string, args ...any) {
+	if s.CkptLogf != nil {
+		s.CkptLogf(format, args...)
+	}
+}
+
+// fig13Sweep runs the Figure 13 design-space sweep over the study's grid,
+// shared by the table, plot, and JSON renderings. With a checkpoint store
+// attached the sweep is durable: progress snapshots land in the
+// "sweep-fig13" log, CkptResume restores a prior run's completed prefix,
+// and the log is removed once the sweep finishes (a finished run owes its
+// successor nothing).
+func (s *Study) fig13Sweep() ([]sweep.Fig13Row, sweep.Point, error) {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		return nil, sweep.Point{}, err
+	}
+	g, err := spec.Build(0)
+	if err != nil {
+		return nil, sweep.Point{}, err
+	}
+	if s.Ckpt == nil {
+		return sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
+	}
+	const name = "sweep-fig13"
+	var resume []byte
+	if s.CkptResume {
+		resume, err = s.Ckpt.ReadLast(name)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrNoSnapshot) && !errors.Is(err, checkpoint.ErrCorrupt) {
+				return nil, sweep.Point{}, fmt.Errorf("core: reading fig13 checkpoint: %w", err)
+			}
+			s.ckptLogf("fig13: no usable checkpoint (%v), starting cold", err)
+			resume = nil
+		}
+	}
+	log, err := s.Ckpt.OpenLog(name)
+	if err != nil {
+		return nil, sweep.Point{}, fmt.Errorf("core: opening fig13 checkpoint log: %w", err)
+	}
+	defer log.Close()
+	rows, best, resumed, err := sweep.Fig13Checkpointed(s.ctx(), g, s.Sweep, s.Workers, &sweep.Checkpoint{
+		Sink:    log,
+		Resume:  resume,
+		OnError: func(e error) { s.ckptLogf("fig13: checkpointing disabled: %v", e) },
+	})
+	if err != nil {
+		return nil, sweep.Point{}, err
+	}
+	if resumed > 0 {
+		s.ckptLogf("fig13: resumed from checkpoint, skipped %d unique design points", resumed)
+	}
+	log.Close()
+	if err := s.Ckpt.Remove(name); err != nil {
+		s.ckptLogf("fig13: could not remove finished checkpoint: %v", err)
+	}
+	return rows, best, nil
 }
 
 // ctx resolves the study's context, defaulting to Background.
@@ -307,15 +380,7 @@ func (s *Study) Table2() (string, error) {
 // Fig13 renders the 3D-stencil design-space sweep (Figure 13): the
 // runtime/power cloud and the energy-efficiency optimum.
 func (s *Study) Fig13() (string, error) {
-	spec, err := workloads.ByAbbrev("S3D")
-	if err != nil {
-		return "", err
-	}
-	g, err := spec.Build(0)
-	if err != nil {
-		return "", err
-	}
-	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
+	rows, best, err := s.fig13Sweep()
 	if err != nil {
 		return "", err
 	}

@@ -8,8 +8,6 @@ import (
 	"accelwall/internal/gains"
 	"accelwall/internal/projection"
 	"accelwall/internal/render"
-	"accelwall/internal/sweep"
-	"accelwall/internal/workloads"
 )
 
 // PlotFig1 draws the Figure 1 panel: Bitcoin ASIC relative performance and
@@ -42,15 +40,7 @@ func (s *Study) PlotFig1() (string, error) {
 // PlotFig13 draws the Figure 13 design-space cloud: runtime vs power on
 // log-log axes, one marker per CMOS node, for the 3D stencil kernel.
 func (s *Study) PlotFig13() (string, error) {
-	spec, err := workloads.ByAbbrev("S3D")
-	if err != nil {
-		return "", err
-	}
-	g, err := spec.Build(0)
-	if err != nil {
-		return "", err
-	}
-	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
+	rows, best, err := s.fig13Sweep()
 	if err != nil {
 		return "", err
 	}

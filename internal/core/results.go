@@ -15,7 +15,6 @@ import (
 	"accelwall/internal/gains"
 	"accelwall/internal/projection"
 	"accelwall/internal/sweep"
-	"accelwall/internal/workloads"
 )
 
 // TargetName canonicalizes a gains target for wire payloads.
@@ -623,15 +622,7 @@ func caseStudyFigure(domain, figID string) (any, error) {
 
 // Fig13JSON computes the typed Figure 13 payload over the study's grid.
 func (s *Study) Fig13JSON() (Fig13JSON, error) {
-	spec, err := workloads.ByAbbrev("S3D")
-	if err != nil {
-		return Fig13JSON{}, err
-	}
-	g, err := spec.Build(0)
-	if err != nil {
-		return Fig13JSON{}, err
-	}
-	rows, best, err := sweep.Fig13Context(s.ctx(), g, s.Sweep, s.Workers)
+	rows, best, err := s.fig13Sweep()
 	if err != nil {
 		return Fig13JSON{}, err
 	}

@@ -1,0 +1,48 @@
+package faultinject
+
+import "os"
+
+// Filesystem seams. The checkpoint store (and anything else that persists
+// state) threads its write, fsync, and rename operations through these
+// sites, so chaos suites can inject the failure modes that matter for
+// durability — a short write, a failed fsync, a rename that never lands
+// (the on-disk shape a crash between "temp file written" and "rename
+// committed" leaves behind) — without mocking the filesystem.
+var (
+	// SiteFSWrite fires before appending bytes to a durable file.
+	SiteFSWrite = Register("fs.write")
+	// SiteFSSync fires before fsyncing a durable file (or its directory).
+	SiteFSSync = Register("fs.fsync")
+	// SiteFSRename fires before the atomic rename that commits a rewrite.
+	// Arming it with ModeError models crash-before-rename: the temp file
+	// exists, the destination is untouched.
+	SiteFSRename = Register("fs.rename")
+)
+
+// Rename is os.Rename behind the fs.rename seam: when the seam fires the
+// rename is NOT performed, exactly like a process that died before the
+// syscall. Callers must leave the destination in its prior (still valid)
+// state when this errors.
+func Rename(oldpath, newpath string) error {
+	if err := Hit(SiteFSRename); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// SyncFile is f.Sync behind the fs.fsync seam.
+func SyncFile(f *os.File) error {
+	if err := Hit(SiteFSSync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// WriteFile writes b to f behind the fs.write seam. A firing seam writes
+// nothing, modeling an append that never reached the page cache.
+func WriteFile(f *os.File, b []byte) (int, error) {
+	if err := Hit(SiteFSWrite); err != nil {
+		return 0, err
+	}
+	return f.Write(b)
+}

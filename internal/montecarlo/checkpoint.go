@@ -1,0 +1,295 @@
+// Checkpointed Monte Carlo runs: periodic durable snapshots of the
+// completed replicate prefix, and bit-identical resume from them.
+//
+// The SplitMix64 substream design makes this safe by construction: every
+// replicate derives its PRNG stream from (root seed, replicate index)
+// alone, so a run restored from a snapshot of replicates [0, n) and
+// continued at n produces exactly the bytes an uninterrupted run would
+// have — no RNG state needs saving, only the finished outputs.
+package montecarlo
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"accelwall/internal/casestudy"
+	"accelwall/internal/checkpoint"
+	"accelwall/internal/cmos"
+)
+
+// Checkpoint configures durable progress snapshots for one run. The zero
+// value (and a nil pointer) disables checkpointing entirely — the engines
+// pay one pointer test.
+type Checkpoint struct {
+	// Sink receives encoded snapshots (typically a *checkpoint.Log).
+	Sink checkpoint.Sink
+	// Every is the snapshot cadence in completed-prefix replicates
+	// (<= 0 selects checkpoint.DefaultEvery).
+	Every int
+	// Resume, when non-nil, is a snapshot payload from a previous run of
+	// the SAME configuration; its replicates are restored instead of
+	// recomputed. A mismatched or corrupt payload errors — resuming the
+	// wrong run must never silently produce blended results.
+	Resume []byte
+	// OnError receives the save failure that stopped further snapshots;
+	// the run itself continues. nil discards it.
+	OnError func(error)
+}
+
+// Named snapshot decode causes.
+var (
+	// ErrSnapshotVersion: the payload was written by an incompatible build.
+	ErrSnapshotVersion = errors.New("montecarlo: unsupported snapshot version")
+	// ErrSnapshotMismatch: the payload belongs to a different configuration.
+	ErrSnapshotMismatch = errors.New("montecarlo: snapshot does not match this configuration")
+	// ErrSnapshotCorrupt: the payload is structurally broken.
+	ErrSnapshotCorrupt = errors.New("montecarlo: corrupt snapshot payload")
+)
+
+const snapshotVersion = 1
+
+// configDigest fingerprints everything that determines replicate output:
+// the normalized config minus Workers (worker count never changes
+// results, so a snapshot taken at 8 workers resumes fine at 1).
+func configDigest(cfg Config) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(cfg.Replicates))
+	put(uint64(cfg.Seed))
+	put(uint64(cfg.CorpusSeed))
+	put(math.Float64bits(cfg.Confidence))
+	put(math.Float64bits(cfg.GainTarget))
+	put(math.Float64bits(cfg.CMOSJitter))
+	return h.Sum64()
+}
+
+// snapshotDims returns the per-replicate vector lengths the codec frames.
+func snapshotDims() (nNodes, nDomains int) {
+	return len(cmos.Fig3aNodes()), len(targets()) * len(casestudy.Domains())
+}
+
+// encodeSnapshot renders replicates [0, n) of outs. Floats are stored as
+// raw IEEE-754 bits, so a restored replicate is bit-identical to the
+// computed one. Failed (degenerate-resample) replicates are stored as a
+// single flag byte: the failure set is a pure function of the substreams,
+// so restoring "failed" is as faithful as recomputing it.
+func encodeSnapshot(cfg Config, outs []replicateOut, n int) []byte {
+	nNodes, nDomains := snapshotDims()
+	buf := make([]byte, 0, 26+n*(1+8*(2+2*nNodes+4*nDomains)))
+	u16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+
+	u16(snapshotVersion)
+	u64(configDigest(cfg))
+	u32(uint32(cfg.Replicates))
+	u32(uint32(nNodes))
+	u32(uint32(nDomains))
+	u32(uint32(n))
+	for i := 0; i < n; i++ {
+		o := outs[i]
+		if !o.ok {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		f64(o.fitA)
+		f64(o.fitB)
+		for _, v := range o.nodeTP {
+			f64(v)
+		}
+		for _, v := range o.nodeEff {
+			f64(v)
+		}
+		for _, d := range o.domains {
+			f64(d.physLimit)
+			f64(d.remainLog)
+			f64(d.remainLinear)
+			f64(d.finalCSR)
+		}
+	}
+	return buf
+}
+
+// snapshotReader is a bounds-checked little-endian cursor.
+type snapshotReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *snapshotReader) take(n int) []byte {
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *snapshotReader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *snapshotReader) byte() byte {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+// decodeSnapshot validates payload against cfg and returns the restored
+// replicate prefix.
+func decodeSnapshot(cfg Config, payload []byte) ([]replicateOut, error) {
+	r := &snapshotReader{b: payload}
+	if v := r.u16(); r.bad || v != snapshotVersion {
+		return nil, fmt.Errorf("%w: payload version %d, this build reads %d", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	if d := r.u64(); r.bad || d != configDigest(cfg) {
+		return nil, fmt.Errorf("%w: config digest mismatch", ErrSnapshotMismatch)
+	}
+	nNodes, nDomains := snapshotDims()
+	total, gotNodes, gotDomains, n := int(r.u32()), int(r.u32()), int(r.u32()), int(r.u32())
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
+	}
+	if total != cfg.Replicates || gotNodes != nNodes || gotDomains != nDomains {
+		return nil, fmt.Errorf("%w: payload shape (%d replicates, %d nodes, %d domains) vs run (%d, %d, %d)",
+			ErrSnapshotMismatch, total, gotNodes, gotDomains, cfg.Replicates, nNodes, nDomains)
+	}
+	if n < 0 || n > total {
+		return nil, fmt.Errorf("%w: prefix %d outside [0, %d]", ErrSnapshotCorrupt, n, total)
+	}
+	outs := make([]replicateOut, n)
+	for i := range outs {
+		if r.byte() == 0 {
+			continue // computed and failed; slot stays ok=false
+		}
+		o := replicateOut{ok: true, nodeTP: make([]float64, nNodes), nodeEff: make([]float64, nNodes)}
+		o.fitA, o.fitB = r.f64(), r.f64()
+		for j := range o.nodeTP {
+			o.nodeTP[j] = r.f64()
+		}
+		for j := range o.nodeEff {
+			o.nodeEff[j] = r.f64()
+		}
+		o.domains = make([]domainOut, nDomains)
+		for j := range o.domains {
+			o.domains[j] = domainOut{
+				physLimit: r.f64(), remainLog: r.f64(),
+				remainLinear: r.f64(), finalCSR: r.f64(),
+			}
+		}
+		outs[i] = o
+	}
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated replicate records", ErrSnapshotCorrupt)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-r.off)
+	}
+	return outs, nil
+}
+
+// SnapshotProgress reports how many of how many replicates a snapshot
+// payload covers, without validating it against a configuration. Serving
+// layers use it to surface job progress.
+func SnapshotProgress(payload []byte) (done, total int, err error) {
+	r := &snapshotReader{b: payload}
+	if v := r.u16(); r.bad || v != snapshotVersion {
+		return 0, 0, ErrSnapshotVersion
+	}
+	r.u64() // digest
+	total = int(r.u32())
+	r.u32() // nodes
+	r.u32() // domains
+	done = int(r.u32())
+	if r.bad || done < 0 || done > total {
+		return 0, 0, ErrSnapshotCorrupt
+	}
+	return done, total, nil
+}
+
+// RunCheckpointed is RunContext with durable progress snapshots: the
+// completed replicate prefix is persisted through ck.Sink at the
+// configured cadence, a cancelled run leaves one final snapshot behind,
+// and ck.Resume restores a previous run's prefix instead of recomputing
+// it. A nil ck (or nil ck.Sink with no Resume) is exactly RunContext.
+func RunCheckpointed(ctx context.Context, cfg Config, ck *Checkpoint) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := New(cfg.CorpusSeed)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunCheckpointed(ctx, cfg, ck)
+}
+
+// RunCheckpointed is the engine-level checkpointed run; see the package
+// function for semantics.
+func (e *Engine) RunCheckpointed(ctx context.Context, cfg Config, ck *Checkpoint) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	outs := make([]replicateOut, cfg.Replicates)
+	start := 0
+	if ck != nil && len(ck.Resume) > 0 {
+		prefix, err := decodeSnapshot(cfg, ck.Resume)
+		if err != nil {
+			return nil, err
+		}
+		copy(outs, prefix)
+		start = len(prefix)
+	}
+	var tr *checkpoint.Tracker
+	if ck != nil {
+		tr = checkpoint.NewTracker(ck.Sink, cfg.Replicates, start, ck.Every,
+			func(n int) ([]byte, error) { return encodeSnapshot(cfg, outs, n), nil },
+			ck.OnError)
+	}
+	e.runReplicatesInto(ctx, cfg, outs, start, tr)
+	if err := ctx.Err(); err != nil {
+		// The parting snapshot: whatever prefix is complete right now is
+		// what a restarted process (or a drained daemon) resumes from.
+		tr.Final()
+		return nil, err
+	}
+	res, err := e.reduce(cfg, outs)
+	if err != nil {
+		return nil, err
+	}
+	res.Resumed = start
+	return res, nil
+}

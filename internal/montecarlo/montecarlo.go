@@ -35,6 +35,7 @@ import (
 
 	"accelwall/internal/budget"
 	"accelwall/internal/casestudy"
+	"accelwall/internal/checkpoint"
 	"accelwall/internal/chipdb"
 	"accelwall/internal/cmos"
 	"accelwall/internal/faultinject"
@@ -197,6 +198,10 @@ type Result struct {
 	// replicates dropped because a degenerate resample broke a fit.
 	Replicates int
 	Failed     int
+	// Resumed is how many replicates were restored from a checkpoint
+	// snapshot instead of recomputed (0 for cold runs). It never affects
+	// the bands: restored replicates are bit-identical to computed ones.
+	Resumed int
 
 	// AreaFitA and AreaFitB band the refitted Figure 3b area model
 	// TC(D) = A·D^B across corpus resamples.
@@ -397,11 +402,22 @@ func (e *Engine) replicateSafe(cfg Config, idx int, scratch *[]chipdb.Chip) (out
 // bit-identical to an uncancelled run's.
 func (e *Engine) runReplicates(ctx context.Context, cfg Config) []replicateOut {
 	outs := make([]replicateOut, cfg.Replicates)
+	e.runReplicatesInto(ctx, cfg, outs, 0, nil)
+	return outs
+}
+
+// runReplicatesInto runs replicates [start, cfg.Replicates) into outs,
+// reporting each completed slot to the (possibly nil) checkpoint tracker.
+// Slots below start must already hold restored outputs; because every
+// replicate owns an index-derived substream, the work is identical no
+// matter where the counter starts.
+func (e *Engine) runReplicatesInto(ctx context.Context, cfg Config, outs []replicateOut, start int, tr *checkpoint.Tracker) {
 	workers := cfg.Workers
-	if workers > cfg.Replicates {
-		workers = cfg.Replicates
+	if remaining := cfg.Replicates - start; workers > remaining {
+		workers = remaining
 	}
 	var next atomic.Int64
+	next.Store(int64(start))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -412,15 +428,15 @@ func (e *Engine) runReplicates(ctx context.Context, cfg Config) []replicateOut {
 				if ctx.Err() != nil {
 					return
 				}
-				start := int(next.Add(chunkSize)) - chunkSize
-				if start >= cfg.Replicates {
+				lo := int(next.Add(chunkSize)) - chunkSize
+				if lo >= cfg.Replicates {
 					return
 				}
-				end := start + chunkSize
-				if end > cfg.Replicates {
-					end = cfg.Replicates
+				hi := lo + chunkSize
+				if hi > cfg.Replicates {
+					hi = cfg.Replicates
 				}
-				for i := start; i < end; i++ {
+				for i := lo; i < hi; i++ {
 					// Replicates are the unit of cancellation latency: a
 					// cancelled run finishes at most the replicate each
 					// worker is inside, never the rest of its chunk.
@@ -433,12 +449,15 @@ func (e *Engine) runReplicates(ctx context.Context, cfg Config) []replicateOut {
 					if out, err := e.replicateSafe(cfg, i, &scratch); err == nil {
 						outs[i] = out
 					}
+					// Failed slots count as complete for checkpointing: the
+					// failure is a pure function of the substream, so a
+					// snapshot restores it as faithfully as recomputing.
+					tr.Complete(i)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return outs
 }
 
 // Run executes cfg.Replicates replicates and reduces them to bands.

@@ -12,7 +12,10 @@ import (
 // resident and the grid memoized — the daemon's steady state. scripts/
 // bench.sh runs this to emit BENCH_server.json.
 func BenchmarkSweepWarm(b *testing.B) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	body := `{"workload": "FFT", "preset": "reduced"}`
@@ -50,7 +53,10 @@ func BenchmarkSweepWarm(b *testing.B) {
 
 // BenchmarkCaseStudy measures a stateless analytical endpoint.
 func BenchmarkCaseStudy(b *testing.B) {
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	b.ReportAllocs()

@@ -137,6 +137,21 @@ func buildWorkload(name string, size int) (*dfg.Graph, error) {
 	return nil, fmt.Errorf("unknown workload %q (see /v1/workloads)", name)
 }
 
+// knownWorkload reports whether name resolves in any registry, without
+// building its graph — the cheap submission-time check for async jobs.
+func knownWorkload(name string) error {
+	if _, err := workloads.ByAbbrev(name); err == nil {
+		return nil
+	}
+	if _, err := workloads.VariantByName(name); err == nil {
+		return nil
+	}
+	if _, err := workloads.DomainKernelByName(name); err == nil {
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q (see /v1/workloads)", name)
+}
+
 // loadEngine is the engineCache loader: parse the key, build the graph,
 // compile. The compile counter feeds both /v1/metrics and the
 // compile-once test.

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -37,8 +38,26 @@ func (s *Server) cancelled(w http.ResponseWriter, r *http.Request, err error) bo
 }
 
 // handleHealthz is the liveness probe: cheap, unthrottled, no model state.
+// It answers "is the process up", nothing more — orchestrators restart on
+// its failure, so it must never depend on recoverable state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: "should this process receive
+// traffic". It goes 503 while persisted jobs are still being recovered
+// (the job list would be partial) and again once a drain has begun, so
+// load balancers stop routing before the listener disappears.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: shutting down")
+		return
+	}
+	if s.jobs != nil && !s.jobs.ready() {
+		writeError(w, http.StatusServiceUnavailable, "recovering persisted jobs")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics serves the operational counters.
@@ -292,6 +311,28 @@ type sweepRequest struct {
 	IncludePoints bool              `json:"include_points"`
 }
 
+// gridParams resolves the request's grid/preset fields onto sweep
+// parameters: (nil, nil) when neither is set. Shared by the synchronous
+// handler and the job runner so both reject the same bodies.
+func (r *sweepRequest) gridParams() (*sweep.Params, error) {
+	switch {
+	case r.Grid != nil && r.Preset != "":
+		return nil, errors.New("grid and preset are mutually exclusive")
+	case r.Grid != nil:
+		p := r.Grid.params()
+		return &p, nil
+	case r.Preset == "reduced":
+		p := sweep.Reduced()
+		return &p, nil
+	case r.Preset == "full":
+		p := sweep.Default()
+		return &p, nil
+	case r.Preset != "":
+		return nil, fmt.Errorf("unknown preset %q (want reduced or full)", r.Preset)
+	}
+	return nil, nil
+}
+
 // sweepResponse is the /v1/sweep payload.
 type sweepResponse struct {
 	Workload  string                   `json:"workload"`
@@ -325,22 +366,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var grid *sweep.Params
-	switch {
-	case req.Grid != nil && req.Preset != "":
-		writeError(w, http.StatusBadRequest, "grid and preset are mutually exclusive")
-		return
-	case req.Grid != nil:
-		p := req.Grid.params()
-		grid = &p
-	case req.Preset == "reduced":
-		p := sweep.Reduced()
-		grid = &p
-	case req.Preset == "full":
-		p := sweep.Default()
-		grid = &p
-	case req.Preset != "":
-		writeError(w, http.StatusBadRequest, "unknown preset %q (want reduced or full)", req.Preset)
+	grid, err := req.gridParams()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if grid == nil && len(req.Designs) == 0 {
@@ -433,6 +461,20 @@ type uncertaintyRequest struct {
 	Workers    int     `json:"workers,omitempty"`
 }
 
+// config maps the wire body onto the engine configuration. Shared by the
+// synchronous handler and the job runner.
+func (r *uncertaintyRequest) config() montecarlo.Config {
+	return montecarlo.Config{
+		Replicates: r.Replicates,
+		Seed:       r.Seed,
+		CorpusSeed: r.CorpusSeed,
+		Confidence: r.Confidence,
+		GainTarget: r.GainTarget,
+		CMOSJitter: r.CMOSJitter,
+		Workers:    r.Workers,
+	}
+}
+
 // handleUncertainty serves Monte Carlo confidence bands over the full
 // accelerator-wall pipeline. Results are memoized on the normalized
 // configuration (worker count excluded — it never changes output), so
@@ -451,14 +493,7 @@ func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "replicates %d exceeds served limit %d", req.Replicates, maxServedReplicates)
 		return
 	}
-	cfg := montecarlo.Config{
-		Replicates: req.Replicates,
-		Seed:       req.Seed,
-		CorpusSeed: req.CorpusSeed,
-		Confidence: req.Confidence,
-		GainTarget: req.GainTarget,
-		CMOSJitter: req.CMOSJitter,
-	}
+	cfg := req.config()
 	if err := cfg.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -1,0 +1,762 @@
+// Durable async jobs: long computations submitted with POST /v1/jobs,
+// polled with GET /v1/jobs/{id}, and persisted well enough that a daemon
+// killed at any instant re-lists every job on restart and resumes
+// interrupted ones from their last durable snapshot.
+//
+// Each job owns three files in the jobs directory (a checkpoint.Store):
+//
+//	<id>.manifest.ckpt   atomic single-record JSON: kind, state, request
+//	<id>.progress.ckpt   append-only engine snapshot log (binary)
+//	<id>.result.ckpt     atomic single-record JSON result, once done
+//
+// The manifest is rewritten atomically on every state transition, so the
+// newest durable state is always readable. The progress log is written by
+// the compute engine itself (montecarlo / sweep checkpointing) through a
+// wrapping sink that also feeds the live progress counters. On startup the
+// manager scans the manifests before serving readiness: finished jobs are
+// re-listed with their results, and pending or running jobs are re-queued
+// with whatever snapshot their progress log holds — a snapshot that fails
+// to decode just demotes the retry to a cold start.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"accelwall/internal/checkpoint"
+	"accelwall/internal/core"
+	"accelwall/internal/montecarlo"
+	"accelwall/internal/sweep"
+)
+
+// Job lifecycle states. pending and running survive a crash as "resume
+// me"; done and failed are terminal.
+const (
+	jobPending = "pending"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// jobRequest is the POST /v1/jobs body: which computation to run
+// asynchronously, carrying the same body the synchronous endpoint
+// accepts. Exactly one of the kind-specific bodies may be set.
+type jobRequest struct {
+	Kind        string              `json:"kind"` // uncertainty | sweep
+	Uncertainty *uncertaintyRequest `json:"uncertainty,omitempty"`
+	Sweep       *sweepRequest       `json:"sweep,omitempty"`
+	// CheckpointEvery overrides the snapshot cadence in completed work
+	// units — replicates or unique design points (<= 0: the engine
+	// default).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// jobManifest is the durable JSON record behind <id>.manifest.ckpt.
+type jobManifest struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	State   string          `json:"state"`
+	Created string          `json:"created"` // RFC 3339
+	Request json.RawMessage `json:"request"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// job is one tracked job. The immutable identity fields are set at
+// submission (or recovery); everything behind mu is live state the runner
+// updates and the handlers read.
+type job struct {
+	id      string
+	req     jobRequest
+	created time.Time
+
+	mu      sync.Mutex
+	state   string
+	errMsg  string
+	done    int // completed work units per the newest snapshot
+	total   int // work units overall (0 until known)
+	resumed int // work units restored from a snapshot instead of computed
+	result  json.RawMessage
+}
+
+func (j *job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+}
+
+// jobJSON is the wire form of one job; Result rides along only on the
+// single-job view.
+type jobJSON struct {
+	ID            string          `json:"id"`
+	Kind          string          `json:"kind"`
+	State         string          `json:"state"`
+	Created       string          `json:"created"`
+	ProgressDone  int             `json:"progress_done"`
+	ProgressTotal int             `json:"progress_total"`
+	Resumed       int             `json:"resumed,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *job) json(withResult bool) jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := jobJSON{
+		ID:            j.id,
+		Kind:          j.req.Kind,
+		State:         j.state,
+		Created:       j.created.UTC().Format(time.RFC3339),
+		ProgressDone:  j.done,
+		ProgressTotal: j.total,
+		Resumed:       j.resumed,
+		Error:         j.errMsg,
+	}
+	if withResult {
+		out.Result = j.result
+	}
+	return out
+}
+
+// jobManager owns the jobs directory and every tracked job. Jobs execute
+// one at a time in submission order: each one already saturates its own
+// worker pool, so running them concurrently would only oversubscribe the
+// machine and slow every job down.
+type jobManager struct {
+	srv   *Server
+	store *checkpoint.Store
+	max   int
+
+	ctx    context.Context // cancelled to interrupt running jobs (drain)
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	sem    chan struct{} // capacity 1: the single execution slot
+
+	recovered chan struct{} // closed once the startup manifest scan is done
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    int
+	closed bool
+}
+
+// newJobManager opens (creating 0700) and write-probes dir, then starts
+// the recovery scan. An unusable directory fails here — at startup — with
+// the checkpoint store's error naming the path and cause.
+func newJobManager(srv *Server, dir string, max int) (*jobManager, error) {
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs directory: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &jobManager{
+		srv:       srv,
+		store:     store,
+		max:       max,
+		ctx:       ctx,
+		cancel:    cancel,
+		sem:       make(chan struct{}, 1),
+		recovered: make(chan struct{}),
+		jobs:      make(map[string]*job),
+	}
+	jm.wg.Add(1)
+	go jm.recover()
+	return jm, nil
+}
+
+// ready reports whether the startup recovery scan has finished; /readyz
+// stays 503 until it has, so clients never observe a partial job list.
+func (jm *jobManager) ready() bool {
+	select {
+	case <-jm.recovered:
+		return true
+	default:
+		return false
+	}
+}
+
+// interrupt cancels every running job; their engines stop within one work
+// chunk and leave a final snapshot in the progress log.
+func (jm *jobManager) interrupt() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+	jm.cancel()
+}
+
+// wait blocks until every job goroutine has returned or ctx expires.
+func (jm *jobManager) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { jm.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs still draining: %w", ctx.Err())
+	}
+}
+
+// waitAll is wait without a bound, for Close in tests and embedders.
+func (jm *jobManager) waitAll() { jm.wg.Wait() }
+
+// manifestName/progressName/resultName map a job id onto its store names.
+func manifestName(id string) string { return id + ".manifest" }
+func progressName(id string) string { return id + ".progress" }
+func resultName(id string) string   { return id + ".result" }
+
+// writeManifest persists the job's current durable state atomically.
+func (jm *jobManager) writeManifest(j *job) error {
+	reqRaw, err := json.Marshal(j.req)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	m := jobManifest{
+		ID:      j.id,
+		Kind:    j.req.Kind,
+		State:   j.state,
+		Created: j.created.UTC().Format(time.RFC3339),
+		Request: reqRaw,
+		Error:   j.errMsg,
+	}
+	j.mu.Unlock()
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return jm.store.Write(manifestName(j.id), payload)
+}
+
+// removeFiles deletes every file a job owns; used on eviction.
+func (jm *jobManager) removeFiles(id string) {
+	jm.store.Remove(manifestName(id)) //nolint:errcheck // eviction is best effort
+	jm.store.Remove(progressName(id)) //nolint:errcheck
+	jm.store.Remove(resultName(id))   //nolint:errcheck
+}
+
+// recover scans the jobs directory: terminal jobs are re-listed with
+// their results, interrupted ones re-queued with their last snapshot.
+// Runs once, in a goroutine, before the manager reports ready.
+func (jm *jobManager) recover() {
+	defer jm.wg.Done()
+	defer close(jm.recovered)
+	names, err := jm.store.List()
+	if err != nil {
+		jm.srv.logf("jobs: recovery scan failed: %v", err)
+		return
+	}
+	type resumable struct {
+		j      *job
+		resume []byte
+	}
+	var queue []resumable
+	for _, name := range names {
+		id, ok := strings.CutSuffix(name, ".manifest")
+		if !ok {
+			continue
+		}
+		payload, err := jm.store.ReadLast(name)
+		if err != nil {
+			jm.srv.logf("jobs: skipping unreadable manifest %s: %v", name, err)
+			continue
+		}
+		var m jobManifest
+		if err := json.Unmarshal(payload, &m); err != nil || m.ID != id {
+			jm.srv.logf("jobs: skipping malformed manifest %s", name)
+			continue
+		}
+		j := &job{id: id, state: m.State, errMsg: m.Error}
+		if t, err := time.Parse(time.RFC3339, m.Created); err == nil {
+			j.created = t
+		}
+		if err := json.Unmarshal(m.Request, &j.req); err != nil {
+			jm.srv.logf("jobs: skipping %s: malformed request: %v", id, err)
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(id, "job-%06d", &seq); err == nil && seq > jm.seq {
+			jm.seq = seq
+		}
+		switch m.State {
+		case jobDone:
+			res, err := jm.store.ReadLast(resultName(id))
+			if err != nil {
+				// The result never landed (crash between state write and
+				// result write cannot happen — result is written first —
+				// but a deleted file can). Re-run rather than lie.
+				j.state = jobPending
+				queue = append(queue, resumable{j: j, resume: jm.readResume(j)})
+				break
+			}
+			j.result = res
+			jm.fillTerminalProgress(j)
+		case jobFailed:
+			// Terminal; nothing to resume.
+		case jobPending, jobRunning:
+			j.state = jobPending
+			r := resumable{j: j, resume: jm.readResume(j)}
+			if r.resume != nil {
+				jm.srv.metrics.JobsResumed.Add(1)
+			}
+			queue = append(queue, r)
+		default:
+			jm.srv.logf("jobs: skipping %s: unknown state %q", id, m.State)
+			continue
+		}
+		jm.jobs[id] = j
+	}
+	// Re-run interrupted jobs oldest first, preserving submission order.
+	sort.Slice(queue, func(a, b int) bool { return queue[a].j.id < queue[b].j.id })
+	if len(jm.jobs) > 0 {
+		jm.srv.logf("jobs: recovered %d job(s), %d to resume", len(jm.jobs), len(queue))
+	}
+	for _, r := range queue {
+		jm.run(r.j, r.resume)
+	}
+}
+
+// readResume loads the job's newest intact progress snapshot and primes
+// the live progress counters from it; nil means a cold start.
+func (jm *jobManager) readResume(j *job) []byte {
+	payload, err := jm.store.ReadLast(progressName(j.id))
+	if err != nil {
+		if !errors.Is(err, checkpoint.ErrNoSnapshot) {
+			jm.srv.logf("jobs: %s: no usable progress snapshot (%v), restarting cold", j.id, err)
+		}
+		return nil
+	}
+	if done, total, err := jm.snapshotProgress(j.req.Kind, payload); err == nil {
+		j.setProgress(done, total)
+	}
+	return payload
+}
+
+// fillTerminalProgress sets done == total on a recovered finished job so
+// the progress fields stay truthful without its (removed) progress log.
+func (jm *jobManager) fillTerminalProgress(j *job) {
+	switch j.req.Kind {
+	case "uncertainty":
+		var out struct {
+			Replicates int `json:"replicates"`
+		}
+		if json.Unmarshal(j.result, &out) == nil {
+			j.setProgress(out.Replicates, out.Replicates)
+		}
+	case "sweep":
+		var out struct {
+			Evaluated int `json:"evaluated"`
+		}
+		if json.Unmarshal(j.result, &out) == nil {
+			j.setProgress(out.Evaluated, out.Evaluated)
+		}
+	}
+}
+
+// snapshotProgress decodes a progress payload's counters per job kind.
+func (jm *jobManager) snapshotProgress(kind string, payload []byte) (done, total int, err error) {
+	if kind == "sweep" {
+		return sweep.SnapshotProgress(payload)
+	}
+	return montecarlo.SnapshotProgress(payload)
+}
+
+// submit validates, persists, and enqueues a new job, returning it or an
+// HTTP status + error for the handler to relay.
+func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
+	switch req.Kind {
+	case "uncertainty":
+		if req.Sweep != nil {
+			return nil, http.StatusBadRequest, errors.New("uncertainty job carries a sweep body")
+		}
+		if req.Uncertainty == nil {
+			req.Uncertainty = &uncertaintyRequest{} // all defaults
+		}
+		if err := req.Uncertainty.validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if req.Uncertainty.Replicates > maxServedReplicates {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("replicates %d exceeds served limit %d", req.Uncertainty.Replicates, maxServedReplicates)
+		}
+		if err := req.Uncertainty.config().Validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	case "sweep":
+		if req.Uncertainty != nil {
+			return nil, http.StatusBadRequest, errors.New("sweep job carries an uncertainty body")
+		}
+		if req.Sweep == nil {
+			return nil, http.StatusBadRequest, errors.New("sweep job needs a sweep body")
+		}
+		if status, err := jm.validateSweepJob(req.Sweep); err != nil {
+			return nil, status, err
+		}
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown kind %q (want uncertainty or sweep)", req.Kind)
+	}
+
+	<-jm.recovered // ids are allocated only once recovery has fixed the sequence
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, errors.New("server is draining; job not accepted")
+	}
+	if len(jm.jobs) >= jm.max && !jm.evictTerminalLocked() {
+		jm.mu.Unlock()
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("job table full (%d jobs, none finished); retry after one completes", jm.max)
+	}
+	jm.seq++
+	id := fmt.Sprintf("job-%06d", jm.seq)
+	j := &job{id: id, req: req, created: time.Now(), state: jobPending}
+	if req.Kind == "uncertainty" {
+		j.total = req.Uncertainty.config().Normalized().Replicates
+	}
+	jm.mu.Unlock()
+
+	if err := jm.writeManifest(j); err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("persisting job manifest: %w", err)
+	}
+	jm.mu.Lock()
+	jm.jobs[id] = j
+	jm.mu.Unlock()
+	jm.srv.metrics.JobsSubmitted.Add(1)
+	jm.run(j, nil)
+	return j, http.StatusAccepted, nil
+}
+
+// validateSweepJob rejects everything the job runner could only fail on
+// later: sweep jobs checkpoint grids (design lists belong on the
+// synchronous endpoint), and the workload must resolve in a registry.
+func (jm *jobManager) validateSweepJob(r *sweepRequest) (int, error) {
+	if r.Workload == "" {
+		return http.StatusBadRequest, errors.New("missing workload")
+	}
+	if err := r.validate(); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if len(r.Designs) > 0 {
+		return http.StatusBadRequest, errors.New("sweep jobs take a grid or preset; evaluate design lists with POST /v1/sweep")
+	}
+	grid, err := r.gridParams()
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	if grid == nil {
+		return http.StatusBadRequest, errors.New("sweep job needs a grid or preset")
+	}
+	if err := grid.Validate(); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if n := len(grid.Nodes) * len(grid.Partitions) * len(grid.Simplifications) * len(grid.Fusion); n > jm.srv.opts.MaxGridPoints {
+		return http.StatusBadRequest, fmt.Errorf("grid has %d points, limit %d", n, jm.srv.opts.MaxGridPoints)
+	}
+	if err := knownWorkload(r.Workload); err != nil {
+		return http.StatusBadRequest, err
+	}
+	return 0, nil
+}
+
+// evictTerminalLocked drops the oldest finished job (and its files) to
+// make room; reports false when every tracked job is still live.
+func (jm *jobManager) evictTerminalLocked() bool {
+	var victim *job
+	for _, j := range jm.jobs {
+		j.mu.Lock()
+		terminal := j.state == jobDone || j.state == jobFailed
+		j.mu.Unlock()
+		if terminal && (victim == nil || j.id < victim.id) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(jm.jobs, victim.id)
+	jm.removeFiles(victim.id)
+	return true
+}
+
+// get returns a tracked job by id.
+func (jm *jobManager) get(id string) (*job, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	return j, ok
+}
+
+// list returns every tracked job, oldest first.
+func (jm *jobManager) list() []*job {
+	jm.mu.Lock()
+	out := make([]*job, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		out = append(out, j)
+	}
+	jm.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// run queues the job for the execution slot; it runs when its turn comes
+// unless the manager is interrupted first.
+func (jm *jobManager) run(j *job, resume []byte) {
+	jm.wg.Add(1)
+	go func() {
+		defer jm.wg.Done()
+		select {
+		case jm.sem <- struct{}{}:
+			defer func() { <-jm.sem }()
+		case <-jm.ctx.Done():
+			return // drain before the job ever started; still resumable
+		}
+		if jm.ctx.Err() != nil {
+			return
+		}
+		jm.execute(j, resume)
+	}()
+}
+
+// execute runs one job to a terminal state, or leaves it resumable if the
+// manager is interrupted mid-run. A resume payload that fails to decode
+// (wrong build, wrong shape, flipped bits past the CRC) demotes the run
+// to a cold start rather than failing the job.
+func (jm *jobManager) execute(j *job, resume []byte) {
+	j.setState(jobRunning)
+	if err := jm.writeManifest(j); err != nil {
+		jm.fail(j, fmt.Errorf("persisting running state: %w", err))
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		log, err := jm.openProgress(j)
+		if err != nil {
+			jm.fail(j, err)
+			return
+		}
+		payload, resumed, err := jm.runKind(j, resume, log)
+		log.Close()
+		switch {
+		case err == nil:
+			j.mu.Lock()
+			j.resumed = resumed
+			j.mu.Unlock()
+			jm.finish(j, payload)
+			return
+		case jm.ctx.Err() != nil:
+			// Drain: the engine already saved its parting snapshot; the
+			// manifest stays "running" so the next process resumes it.
+			return
+		case attempt == 0 && len(resume) > 0 && isSnapshotErr(err):
+			jm.srv.logf("jobs: %s: snapshot rejected (%v), restarting cold", j.id, err)
+			jm.store.Remove(progressName(j.id)) //nolint:errcheck // cold start works either way
+			j.setProgress(0, 0)
+			resume = nil
+			continue
+		default:
+			jm.fail(j, err)
+			return
+		}
+	}
+}
+
+// openProgress opens the job's snapshot log, clearing and retrying once
+// if a previous life left something unreadable behind.
+func (jm *jobManager) openProgress(j *job) (*checkpoint.Log, error) {
+	log, err := jm.store.OpenLog(progressName(j.id))
+	if err == nil {
+		return log, nil
+	}
+	jm.store.Remove(progressName(j.id)) //nolint:errcheck // about to recreate it
+	return jm.store.OpenLog(progressName(j.id))
+}
+
+// isSnapshotErr reports whether err is any engine's "this resume payload
+// is not usable" cause.
+func isSnapshotErr(err error) bool {
+	for _, cause := range []error{
+		montecarlo.ErrSnapshotVersion, montecarlo.ErrSnapshotMismatch, montecarlo.ErrSnapshotCorrupt,
+		sweep.ErrSnapshotVersion, sweep.ErrSnapshotMismatch, sweep.ErrSnapshotCorrupt,
+	} {
+		if errors.Is(err, cause) {
+			return true
+		}
+	}
+	return false
+}
+
+// jobSink forwards engine snapshots to the durable log and mirrors their
+// progress counters into the live job view.
+type jobSink struct {
+	jm  *jobManager
+	j   *job
+	log *checkpoint.Log
+}
+
+func (s *jobSink) Save(payload []byte) error {
+	if err := s.log.Save(payload); err != nil {
+		return err
+	}
+	s.jm.srv.metrics.JobSnapshots.Add(1)
+	if done, total, err := s.jm.snapshotProgress(s.j.req.Kind, payload); err == nil {
+		s.j.setProgress(done, total)
+	}
+	return nil
+}
+
+// runKind dispatches to the engine, returning the JSON result payload and
+// how many work units were restored rather than computed.
+func (jm *jobManager) runKind(j *job, resume []byte, log *checkpoint.Log) (json.RawMessage, int, error) {
+	sink := &jobSink{jm: jm, j: j, log: log}
+	onError := func(err error) { jm.srv.logf("jobs: %s: snapshot save failed, continuing without: %v", j.id, err) }
+	switch j.req.Kind {
+	case "uncertainty":
+		cfg := j.req.Uncertainty.config()
+		if cfg.Workers <= 0 {
+			cfg.Workers = jm.srv.opts.Workers
+		}
+		res, err := montecarlo.RunCheckpointed(jm.ctx, cfg, &montecarlo.Checkpoint{
+			Sink: sink, Every: j.req.CheckpointEvery, Resume: resume, OnError: onError,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		j.setProgress(res.Replicates, res.Replicates)
+		payload, err := json.Marshal(core.NewUncertaintyJSON(res))
+		return payload, res.Resumed, err
+	case "sweep":
+		req := j.req.Sweep
+		g, err := buildWorkload(req.Workload, req.Size)
+		if err != nil {
+			return nil, 0, err
+		}
+		grid, err := req.gridParams()
+		if err != nil || grid == nil {
+			return nil, 0, fmt.Errorf("sweep job grid: %v", err)
+		}
+		objective, err := core.ParseObjective(req.Objective)
+		if err != nil {
+			return nil, 0, err
+		}
+		workers := req.Workers
+		if workers <= 0 {
+			workers = jm.srv.opts.Workers
+		}
+		pts, resumed, err := sweep.RunParallelCheckpointed(jm.ctx, g, *grid, workers, &sweep.Checkpoint{
+			Sink: sink, Every: j.req.CheckpointEvery, Resume: resume, OnError: onError,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		j.setProgress(len(pts), len(pts))
+		resp := sweepResponse{Workload: req.Workload, Objective: core.ObjectiveName(objective), Evaluated: len(pts)}
+		if best, err := sweep.Best(pts, objective); err == nil {
+			bj := core.NewSweepPointJSON(best)
+			resp.Best = &bj
+		}
+		resp.Frontier = core.NewFrontierJSON(sweep.DesignFrontier(pts))
+		if req.IncludePoints {
+			resp.Points = make([]core.SweepPointJSON, 0, len(pts))
+			for _, p := range pts {
+				resp.Points = append(resp.Points, core.NewSweepPointJSON(p))
+			}
+		}
+		payload, err := json.Marshal(resp)
+		return payload, resumed, err
+	}
+	return nil, 0, fmt.Errorf("unknown job kind %q", j.req.Kind)
+}
+
+// finish persists a successful result: result first, then the manifest
+// flip to done, then the progress log is dropped. A crash between any two
+// steps re-runs the job deterministically — never serves a half-state.
+func (jm *jobManager) finish(j *job, payload json.RawMessage) {
+	if err := jm.store.Write(resultName(j.id), payload); err != nil {
+		jm.fail(j, fmt.Errorf("persisting result: %w", err))
+		return
+	}
+	j.mu.Lock()
+	j.state = jobDone
+	j.result = payload
+	j.mu.Unlock()
+	if err := jm.writeManifest(j); err != nil {
+		jm.srv.logf("jobs: %s: done, but manifest write failed (will re-run on restart): %v", j.id, err)
+	}
+	jm.store.Remove(progressName(j.id)) //nolint:errcheck // orphan is swept on next recovery
+	jm.srv.metrics.JobsCompleted.Add(1)
+	jm.srv.logf("jobs: %s done", j.id)
+}
+
+// fail records a terminal failure.
+func (jm *jobManager) fail(j *job, err error) {
+	j.mu.Lock()
+	j.state = jobFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	if werr := jm.writeManifest(j); werr != nil {
+		jm.srv.logf("jobs: %s: failure manifest write failed: %v", j.id, werr)
+	}
+	jm.store.Remove(progressName(j.id)) //nolint:errcheck // deterministic failure; no point resuming
+	jm.srv.metrics.JobsFailed.Add(1)
+	jm.srv.logf("jobs: %s failed: %v", j.id, err)
+}
+
+// handleJobSubmit is POST /v1/jobs: validate, persist, enqueue, 202.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "async jobs are disabled: start the server with a jobs directory (-jobs)")
+		return
+	}
+	var req jobRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, status, err := s.jobs.submit(req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	out := j.json(false)
+	writeJSON(w, status, map[string]any{"id": j.id, "state": out.State, "url": "/v1/jobs/" + j.id})
+}
+
+// handleJobList is GET /v1/jobs: every tracked job, oldest first, without
+// result payloads.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "async jobs are disabled: start the server with a jobs directory (-jobs)")
+		return
+	}
+	jobs := s.jobs.list()
+	out := make([]jobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.json(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleJobGet is GET /v1/jobs/{id}: full state including the result once
+// the job is done.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "async jobs are disabled: start the server with a jobs directory (-jobs)")
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.json(true))
+}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"accelwall/internal/core"
+	"accelwall/internal/leakcheck"
+	"accelwall/internal/montecarlo"
+)
+
+// waitForJob polls GET /v1/jobs/{id} until pred is satisfied, returning
+// the last observed view.
+func waitForJob(t *testing.T, base, id string, pred func(jobJSON) bool) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		status, body := get(t, base+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, status, body)
+		}
+		var j jobJSON
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatalf("job body %s: %v", body, err)
+		}
+		if pred(j) {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never satisfied predicate; last state %+v", id, j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func terminal(j jobJSON) bool { return j.State == jobDone || j.State == jobFailed }
+
+// submitJob posts a job body and returns the assigned id.
+func submitJob(t *testing.T, base, body string) string {
+	t.Helper()
+	status, resp := post(t, base+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", status, resp)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &out); err != nil || out.ID == "" {
+		t.Fatalf("submit response %s: %v", resp, err)
+	}
+	return out.ID
+}
+
+// TestJobsDisabled: without a jobs directory the endpoints answer 404
+// with the JSON envelope, and readiness does not depend on them.
+func TestJobsDisabled(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, Options{}).Handler())
+	defer ts.Close()
+	if status, body := post(t, ts.URL+"/v1/jobs", `{"kind":"uncertainty"}`); status != http.StatusNotFound || !bytes.Contains(body, []byte("disabled")) {
+		t.Fatalf("submit on disabled jobs: %d %s", status, body)
+	}
+	if status, _ := get(t, ts.URL+"/v1/jobs"); status != http.StatusNotFound {
+		t.Fatalf("list on disabled jobs: want 404, got %d", status)
+	}
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK || !bytes.Contains(body, []byte("ready")) {
+		t.Fatalf("readyz: %d %s", status, body)
+	}
+}
+
+// TestJobUncertaintyLifecycle: submit → pending/running → done, with the
+// result byte-equal (as JSON values) to a direct engine run of the same
+// configuration, and the bookkeeping (list, metrics, files) consistent.
+func TestJobUncertaintyLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	s := newTestServer(t, Options{JobsDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"kind": "uncertainty", "uncertainty": {"replicates": 24, "seed": 7, "corpus_seed": 7}}`
+	id := submitJob(t, ts.URL, body)
+	j := waitForJob(t, ts.URL, id, terminal)
+	if j.State != jobDone {
+		t.Fatalf("job failed: %+v", j)
+	}
+	if j.ProgressDone != 24 || j.ProgressTotal != 24 {
+		t.Fatalf("progress %d/%d, want 24/24", j.ProgressDone, j.ProgressTotal)
+	}
+	if j.Resumed != 0 {
+		t.Fatalf("cold job reports resumed=%d", j.Resumed)
+	}
+
+	res, err := montecarlo.RunContext(context.Background(), montecarlo.Config{Replicates: 24, Seed: 7, CorpusSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(core.NewUncertaintyJSON(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, ref any
+	if err := json.Unmarshal(j.Result, &got); err != nil {
+		t.Fatalf("result %s: %v", j.Result, err)
+	}
+	if err := json.Unmarshal(want, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("job result diverges from direct run:\n%s\nvs\n%s", j.Result, want)
+	}
+
+	// The list shows the job without carrying the payload.
+	status, listBody := get(t, ts.URL+"/v1/jobs")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %s", status, listBody)
+	}
+	var list struct {
+		Jobs []jobJSON `json:"jobs"`
+	}
+	if err := json.Unmarshal(listBody, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id || list.Jobs[0].Result != nil {
+		t.Fatalf("list: %s", listBody)
+	}
+
+	if got := s.metrics.JobsSubmitted.Value(); got != 1 {
+		t.Fatalf("jobs submitted = %d, want 1", got)
+	}
+	if got := s.metrics.JobsCompleted.Value(); got != 1 {
+		t.Fatalf("jobs completed = %d, want 1", got)
+	}
+	// Done jobs keep their manifest and result but drop the progress log.
+	if _, err := os.Stat(filepath.Join(dir, id+".result.ckpt")); err != nil {
+		t.Fatalf("result file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".progress.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("progress log should be removed after completion: %v", err)
+	}
+}
+
+// TestJobSweepLifecycle: a grid sweep job completes and matches the
+// synchronous endpoint's evaluation of the same grid.
+func TestJobSweepLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	s := newTestServer(t, Options{JobsDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	grid := `{"workload": "RED", "objective": "efficiency", "include_points": true,
+		"grid": {"nodes": [45, 32], "partitions": [1, 2], "simplifications": [1], "fusion": [false]}}`
+	id := submitJob(t, ts.URL, `{"kind": "sweep", "sweep": `+grid+`}`)
+	j := waitForJob(t, ts.URL, id, terminal)
+	if j.State != jobDone {
+		t.Fatalf("sweep job failed: %+v", j)
+	}
+
+	status, syncBody := post(t, ts.URL+"/v1/sweep", grid)
+	if status != http.StatusOK {
+		t.Fatalf("sync sweep: %d %s", status, syncBody)
+	}
+	var got, ref map[string]any
+	if err := json.Unmarshal(j.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(syncBody, &ref); err != nil {
+		t.Fatal(err)
+	}
+	// cached_points is engine-cache telemetry the job path does not have;
+	// every model output must agree exactly.
+	for _, key := range []string{"evaluated", "points", "best", "frontier", "workload", "objective"} {
+		if !reflect.DeepEqual(got[key], ref[key]) {
+			t.Fatalf("job/sync sweep diverge on %q:\n%v\nvs\n%v", key, got[key], ref[key])
+		}
+	}
+	if got["evaluated"].(float64) != 4 {
+		t.Fatalf("evaluated %v, want 4", got["evaluated"])
+	}
+}
+
+// TestJobCrashRecoveryResume is the headline robustness contract: a
+// daemon interrupted mid-job re-lists the job on restart, resumes it from
+// the last durable snapshot instead of starting over, and finishes with
+// output identical to an uninterrupted run.
+func TestJobCrashRecoveryResume(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	s1, err := New(Options{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// Single worker + cadence 1 makes snapshots land deterministically
+	// after every replicate, so there is always progress to resume.
+	body := `{"kind": "uncertainty", "checkpoint_every": 1,
+		"uncertainty": {"replicates": 600, "seed": 7, "corpus_seed": 7, "workers": 1}}`
+	id := submitJob(t, ts1.URL, body)
+	waitForJob(t, ts1.URL, id, func(j jobJSON) bool { return j.ProgressDone >= 3 })
+
+	// "kill -9": interrupt the job subsystem without any orderly manifest
+	// update, then drop the whole server.
+	s1.Close()
+	ts1.Close()
+
+	s2, err := New(Options{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	j := waitForJob(t, ts2.URL, id, terminal)
+	if j.State != jobDone {
+		t.Fatalf("recovered job failed: %+v", j)
+	}
+	if j.Resumed == 0 {
+		t.Fatal("recovered job reports no resumed work; it restarted cold")
+	}
+	if got := s2.metrics.JobsResumed.Value(); got != 1 {
+		t.Fatalf("jobs resumed = %d, want 1", got)
+	}
+
+	res, err := montecarlo.RunContext(context.Background(), montecarlo.Config{Replicates: 600, Seed: 7, CorpusSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(core.NewUncertaintyJSON(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, ref any
+	if err := json.Unmarshal(j.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("resumed job result diverges from an uninterrupted run")
+	}
+}
+
+// TestJobRecoveryColdOnCorruptSnapshot: a progress log whose records are
+// all torn falls back to a cold re-run instead of failing the job.
+func TestJobRecoveryColdOnCorruptSnapshot(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	s1, err := New(Options{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// Large enough that the run is still in flight — with its progress
+	// log still on disk — when the server is torn down below.
+	body := `{"kind": "uncertainty", "checkpoint_every": 1,
+		"uncertainty": {"replicates": 600, "seed": 7, "corpus_seed": 7, "workers": 1}}`
+	id := submitJob(t, ts1.URL, body)
+	waitForJob(t, ts1.URL, id, func(j jobJSON) bool { return j.ProgressDone >= 3 })
+	s1.Close()
+	ts1.Close()
+
+	// Flip a byte in every snapshot record's payload region: CRC checks
+	// fail, ReadLast reports corruption, and recovery starts cold.
+	path := filepath.Join(dir, id+".progress.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < len(raw); i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{JobsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	j := waitForJob(t, ts2.URL, id, terminal)
+	if j.State != jobDone {
+		t.Fatalf("job should complete cold after snapshot corruption: %+v", j)
+	}
+	if j.Resumed != 0 {
+		t.Fatalf("corrupt snapshot cannot be resumed, yet resumed=%d", j.Resumed)
+	}
+}
+
+// TestJobValidation: every malformed submission is a 400 with the JSON
+// envelope, before anything is persisted.
+func TestJobValidation(t *testing.T) {
+	dir := t.TempDir()
+	ts := httptest.NewServer(newTestServer(t, Options{JobsDir: dir}).Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"unknown kind":        `{"kind": "nope"}`,
+		"missing kind":        `{}`,
+		"mixed bodies":        `{"kind": "uncertainty", "sweep": {"workload": "RED", "preset": "reduced"}}`,
+		"sweep without body":  `{"kind": "sweep"}`,
+		"sweep with designs":  `{"kind": "sweep", "sweep": {"workload": "RED", "designs": [{"node_nm": 45, "partition": 1, "simplification": 1}]}}`,
+		"sweep without grid":  `{"kind": "sweep", "sweep": {"workload": "RED"}}`,
+		"unknown workload":    `{"kind": "sweep", "sweep": {"workload": "NOPE", "preset": "reduced"}}`,
+		"grid and preset":     `{"kind": "sweep", "sweep": {"workload": "RED", "preset": "reduced", "grid": {"nodes": [45], "partitions": [1], "simplifications": [1], "fusion": [false]}}}`,
+		"replicates over cap": fmt.Sprintf(`{"kind": "uncertainty", "uncertainty": {"replicates": %d}}`, maxServedReplicates+1),
+		"NaN confidence":      `{"kind": "uncertainty", "uncertainty": {"confidence": 1e999}}`,
+	} {
+		status, resp := post(t, ts.URL+"/v1/jobs", body)
+		if status != http.StatusBadRequest || !bytes.Contains(resp, []byte(`"error"`)) {
+			t.Errorf("%s: want 400 envelope, got %d %s", name, status, resp)
+		}
+	}
+	// Nothing may have been persisted by rejected submissions.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("rejected submissions left files behind: %v", ents)
+	}
+}
+
+// TestJobTableFullAndEviction: at MaxJobs the server rejects submissions
+// while every job is live (429) and evicts the oldest finished job
+// (files included) once one is terminal.
+func TestJobTableFullAndEviction(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	s := newTestServer(t, Options{JobsDir: dir, MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A finished job at the cap is evicted — files and all — to admit the
+	// next submission.
+	id1 := submitJob(t, ts.URL, `{"kind": "uncertainty", "uncertainty": {"replicates": 12, "workers": 1}}`)
+	waitForJob(t, ts.URL, id1, terminal)
+	id2 := submitJob(t, ts.URL, `{"kind": "uncertainty", "uncertainty": {"replicates": 3000, "workers": 1}}`)
+	if id2 == id1 {
+		t.Fatalf("second job reused id %s", id1)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id1+".manifest.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("evicted job %s still has a manifest: %v", id1, err)
+	}
+	status, listBody := get(t, ts.URL+"/v1/jobs")
+	if status != http.StatusOK || !bytes.Contains(listBody, []byte(id2)) || bytes.Contains(listBody, []byte(id1)) {
+		t.Fatalf("list after eviction: %d %s", status, listBody)
+	}
+
+	// With the big job still live, the full table sheds the next
+	// submission with 429; the interrupt on server close leaves it
+	// resumable rather than waiting it out.
+	status, resp := post(t, ts.URL+"/v1/jobs", `{"kind": "uncertainty", "uncertainty": {"replicates": 12}}`)
+	if status != http.StatusTooManyRequests || !bytes.Contains(resp, []byte(`"error"`)) {
+		t.Fatalf("submit over a full live table: want 429 envelope, got %d %s", status, resp)
+	}
+}
+
+// TestJobsUnwritableDir: the server refuses to start when the jobs
+// directory cannot be created, naming the path. The parent is a regular
+// file so the failure holds even when the tests run as root.
+func TestJobsUnwritableDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "jobs")
+	if _, err := New(Options{JobsDir: bad}); err == nil {
+		t.Fatal("New accepted a jobs dir under a regular file")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("jobs directory")) {
+		t.Fatalf("error should name the jobs directory: %v", err)
+	}
+}
+
+// TestReadyzStates: ready when serving, 503 while job recovery is
+// pending, 503 once draining.
+func TestReadyzStates(t *testing.T) {
+	s := newTestServer(t, Options{JobsDir: t.TempDir()})
+
+	// Wait out the (fast) recovery scan so the swap below is race-free.
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.jobs.ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	probe := func() (int, string) {
+		rec := httptest.NewRecorder()
+		s.handleReadyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := probe(); code != http.StatusOK {
+		t.Fatalf("ready server: %d %s", code, body)
+	}
+
+	// Recovery still pending → not ready.
+	done := s.jobs.recovered
+	s.jobs.recovered = make(chan struct{})
+	if code, body := probe(); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("recovering")) {
+		t.Fatalf("recovering server: %d %s", code, body)
+	}
+	s.jobs.recovered = done
+
+	// Draining → not ready, while liveness stays green.
+	s.draining.Store(true)
+	if code, body := probe(); code != http.StatusServiceUnavailable || !bytes.Contains([]byte(body), []byte("draining")) {
+		t.Fatalf("draining server: %d %s", code, body)
+	}
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz must stay 200 while draining, got %d", rec.Code)
+	}
+}

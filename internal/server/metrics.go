@@ -34,6 +34,13 @@ type Metrics struct {
 	UncertaintyRuns expvar.Int // Monte Carlo runs executed (uncertainty-cache loads)
 	UncertaintyHits expvar.Int
 
+	// Durable async-job telemetry.
+	JobsSubmitted expvar.Int // jobs accepted by POST /v1/jobs
+	JobsCompleted expvar.Int // jobs reaching the done state
+	JobsFailed    expvar.Int // jobs reaching the failed state
+	JobsResumed   expvar.Int // jobs re-queued from a durable snapshot at startup
+	JobSnapshots  expvar.Int // progress snapshots persisted by job runs
+
 	// Overload-protection telemetry: requests shed by the admission queue
 	// (429 deadline-aware, 503 saturation) and requests whose client went
 	// away before completion (queue abandonment or mid-compute cancel).
@@ -153,6 +160,13 @@ func (m *Metrics) Snapshot() map[string]any {
 		"uncertainty_cache": map[string]int64{
 			"hits": m.UncertaintyHits.Value(),
 			"runs": m.UncertaintyRuns.Value(),
+		},
+		"jobs": map[string]int64{
+			"submitted": m.JobsSubmitted.Value(),
+			"completed": m.JobsCompleted.Value(),
+			"failed":    m.JobsFailed.Value(),
+			"resumed":   m.JobsResumed.Value(),
+			"snapshots": m.JobSnapshots.Value(),
 		},
 		"latency_ms": map[string]any{
 			"sum":     m.LatencySumMS.Value(),

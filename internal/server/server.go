@@ -8,7 +8,8 @@
 //
 // Endpoint groups (see docs/API.md for the wire formats):
 //
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness (process up)
+//	GET  /readyz                   readiness (503 during job recovery and drain)
 //	GET  /v1/metrics               request/latency/cache counters (expvar-backed)
 //	GET  /v1/cmos[?node=N]         CMOS node-scaling model
 //	POST /v1/csr                   CSR decomposition of chip observations
@@ -19,6 +20,9 @@
 //	GET  /v1/workloads             kernels /v1/sweep accepts
 //	GET  /v1/experiments           experiment registry
 //	GET  /v1/experiments/{id}      one experiment, machine-readable
+//	POST /v1/jobs                  submit a durable async job (uncertainty | sweep)
+//	GET  /v1/jobs                  list jobs, including those recovered after a crash
+//	GET  /v1/jobs/{id}             job state, progress, and result
 //
 // Every /v1 endpoint (except /v1/metrics) flows through panic recovery,
 // access logging, per-route metrics, a hard request timeout, and a
@@ -37,6 +41,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"accelwall/internal/core"
@@ -85,6 +90,20 @@ type Options struct {
 	// (<= 0: 15 s).
 	ShutdownTimeout time.Duration
 
+	// JobsDir enables the durable async-job API (POST /v1/jobs): job
+	// manifests, progress snapshots, and results are persisted here
+	// (directory 0700, files 0600), and jobs found on startup are
+	// re-listed and resumed from their last snapshot. Empty disables the
+	// jobs endpoints. New fails if the directory cannot be created or is
+	// not writable.
+	JobsDir string
+
+	// MaxJobs bounds tracked jobs — queued, running, and finished
+	// together. A submission at the bound evicts the oldest finished job
+	// (and its files) or, if every job is still live, is rejected with
+	// 429 (<= 0: 64).
+	MaxJobs int
+
 	// Logger receives access logs and panics; nil silences logging.
 	Logger *log.Logger
 }
@@ -112,6 +131,9 @@ func (o *Options) normalize() {
 	if o.ShutdownTimeout <= 0 {
 		o.ShutdownTimeout = 15 * time.Second
 	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 64
+	}
 }
 
 // Server is the accelwalld HTTP server: routing plus the process-lifetime
@@ -123,12 +145,16 @@ type Server struct {
 	studies     *studyCache
 	uncertainty *uncertaintyCache
 	adm         *admission
+	jobs        *jobManager // nil unless Options.JobsDir is set
+	draining    atomic.Bool // set once a graceful drain begins; gates /readyz
 	handler     http.Handler
 }
 
 // New builds a server; no model state is fitted until the first request
-// needs it.
-func New(opts Options) *Server {
+// needs it. With Options.JobsDir set, the jobs directory is created and
+// write-probed here — an unusable path refuses to start the server
+// instead of failing the first snapshot minutes into a job.
+func New(opts Options) (*Server, error) {
 	opts.normalize()
 	s := &Server{
 		opts:    opts,
@@ -138,9 +164,27 @@ func New(opts Options) *Server {
 	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
 	s.studies = newStudyCache(s.metrics)
 	s.uncertainty = newUncertaintyCache(0, s.metrics)
+	if opts.JobsDir != "" {
+		jm, err := newJobManager(s, opts.JobsDir, opts.MaxJobs)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = jm
+	}
 	s.handler = s.routes()
 	s.metrics.publish()
-	return s
+	return s, nil
+}
+
+// Close stops the job subsystem, if any: running jobs are interrupted
+// (each leaves a final resumable snapshot) and their goroutines waited
+// out. Serve performs this itself during a graceful drain; Close is for
+// embedders and tests that use Handler directly.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.interrupt()
+		s.jobs.waitAll()
+	}
 }
 
 // study returns the fitted study for a configuration, memoized across
@@ -174,9 +218,20 @@ func (s *Server) routes() http.Handler {
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/experiments/{id}", s.handleExperiment)
 
+	// Async jobs: instrumented but not throttled. Submission and polling
+	// are cheap metadata operations — the compute happens in the job
+	// runner, off the request path — and they must stay responsive when
+	// the synchronous endpoints are saturated, which is exactly when
+	// clients reach for async jobs.
+	api.Handle("POST /v1/jobs", s.instrument("POST /v1/jobs", http.HandlerFunc(s.handleJobSubmit)))
+	api.Handle("GET /v1/jobs", s.instrument("GET /v1/jobs", http.HandlerFunc(s.handleJobList)))
+	api.Handle("GET /v1/jobs/{id}", s.instrument("GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet)))
+
 	// Observability: instrumented but never throttled or timed out, so
-	// probes stay truthful under saturation.
+	// probes stay truthful under saturation. /healthz is pure liveness;
+	// /readyz adds recovery and drain state for load balancers.
 	api.Handle("GET /healthz", s.instrument("GET /healthz", http.HandlerFunc(s.handleHealthz)))
+	api.Handle("GET /readyz", s.instrument("GET /readyz", http.HandlerFunc(s.handleReadyz)))
 	api.Handle("GET /v1/metrics", s.instrument("GET /v1/metrics", http.HandlerFunc(s.handleMetrics)))
 	return api
 }
@@ -200,6 +255,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness first so probes stop routing traffic, then interrupt
+	// running jobs — their engines stop within one work chunk and persist
+	// a final snapshot the next process resumes from — while the HTTP
+	// side drains in parallel.
+	s.draining.Store(true)
+	if s.jobs != nil {
+		s.jobs.interrupt()
+	}
 	s.logf("shutting down: draining in-flight requests (timeout %s)", s.opts.ShutdownTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
 	defer cancel()
@@ -207,6 +270,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	<-errc // srv.Serve has returned http.ErrServerClosed
+	if s.jobs != nil {
+		if err := s.jobs.wait(drainCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -18,7 +18,12 @@ import (
 // newTestServer builds a quiet server with test-friendly limits.
 func newTestServer(t *testing.T, opts Options) *Server {
 	t.Helper()
-	return New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
 }
 
 // get fetches a URL and returns status + body.

@@ -1,0 +1,280 @@
+// Checkpointed design-space sweeps: durable snapshots of the completed
+// unique-design prefix, and bit-identical resume from them.
+//
+// The unit of durable work is the deduplicated unique-design list in its
+// deterministic enumeration order — the same list every parallel sweep
+// iterates — so a snapshot is just the simulation results of a prefix of
+// that list. The simulator is deterministic per design, which makes a
+// restored slot indistinguishable from a recomputed one; only successful
+// slots ever enter the durable prefix (an errored design pins the prefix
+// behind it so the resumed run retries it).
+package sweep
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/checkpoint"
+	"accelwall/internal/dfg"
+)
+
+// Checkpoint configures durable progress snapshots for one sweep. The
+// zero value (and a nil pointer) disables checkpointing entirely.
+type Checkpoint struct {
+	// Sink receives encoded snapshots (typically a *checkpoint.Log).
+	Sink checkpoint.Sink
+	// Every is the snapshot cadence in completed-prefix design points
+	// (<= 0 selects checkpoint.DefaultEvery).
+	Every int
+	// Resume, when non-nil, is a snapshot payload from a previous sweep of
+	// the SAME workload graph and grid; its design points are restored
+	// instead of resimulated. A mismatched or corrupt payload errors —
+	// resuming the wrong sweep must never silently blend results.
+	Resume []byte
+	// OnError receives the save failure that stopped further snapshots;
+	// the sweep itself continues. nil discards it.
+	OnError func(error)
+}
+
+// Named snapshot decode causes.
+var (
+	// ErrSnapshotVersion: the payload was written by an incompatible build.
+	ErrSnapshotVersion = errors.New("sweep: unsupported snapshot version")
+	// ErrSnapshotMismatch: the payload belongs to a different workload or grid.
+	ErrSnapshotMismatch = errors.New("sweep: snapshot does not match this sweep")
+	// ErrSnapshotCorrupt: the payload is structurally broken.
+	ErrSnapshotCorrupt = errors.New("sweep: corrupt snapshot payload")
+)
+
+const snapshotVersion = 1
+
+// sweepDigest fingerprints everything that determines the unique-design
+// results: the compiled workload's identity (name plus graph shape, which
+// also pins the partition plateau) and every unique design in order. Worker
+// count is deliberately excluded — it never changes results, so a snapshot
+// taken at 8 workers resumes fine at 1.
+func sweepDigest(c *aladdin.Compiled, uniques []aladdin.Design) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(c.Name()))
+	st := c.Stats()
+	put(uint64(st.V))
+	put(uint64(st.E))
+	put(uint64(st.VCmp))
+	put(uint64(st.Depth))
+	put(uint64(len(uniques)))
+	for _, d := range uniques {
+		put(math.Float64bits(d.NodeNM))
+		put(uint64(d.Partition))
+		put(uint64(d.Simplification))
+		if d.Fusion {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(math.Float64bits(d.ClockGHz))
+		put(uint64(d.MemoryBanks))
+	}
+	return h.Sum64()
+}
+
+// resultWords is the per-slot record width in 8-byte words: Cycles and
+// FusedOps as int64, then the seven float64 figures of merit.
+const resultWords = 9
+
+// encodeSweepSnapshot renders the first n unique-design results. Floats
+// are stored as raw IEEE-754 bits, so a restored slot is bit-identical to
+// the simulated one. Every slot below the durable prefix is successful by
+// construction (errored designs never advance it), so no per-slot flag is
+// framed; the Design itself is re-derived from the unique list on decode.
+func encodeSweepSnapshot(digest uint64, total int, results []aladdin.Result, n int) []byte {
+	buf := make([]byte, 0, 18+n*8*resultWords)
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+
+	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
+	u64(digest)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i++ {
+		r := results[i]
+		u64(uint64(r.Cycles))
+		u64(uint64(r.FusedOps))
+		f64(r.RuntimeNS)
+		f64(r.DynEnergy)
+		f64(r.LeakEnergy)
+		f64(r.Energy)
+		f64(r.Power)
+		f64(r.Area)
+		f64(r.Utilization)
+	}
+	return buf
+}
+
+// decodeSweepSnapshot validates payload against the sweep's digest and
+// unique-design count and returns the restored prefix length, filling
+// results[0:n] (with designs re-derived from uniques) and done[0:n].
+func decodeSweepSnapshot(digest uint64, uniques []aladdin.Design, results []aladdin.Result, done []bool, payload []byte) (int, error) {
+	r := &snapshotReader{b: payload}
+	if v := r.u16(); r.bad || v != snapshotVersion {
+		return 0, fmt.Errorf("%w: payload version %d, this build reads %d", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	if d := r.u64(); r.bad || d != digest {
+		return 0, fmt.Errorf("%w: workload/grid digest mismatch", ErrSnapshotMismatch)
+	}
+	total, n := int(r.u32()), int(r.u32())
+	if r.bad {
+		return 0, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
+	}
+	if total != len(uniques) {
+		return 0, fmt.Errorf("%w: payload covers %d unique designs, this sweep has %d", ErrSnapshotMismatch, total, len(uniques))
+	}
+	if n < 0 || n > total {
+		return 0, fmt.Errorf("%w: prefix %d outside [0, %d]", ErrSnapshotCorrupt, n, total)
+	}
+	for i := 0; i < n; i++ {
+		res := aladdin.Result{Design: uniques[i]}
+		res.Cycles = int(int64(r.u64()))
+		res.FusedOps = int(int64(r.u64()))
+		res.RuntimeNS = r.f64()
+		res.DynEnergy = r.f64()
+		res.LeakEnergy = r.f64()
+		res.Energy = r.f64()
+		res.Power = r.f64()
+		res.Area = r.f64()
+		res.Utilization = r.f64()
+		results[i] = res
+		done[i] = true
+	}
+	if r.bad {
+		return 0, fmt.Errorf("%w: truncated design records", ErrSnapshotCorrupt)
+	}
+	if r.off != len(payload) {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-r.off)
+	}
+	return n, nil
+}
+
+// SnapshotProgress reports how many of how many unique design points a
+// snapshot payload covers, without validating it against a sweep. Serving
+// layers use it to surface job progress.
+func SnapshotProgress(payload []byte) (done, total int, err error) {
+	r := &snapshotReader{b: payload}
+	if v := r.u16(); r.bad || v != snapshotVersion {
+		return 0, 0, ErrSnapshotVersion
+	}
+	r.u64() // digest
+	total = int(r.u32())
+	done = int(r.u32())
+	if r.bad || done < 0 || done > total {
+		return 0, 0, ErrSnapshotCorrupt
+	}
+	return done, total, nil
+}
+
+// snapshotReader is a bounds-checked little-endian cursor.
+type snapshotReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *snapshotReader) take(n int) []byte {
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *snapshotReader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *snapshotReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// RunParallelCheckpointed is RunParallelContext with durable progress
+// snapshots: the completed unique-design prefix is persisted through
+// ck.Sink at the configured cadence, a cancelled sweep leaves one final
+// snapshot behind, and ck.Resume restores a previous sweep's prefix
+// instead of resimulating it. The second return is how many unique designs
+// were restored rather than simulated (0 for cold runs). A nil ck (or nil
+// ck.Sink with no Resume) is exactly RunParallelContext.
+func RunParallelCheckpointed(ctx context.Context, g *dfg.Graph, p Params, workers int, ck *Checkpoint) ([]Point, int, error) {
+	if g == nil {
+		return nil, 0, errors.New("sweep: nil graph")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	r, err := newRunner(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	uniques := r.uniqueDesigns(p)
+	results := make([]aladdin.Result, len(uniques))
+	done := make([]bool, len(uniques))
+	errs := make([]error, len(uniques))
+	digest := sweepDigest(r.c, uniques)
+	start := 0
+	if ck != nil && len(ck.Resume) > 0 {
+		start, err = decodeSweepSnapshot(digest, uniques, results, done, ck.Resume)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var tr *checkpoint.Tracker
+	if ck != nil {
+		tr = checkpoint.NewTracker(ck.Sink, len(uniques), start, ck.Every,
+			func(n int) ([]byte, error) { return encodeSweepSnapshot(digest, len(uniques), results, n), nil },
+			ck.OnError)
+	}
+	simulatePool(ctx, r.c, uniques, results, errs, done, start, workers, tr)
+	if err := ctx.Err(); err != nil {
+		// The parting snapshot: whatever prefix is complete right now is
+		// what a restarted process (or a drained daemon) resumes from.
+		tr.Final()
+		return nil, 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	for i, k := range uniques {
+		r.cache[k] = results[i]
+	}
+	pts, err := r.points(ctx, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pts, start, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"accelwall/internal/aladdin"
+	"accelwall/internal/checkpoint"
 	"accelwall/internal/dfg"
 	"accelwall/internal/faultinject"
 )
@@ -58,16 +59,37 @@ func simulateOne(c *aladdin.Compiled, d aladdin.Design) (res aladdin.Result, err
 // With a live context, the first simulation error wins; remaining chunks
 // still drain (errors do not cancel the pool) but the error is reported.
 func simulateDesigns(ctx context.Context, c *aladdin.Compiled, designs []aladdin.Design, workers int) ([]aladdin.Result, []bool, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(designs) {
-		workers = len(designs)
-	}
 	results := make([]aladdin.Result, len(designs))
 	done := make([]bool, len(designs))
 	errs := make([]error, len(designs))
+	simulatePool(ctx, c, designs, results, errs, done, 0, workers, nil)
+	if err := ctx.Err(); err != nil {
+		return results, done, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, done, nil
+}
+
+// simulatePool is the shared worker pool under simulateDesigns and the
+// checkpointed runs: it fills results/errs/done for designs[start:],
+// claiming chunks from an atomic counter that begins at start (slots
+// below it must already hold restored results), and reports each
+// successful slot to the (possibly nil) checkpoint tracker so resumable
+// runs can persist their completed prefix as it grows.
+func simulatePool(ctx context.Context, c *aladdin.Compiled, designs []aladdin.Design,
+	results []aladdin.Result, errs []error, done []bool, start, workers int, tr *checkpoint.Tracker) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if remaining := len(designs) - start; workers > remaining {
+		workers = remaining
+	}
 	var next atomic.Int64
+	next.Store(int64(start))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -91,26 +113,23 @@ func simulateDesigns(ctx context.Context, c *aladdin.Compiled, designs []aladdin
 					}
 					results[i], errs[i] = simulateOne(c, designs[i])
 					done[i] = errs[i] == nil
+					if done[i] {
+						// Only successful slots checkpoint: an errored
+						// design must be retried by the resumed run, so it
+						// pins the durable prefix behind it.
+						tr.Complete(i)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return results, done, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	return results, done, nil
 }
 
-// simulateGrid populates the runner's cache with every distinct cache key
-// of the grid, distributing the unique simulations over a worker pool; only
-// cache assembly happens on the calling goroutine.
-func (r *runner) simulateGrid(ctx context.Context, p Params, workers int) error {
+// uniqueDesigns reduces the grid to its distinct cache keys in the
+// deterministic enumeration order — the unit of work of every parallel
+// sweep, and the identity a checkpoint snapshot is fingerprinted over.
+func (r *runner) uniqueDesigns(p Params) []aladdin.Design {
 	seen := make(map[aladdin.Design]bool)
 	var uniques []aladdin.Design
 	for _, d := range p.enumerate() {
@@ -119,6 +138,14 @@ func (r *runner) simulateGrid(ctx context.Context, p Params, workers int) error 
 			uniques = append(uniques, k)
 		}
 	}
+	return uniques
+}
+
+// simulateGrid populates the runner's cache with every distinct cache key
+// of the grid, distributing the unique simulations over a worker pool; only
+// cache assembly happens on the calling goroutine.
+func (r *runner) simulateGrid(ctx context.Context, p Params, workers int) error {
+	uniques := r.uniqueDesigns(p)
 	results, _, err := simulateDesigns(ctx, r.c, uniques, workers)
 	if err != nil {
 		return err

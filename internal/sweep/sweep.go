@@ -284,6 +284,27 @@ func Fig13Context(ctx context.Context, g *dfg.Graph, p Params, workers int) ([]F
 	if err != nil {
 		return nil, Point{}, err
 	}
+	return Fig13FromPoints(points)
+}
+
+// Fig13Checkpointed is Fig13Context with durable progress snapshots (see
+// RunParallelCheckpointed); the third return is how many unique design
+// points were restored from ck.Resume instead of simulated.
+func Fig13Checkpointed(ctx context.Context, g *dfg.Graph, p Params, workers int, ck *Checkpoint) ([]Fig13Row, Point, int, error) {
+	points, resumed, err := RunParallelCheckpointed(ctx, g, p, workers, ck)
+	if err != nil {
+		return nil, Point{}, 0, err
+	}
+	rows, best, err := Fig13FromPoints(points)
+	if err != nil {
+		return nil, Point{}, 0, err
+	}
+	return rows, best, resumed, nil
+}
+
+// Fig13FromPoints projects already-simulated sweep points onto the
+// Figure 13 rows plus the energy-efficiency optimum.
+func Fig13FromPoints(points []Point) ([]Fig13Row, Point, error) {
 	rows := make([]Fig13Row, 0, len(points))
 	for _, pt := range points {
 		rows = append(rows, Fig13Row{

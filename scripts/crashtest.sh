@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# crashtest.sh — end-to-end crash-recovery proof for accelwalld's durable
+# jobs, as a real process lifecycle rather than an in-process test:
+#
+#   1. build accelwalld and accelwall;
+#   2. start accelwalld with a jobs directory and submit a single-worker
+#      uncertainty job with a tight checkpoint cadence;
+#   3. wait until the job has made durable progress, then SIGKILL the
+#      daemon — no drain, no warning;
+#   4. restart accelwalld over the same directory, wait for /readyz,
+#      and poll the recovered job to completion;
+#   5. assert the job resumed (resumed > 0 — it did not restart cold)
+#      and that its result is byte-identical (jq -S canonicalized) to an
+#      uninterrupted `accelwall -uncertainty -json` reference run.
+#
+# Usage: scripts/crashtest.sh [port]   (default 18080)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:$PORT"
+REPLICATES=2000
+SEED=7
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$WORK/accelwalld" ./cmd/accelwalld
+go build -o "$WORK/accelwall" ./cmd/accelwall
+
+start_daemon() {
+  "$WORK/accelwalld" -addr "127.0.0.1:$PORT" -jobs "$WORK/jobs" -quiet &
+  DAEMON_PID=$!
+  disown "$DAEMON_PID" # suppress job-control noise when we kill -9 it
+  for _ in $(seq 1 200); do
+    if curl -sf "$BASE/readyz" > /dev/null 2>&1; then
+      return
+    fi
+    sleep 0.05
+  done
+  echo "daemon never became ready" >&2
+  exit 1
+}
+
+poll_job() { # poll_job ID JQ_PREDICATE TRIES
+  local id=$1 pred=$2 tries=$3
+  for _ in $(seq 1 "$tries"); do
+    if curl -s "$BASE/v1/jobs/$id" | jq -e "$pred" > /dev/null; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+echo "== start + submit =="
+start_daemon
+JOB=$(curl -sf "$BASE/v1/jobs" -d "{
+  \"kind\": \"uncertainty\", \"checkpoint_every\": 20,
+  \"uncertainty\": {\"replicates\": $REPLICATES, \"seed\": $SEED,
+                    \"corpus_seed\": $SEED, \"workers\": 1}
+}" | jq -r .id)
+echo "submitted $JOB"
+
+# Wait for real durable progress: at least one full checkpoint cadence.
+poll_job "$JOB" ".progress_done >= 40" 600 || {
+  echo "job never made progress"; curl -s "$BASE/v1/jobs/$JOB"; exit 1
+}
+
+echo "== kill -9 mid-run =="
+curl -s "$BASE/v1/jobs/$JOB" | jq '{state, progress_done, progress_total}'
+kill -9 "$DAEMON_PID"
+while kill -0 "$DAEMON_PID" 2>/dev/null; do sleep 0.01; done
+DAEMON_PID=""
+
+echo "== restart over the same jobs directory =="
+start_daemon
+
+# The job must be re-listed and must finish.
+curl -sf "$BASE/v1/jobs" | jq -e ".jobs | map(.id) | index(\"$JOB\") != null" > /dev/null || {
+  echo "restarted daemon does not list $JOB"; curl -s "$BASE/v1/jobs"; exit 1
+}
+poll_job "$JOB" '.state == "done"' 2400 || {
+  echo "recovered job never finished"; curl -s "$BASE/v1/jobs/$JOB"; exit 1
+}
+
+RESUMED=$(curl -s "$BASE/v1/jobs/$JOB" | jq .resumed)
+echo "job done; resumed $RESUMED replicates from the snapshot"
+if [ "$RESUMED" = "null" ] || [ "$RESUMED" -le 0 ]; then
+  echo "FAIL: job restarted cold instead of resuming" >&2
+  exit 1
+fi
+
+echo "== compare against an uninterrupted reference run =="
+curl -s "$BASE/v1/jobs/$JOB" | jq -S .result > "$WORK/job.json"
+"$WORK/accelwall" -uncertainty -json -replicates "$REPLICATES" \
+  -seed "$SEED" | jq -S . > "$WORK/ref.json"
+if ! diff -u "$WORK/ref.json" "$WORK/job.json"; then
+  echo "FAIL: resumed job result differs from the uninterrupted run" >&2
+  exit 1
+fi
+
+echo "PASS: killed daemon resumed $JOB from replicate $RESUMED and produced"
+echo "      output byte-identical to an uninterrupted run."
