@@ -5,6 +5,7 @@
 package accelwall_test
 
 import (
+	"fmt"
 	"testing"
 
 	accelwall "accelwall"
@@ -97,6 +98,113 @@ func BenchmarkTable3(b *testing.B) {
 		}
 	}
 }
+// benchGridDesigns enumerates the raw Table III lattice (3,640 points) for
+// the batch-evaluator benches, mirroring the sweep's axis nesting.
+func benchGridDesigns(p sweep.Params) []aladdin.Design {
+	var designs []aladdin.Design
+	for _, n := range p.Nodes {
+		for _, f := range p.Fusion {
+			for _, s := range p.Simplifications {
+				for _, part := range p.Partitions {
+					designs = append(designs, aladdin.Design{NodeNM: n, Partition: part, Simplification: s, Fusion: f})
+				}
+			}
+		}
+	}
+	return designs
+}
+
+// BenchmarkBatch contrasts the per-call and the batch evaluation paths over
+// the full Table III lattice on S3D: a warm sequential Simulate loop, warm
+// SimulateBatchInto at lane counts 1/8/32, and the cold path (fresh Compile
+// each iteration) that additionally reports the incremental schedule-reuse
+// rate a from-scratch sweep achieves.
+func BenchmarkBatch(b *testing.B) {
+	spec, err := workloads.ByAbbrev("S3D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	designs := benchGridDesigns(sweep.Default())
+	results := make([]aladdin.Result, len(designs))
+	errs := make([]error, len(designs))
+	chunks := func(c *aladdin.Compiled, k int) {
+		for lo := 0; lo < len(designs); lo += k {
+			hi := min(lo+k, len(designs))
+			c.SimulateBatchInto(designs[lo:hi], results[lo:hi], errs[lo:hi])
+		}
+	}
+	reportPoints := func(b *testing.B) {
+		b.ReportMetric(float64(b.N*len(designs))/b.Elapsed().Seconds(), "points/sec")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		c, err := aladdin.Compile(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range designs { // warm the schedule cache
+			if _, err := c.Simulate(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range designs {
+				if _, err := c.Simulate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPoints(b)
+	})
+	for _, k := range []int{1, 8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("batched/K=%d", k), func(b *testing.B) {
+			c, err := aladdin.Compile(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunks(c, k) // warm the schedule cache
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chunks(c, k)
+			}
+			reportPoints(b)
+		})
+	}
+	b.Run("cold", func(b *testing.B) {
+		var walks, hits uint64
+		for i := 0; i < b.N; i++ {
+			c, err := aladdin.Compile(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunks(c, 32)
+			w, h := c.ScheduleCacheStats()
+			walks += w
+			hits += h
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+		reportPoints(b)
+		if walks+hits > 0 {
+			b.ReportMetric(float64(hits)/float64(walks+hits)*100, "reuse-%")
+		}
+	})
+}
+
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
 func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }

@@ -1,0 +1,217 @@
+package aladdin
+
+import (
+	"fmt"
+
+	"accelwall/internal/cmos"
+	"accelwall/internal/faultinject"
+)
+
+// SiteLane is the fault-injection seam inside the batch evaluator, hit
+// once per lane before the lane's design is simulated. Chaos tests arm it
+// to prove a panicking or erroring lane cannot poison its siblings in the
+// same batch or leak the shared pooled scratch.
+var SiteLane = faultinject.Register("aladdin.lane")
+
+// maxSchedSummaries bounds the per-Compiled schedule-class cache. Table III
+// style lattices collapse to on the order of a hundred classes, so 256
+// keeps every class of a realistic sweep resident while bounding memory on
+// adversarial design streams; replacement is round-robin.
+const maxSchedSummaries = 256
+
+// schedKey identifies a schedule class: the complete set of design knobs
+// the scheduling walk can observe. Metrics knobs (NodeNM except through
+// window, ClockGHz) are deliberately absent — designs differing only in
+// them share one walk. The window is normalized to 1 whenever chaining is
+// structurally impossible (deep pipelining, or a graph with no single-cycle
+// compute op), collapsing those classes together.
+type schedKey struct {
+	partition int
+	banks     int
+	extra     int
+	window    int
+}
+
+// schedSummary is the design-independent outcome of one scheduling walk:
+// everything finishResult needs (cycles, op counts, the per-node chained
+// flags driving the fused energy discount) plus the saturation facts that
+// let the summary stand in for other lane capacities.
+//
+// The saturation argument: the walk consults partition and banks only in
+// the contention probe's two skip branches, and both branches have the
+// identical observable effect (advance the candidate cycle by one). A walk
+// where the datapath branch never fired (dpSkipped false) would replay
+// move-for-move under ANY partition ≥ its high-water per-cycle lane
+// occupancy maxLane, because no probe ever observed the capacity; likewise
+// for banks/maxMem independently. Summaries are immutable once built.
+type schedSummary struct {
+	key         schedKey
+	cycles      int
+	issuedOps   int
+	fusedOps    int
+	maxLane     int
+	maxMem      int
+	dpSkipped   bool
+	bankSkipped bool
+	chained     []bool
+}
+
+// matches reports whether a walk under k would be move-for-move identical
+// to the walk this summary records. Exact key equality always matches;
+// beyond that, each capacity knob may differ independently when this
+// summary's walk never saturated it (see the type comment).
+func (s *schedSummary) matches(k schedKey) bool {
+	if k.extra != s.key.extra || k.window != s.key.window {
+		return false
+	}
+	if k.partition != s.key.partition && (s.dpSkipped || k.partition < s.maxLane) {
+		return false
+	}
+	if k.banks != s.key.banks && (s.bankSkipped || k.banks < s.maxMem) {
+		return false
+	}
+	return true
+}
+
+// walkKey derives the schedule class of a design. d must already carry its
+// ClockGHz default; banks defaulting is replicated here and in finishResult
+// so the key never depends on the caller's spelling.
+func (c *Compiled) walkKey(d Design, node cmos.Node) schedKey {
+	banks := d.MemoryBanks
+	if banks == 0 {
+		banks = d.Partition
+	}
+	extra := extraLatency(d.Simplification)
+	window := fusionWindow(node, d.Fusion)
+	// Chaining requires a registered-free unit (extra == 0) and at least one
+	// single-cycle compute op; otherwise the window is unobservable.
+	if extra > 0 || !c.hasCheap {
+		window = 1
+	}
+	return schedKey{partition: d.Partition, banks: banks, extra: extra, window: window}
+}
+
+// lookupSched returns a cached summary whose walk is move-for-move
+// identical to the key's, or nil.
+func (c *Compiled) lookupSched(key schedKey) *schedSummary {
+	c.schedMu.RLock()
+	defer c.schedMu.RUnlock()
+	for _, s := range c.scheds {
+		if s.matches(key) {
+			c.schedHits.Add(1)
+			return s
+		}
+	}
+	return nil
+}
+
+// storeSched inserts a freshly walked summary, deduplicating exact keys
+// and evicting round-robin once the cache is full.
+func (c *Compiled) storeSched(sum *schedSummary) {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	for _, s := range c.scheds {
+		if s.key == sum.key {
+			return
+		}
+	}
+	if len(c.scheds) < maxSchedSummaries {
+		c.scheds = append(c.scheds, sum)
+		return
+	}
+	c.scheds[c.schedClock] = sum
+	c.schedClock = (c.schedClock + 1) % maxSchedSummaries
+}
+
+// ScheduleCacheStats reports how many full scheduling walks the engine has
+// executed and how many designs were served from a cached or reused
+// schedule summary instead. The ratio hits/(walks+hits) is the incremental
+// reuse rate of a sweep.
+func (c *Compiled) ScheduleCacheStats() (walks, hits uint64) {
+	return c.schedWalks.Load(), c.schedHits.Load()
+}
+
+// batchState is one lane's struct-of-arrays slot in a batch: the shared
+// pooled scratch and the previous lane's summary, which is the lock-free
+// incremental fast path — adjacent grid points usually differ in a metrics
+// knob or sit on the same capacity plateau, so the previous summary
+// frequently matches without touching the shared cache.
+type batchState struct {
+	s    *scratch
+	last *schedSummary
+}
+
+// simulateLane evaluates one lane of a batch. A panic anywhere inside the
+// lane (including an injected one) is contained to the lane: the shared
+// scratch, possibly mid-schedule, is abandoned and replaced with a fresh
+// allocation so sibling lanes and the pool never observe poisoned state.
+func (c *Compiled) simulateLane(bs *batchState, d Design) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			bs.s = c.newScratch()
+			err = fmt.Errorf("aladdin: batch lane panic on %+v: %v", d, v)
+		}
+	}()
+	if ferr := faultinject.Hit(SiteLane); ferr != nil {
+		return Result{}, fmt.Errorf("aladdin: %w", ferr)
+	}
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if d.ClockGHz == 0 {
+		d.ClockGHz = 1
+	}
+	node := cmos.MustLookup(d.NodeNM)
+	key := c.walkKey(d, node)
+	if bs.last != nil && bs.last.matches(key) {
+		c.schedHits.Add(1)
+		return c.finishResult(d, node, bs.last), nil
+	}
+	if sum := c.lookupSched(key); sum != nil {
+		bs.last = sum
+		return c.finishResult(d, node, sum), nil
+	}
+	sum, _, err := c.walk(key, bs.s, false)
+	if err != nil {
+		return Result{}, err
+	}
+	c.storeSched(sum)
+	bs.last = sum
+	return c.finishResult(d, node, sum), nil
+}
+
+// SimulateBatchInto advances every design in lockstep order over the
+// shared compiled topology, writing results[i] and errs[i] for designs[i].
+// One pooled scratch serves the whole batch, so in steady state the call
+// allocates nothing. Each lane is independent: a failing or panicking lane
+// records its error and leaves every sibling untouched. The slices must
+// have len(designs); results are bit-identical to sequential Simulate
+// calls on the same Compiled.
+func (c *Compiled) SimulateBatchInto(designs []Design, results []Result, errs []error) {
+	if len(results) != len(designs) || len(errs) != len(designs) {
+		panic("aladdin: SimulateBatchInto slice length mismatch")
+	}
+	if len(designs) == 0 {
+		return
+	}
+	bs := batchState{s: c.pool.Get().(*scratch)}
+	for i, d := range designs {
+		results[i], errs[i] = c.simulateLane(&bs, d)
+	}
+	c.pool.Put(bs.s)
+}
+
+// SimulateBatch evaluates K designs in lockstep and returns their results
+// in order. If any lane failed, the first failure is returned alongside
+// the partial results (failed lanes hold zero Results).
+func (c *Compiled) SimulateBatch(designs []Design) ([]Result, error) {
+	results := make([]Result, len(designs))
+	errs := make([]error, len(designs))
+	c.SimulateBatchInto(designs, results, errs)
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("aladdin: batch lane %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,231 @@
+package aladdin
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"accelwall/internal/dfg"
+	"accelwall/internal/faultinject"
+	"accelwall/internal/leakcheck"
+	"accelwall/internal/workloads"
+)
+
+// buildWorkload compiles one Table IV workload graph for batch tests.
+func buildWorkload(t *testing.T, abbrev string, n int) *dfg.Graph {
+	t.Helper()
+	spec, err := workloads.ByAbbrev(abbrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSimulateBatchMatchesSequential pins the tentpole invariant at the
+// engine level: SimulateBatch over the full design axes is bit-identical
+// to the same designs run through sequential Simulate calls, for every
+// Table IV workload. Separate Compiled instances isolate the two paths so
+// neither can serve the other's schedule cache.
+func TestSimulateBatchMatchesSequential(t *testing.T) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Abbrev, func(t *testing.T) {
+			g, err := spec.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bat, err := Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			designs := equivalenceDesigns()
+			want := make([]Result, len(designs))
+			for i, d := range designs {
+				if want[i], err = seq.Simulate(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := bat.SimulateBatch(designs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("lane %d (%+v):\nbatch      %+v\nsequential %+v", i, designs[i], got[i], want[i])
+				}
+			}
+			walks, hits := bat.ScheduleCacheStats()
+			if hits == 0 {
+				t.Error("batch run reused no schedule summaries")
+			}
+			if walks >= uint64(len(designs)) {
+				t.Errorf("no walk amortization: %d walks for %d designs", walks, len(designs))
+			}
+		})
+	}
+}
+
+// TestSimulateBatchLanePanicIsolation arms the lane seam with
+// deterministic panics and asserts the failure is contained lane by lane:
+// every third lane errors, every sibling lane's result stays bit-identical
+// to the unfaulted reference, and once the injector is gone the same
+// Compiled (same pool, same cache) reproduces the reference exactly —
+// proving neither the shared scratch nor the schedule cache was poisoned.
+func TestSimulateBatchLanePanicIsolation(t *testing.T) {
+	leakcheck.Check(t)
+	g := buildWorkload(t, "FFT", 0)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := equivalenceDesigns()
+	want := make([]Result, len(designs))
+	for i, d := range designs {
+		if want[i], err = ref.Simulate(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	faultinject.Enable(faultinject.New(1).Set(SiteLane, faultinject.Rule{
+		Mode: faultinject.ModePanic, Every: 3,
+	}))
+	defer faultinject.Disable()
+	results := make([]Result, len(designs))
+	errs := make([]error, len(designs))
+	c.SimulateBatchInto(designs, results, errs)
+	for i := range designs {
+		if (i+1)%3 == 0 {
+			if errs[i] == nil {
+				t.Fatalf("lane %d: injected panic produced no error", i)
+			}
+			if !strings.Contains(errs[i].Error(), "batch lane panic") {
+				t.Fatalf("lane %d: unexpected error %v", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("sibling lane %d failed: %v", i, errs[i])
+		}
+		if results[i] != want[i] {
+			t.Fatalf("sibling lane %d diverged after neighboring panic:\n got %+v\nwant %+v", i, results[i], want[i])
+		}
+	}
+
+	faultinject.Disable()
+	again, err := c.SimulateBatch(designs)
+	if err != nil {
+		t.Fatalf("post-chaos batch failed: %v", err)
+	}
+	for i := range again {
+		if again[i] != want[i] {
+			t.Fatalf("post-chaos lane %d diverged", i)
+		}
+	}
+}
+
+// TestSimulateBatchLaneError: an injected lane error surfaces through
+// SimulateBatch as the first failure, wrapping the injection sentinel and
+// naming the lane.
+func TestSimulateBatchLaneError(t *testing.T) {
+	g := buildWorkload(t, "RED", 32)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.New(1).Set(SiteLane, faultinject.Rule{
+		Mode: faultinject.ModeError, Every: 2,
+	}))
+	defer faultinject.Disable()
+	_, err = c.SimulateBatch(equivalenceDesigns()[:4])
+	if err == nil {
+		t.Fatal("injected lane error vanished")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error does not wrap ErrInjected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "batch lane 1") {
+		t.Fatalf("error does not name the failing lane: %v", err)
+	}
+}
+
+// TestSimulateBatchInvalidLane: an invalid design fails its own lane only.
+func TestSimulateBatchInvalidLane(t *testing.T) {
+	g := buildWorkload(t, "RED", 32)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Design{NodeNM: 45, Partition: 4, Simplification: 1}
+	want, err := c.Simulate(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := []Design{good, {NodeNM: 45, Partition: 0, Simplification: 1}, good}
+	results := make([]Result, 3)
+	errs := make([]error, 3)
+	c.SimulateBatchInto(designs, results, errs)
+	if errs[1] == nil {
+		t.Fatal("invalid lane did not error")
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid lanes errored: %v, %v", errs[0], errs[2])
+	}
+	if results[0] != want || results[2] != want {
+		t.Fatal("valid lanes diverged around an invalid sibling")
+	}
+}
+
+// TestSimulateBatchIntoLengthMismatch pins the misuse guard.
+func TestSimulateBatchIntoLengthMismatch(t *testing.T) {
+	g := buildWorkload(t, "RED", 32)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	c.SimulateBatchInto(make([]Design, 2), make([]Result, 1), make([]error, 2))
+}
+
+// TestSimulateBatchSteadyStateAllocs is the allocs-per-op regression gate
+// on the batch path: once the schedule cache and scratch pool are warm, a
+// whole batch must not grow the heap at all.
+func TestSimulateBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse")
+	}
+	g := buildWorkload(t, "FFT", 0)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := equivalenceDesigns()[:8]
+	results := make([]Result, len(designs))
+	errs := make([]error, len(designs))
+	c.SimulateBatchInto(designs, results, errs) // warm cache + pool
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		c.SimulateBatchInto(designs, results, errs)
+	}); avg != 0 {
+		t.Errorf("warm SimulateBatchInto allocates %.1f objects per batch, want 0", avg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"accelwall/internal/cmos"
 	"accelwall/internal/dfg"
@@ -122,6 +123,7 @@ type Compiled struct {
 	stats      dfg.Stats
 	mixArea    float64 // TotalArea / VCmp: average functional-unit mix per lane
 	numCompute int
+	hasCheap   bool // any single-cycle compute op: chaining is possible at all
 
 	// Critical-path priorities depend on the design only through the
 	// pipeline-depth penalty extraLatency(Simplification), which takes
@@ -133,6 +135,19 @@ type Compiled struct {
 	rank     [numExtraClasses][]int32
 
 	pool sync.Pool // of *scratch
+
+	// Schedule-class cache (see batch.go): the scheduling walk depends on
+	// the design only through its schedKey, and the saturation argument in
+	// schedSummary.matches lets one walk stand in for every lane-capacity
+	// plateau above its high-water occupancy. Summaries are immutable once
+	// stored; the slice is guarded by schedMu and bounded by
+	// maxSchedSummaries with round-robin replacement.
+	schedMu    sync.RWMutex
+	scheds     []*schedSummary
+	schedClock int
+
+	schedWalks atomic.Uint64 // full scheduling walks executed
+	schedHits  atomic.Uint64 // designs served from a cached/reused summary
 }
 
 // scratch is the reusable per-simulation working memory.
@@ -177,6 +192,9 @@ func Compile(g *dfg.Graph) (*Compiled, error) {
 			c.energy[nd.ID] = nd.Op.Energy()
 			c.isMem[nd.ID] = nd.Op == dfg.OpLoad || nd.Op == dfg.OpStore
 			c.cheap[nd.ID] = nd.Op.Latency() == 1
+			if c.cheap[nd.ID] {
+				c.hasCheap = true
+			}
 			c.numCompute++
 			if l := nd.Op.Latency(); l > maxLat {
 				maxLat = l
@@ -212,16 +230,21 @@ func Compile(g *dfg.Graph) (*Compiled, error) {
 	if c.stats.VCmp > 0 {
 		c.mixArea = g.TotalArea() / float64(c.stats.VCmp)
 	}
-	c.pool.New = func() any {
-		return &scratch{
-			start:     make([]int, n),
-			finish:    make([]int, n),
-			chain:     make([]int, n),
-			pending:   make([]int, n),
-			scheduled: make([]bool, n),
-		}
-	}
+	c.pool.New = func() any { return c.newScratch() }
 	return c, nil
+}
+
+// newScratch allocates a fresh walk scratch for the compiled graph. It is
+// the pool's New hook and the replacement path when a panicking lane
+// abandons a possibly mid-schedule scratch (see simulateLane).
+func (c *Compiled) newScratch() *scratch {
+	return &scratch{
+		start:     make([]int, c.n),
+		finish:    make([]int, c.n),
+		chain:     make([]int, c.n),
+		pending:   make([]int, c.n),
+		scheduled: make([]bool, c.n),
+	}
 }
 
 // Name returns the compiled graph's name.
@@ -332,9 +355,12 @@ func growTo(s []int, i int) []int {
 }
 
 // simulate is the single scheduling core behind every Simulate and Trace
-// entry point; with capture set it records per-operation slots. It runs the
-// longest-path-first list scheduler over pooled scratch buffers with no
-// graph traversal: all structure comes from the compiled CSR slices.
+// entry point; with capture set it records per-operation slots. The work
+// splits in two: walk runs the longest-path-first list scheduler (the part
+// that depends on the design only through its schedule class), and
+// finishResult derives the per-design metrics from the walk's summary.
+// Without capture, a design whose class has already been walked skips the
+// scheduler entirely and pays only the metric derivation.
 func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 	if err := d.Validate(); err != nil {
 		return Result{}, nil, err
@@ -343,16 +369,38 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 		d.ClockGHz = 1
 	}
 	node := cmos.MustLookup(d.NodeNM)
-	window := fusionWindow(node, d.Fusion)
-	extra := extraLatency(d.Simplification)
-	banks := d.MemoryBanks
-	if banks == 0 {
-		banks = d.Partition
+	key := c.walkKey(d, node)
+	if !capture {
+		if sum := c.lookupSched(key); sum != nil {
+			return c.finishResult(d, node, sum), nil, nil
+		}
 	}
-	rank := c.ranks(extra)
-
 	s := c.pool.Get().(*scratch)
-	defer c.pool.Put(s)
+	sum, slots, err := c.walk(key, s, capture)
+	// The scratch is re-pooled only after a clean walk: a panic below
+	// propagates past this point and the possibly mid-schedule scratch is
+	// dropped for the collector instead of poisoning the pool.
+	c.pool.Put(s)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	c.storeSched(sum)
+	return c.finishResult(d, node, sum), slots, nil
+}
+
+// walk runs the longest-path-first list scheduler for one schedule class
+// over pooled scratch buffers with no graph traversal: all structure comes
+// from the compiled CSR slices. It returns the class's schedule summary —
+// everything finishResult needs plus the saturation facts (high-water lane
+// and bank occupancy, whether any contention skip fired) that let the
+// summary stand in for other lane capacities. With capture set it also
+// records per-operation slots.
+func (c *Compiled) walk(key schedKey, s *scratch, capture bool) (*schedSummary, []OpSlot, error) {
+	partition, banks := key.partition, key.banks
+	extra, window := key.extra, key.window
+	rank := c.ranks(extra)
+	c.schedWalks.Add(1)
+
 	start, finish, chain, pending := s.start, s.finish, s.chain, s.pending
 	scheduledCount := 0
 	for i := 0; i < c.n; i++ {
@@ -381,6 +429,8 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 	lanesHi, memHi := 0, 0 // exclusive high-water marks for cheap reset
 	issuedOps := 0
 	fusedOps := 0
+	maxLane, maxMem := 0, 0 // high-water per-cycle occupancy
+	dpSkipped, bankSkipped := false, false
 
 	for len(q) > 0 {
 		var nid int32
@@ -451,13 +501,18 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 		if !chained {
 			// Find a cycle at or after earliest with a free lane — and,
 			// for memory operations, a free bank port. Cycles beyond the
-			// occupancy arrays' lengths are untouched, i.e. free.
+			// occupancy arrays' lengths are untouched, i.e. free. The skip
+			// flags record whether either capacity was ever binding: a walk
+			// that never skipped replays identically under any capacity at
+			// or above its high-water occupancy (see schedSummary.matches).
 			for {
-				if issue < len(lanes) && lanes[issue] >= d.Partition {
+				if issue < len(lanes) && lanes[issue] >= partition {
+					dpSkipped = true
 					issue++
 					continue
 				}
 				if isMem && issue < len(memLanes) && memLanes[issue] >= banks {
+					bankSkipped = true
 					issue++
 					continue
 				}
@@ -465,12 +520,18 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 			}
 			lanes = growTo(lanes, issue)
 			lanes[issue]++
+			if lanes[issue] > maxLane {
+				maxLane = lanes[issue]
+			}
 			if issue+1 > lanesHi {
 				lanesHi = issue + 1
 			}
 			if isMem {
 				memLanes = growTo(memLanes, issue)
 				memLanes[issue]++
+				if memLanes[issue] > maxMem {
+					maxMem = memLanes[issue]
+				}
 				if issue+1 > memHi {
 					memHi = issue + 1
 				}
@@ -507,7 +568,7 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 	if scheduledCount != c.n {
 		for i := 0; i < c.n; i++ {
 			if !s.scheduled[i] {
-				return Result{}, nil, fmt.Errorf("aladdin: scheduler failed to place vertex %d (graph not validated?)", i)
+				return nil, nil, fmt.Errorf("aladdin: scheduler failed to place vertex %d (graph not validated?)", i)
 			}
 		}
 	}
@@ -515,32 +576,19 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 		maxCycle = 1
 	}
 
-	// Energy, area, power from the schedule. The summation iterates nodes
-	// in ID order, matching the pre-compiled engine bit for bit.
-	eScale := energyScale(d.Simplification) * node.DynEnergy()
-	var dynEnergy float64
-	for i := 0; i < c.n; i++ {
-		if !c.isCompute[i] {
-			continue
-		}
-		e := c.energy[i] * eScale
-		if chain[i] > 0 {
-			e *= fusedEnergyScale
-		}
-		dynEnergy += e
+	sum := &schedSummary{
+		key:         key,
+		cycles:      maxCycle,
+		issuedOps:   issuedOps,
+		fusedOps:    fusedOps,
+		maxLane:     maxLane,
+		maxMem:      maxMem,
+		dpSkipped:   dpSkipped,
+		bankSkipped: bankSkipped,
+		chained:     make([]bool, c.n),
 	}
-	// Lane area: each lane carries the workload's average functional-unit
-	// mix; storage covers the largest working set.
-	area := (float64(d.Partition)*c.mixArea + float64(banks)*bankArea + float64(c.stats.MaxWS)*regArea) * areaScale(d.Simplification)
-
-	cycleNS := 1 / (d.ClockGHz * node.Freq)
-	runtime := float64(maxCycle) * cycleNS
-	leakEnergy := leakPerAreaNS * area * node.LeakPower() * runtime
-	energy := dynEnergy + leakEnergy
-
-	util := 0.0
-	if maxCycle > 0 && d.Partition > 0 {
-		util = float64(issuedOps-fusedOps) / (float64(d.Partition) * float64(maxCycle))
+	for i := 0; i < c.n; i++ {
+		sum.chained[i] = chain[i] > 0
 	}
 
 	var slots []OpSlot
@@ -559,6 +607,50 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 			})
 		}
 	}
+	return sum, slots, nil
+}
+
+// finishResult derives one design point's metrics from its schedule-class
+// summary. The ClockGHz default must already be applied to d. Every float
+// operation here replays the pre-split engine's exact sequence — in
+// particular the dynamic-energy summation iterates nodes in ID order with
+// the per-node fused discount, never a pre-aggregated sum — so a summary
+// hit is bit-identical to a fresh walk.
+func (c *Compiled) finishResult(d Design, node cmos.Node, sum *schedSummary) Result {
+	banks := d.MemoryBanks
+	if banks == 0 {
+		banks = d.Partition
+	}
+	maxCycle := sum.cycles
+
+	// Energy, area, power from the schedule. The summation iterates nodes
+	// in ID order, matching the pre-compiled engine bit for bit.
+	eScale := energyScale(d.Simplification) * node.DynEnergy()
+	var dynEnergy float64
+	for i := 0; i < c.n; i++ {
+		if !c.isCompute[i] {
+			continue
+		}
+		e := c.energy[i] * eScale
+		if sum.chained[i] {
+			e *= fusedEnergyScale
+		}
+		dynEnergy += e
+	}
+	// Lane area: each lane carries the workload's average functional-unit
+	// mix; storage covers the largest working set.
+	area := (float64(d.Partition)*c.mixArea + float64(banks)*bankArea + float64(c.stats.MaxWS)*regArea) * areaScale(d.Simplification)
+
+	cycleNS := 1 / (d.ClockGHz * node.Freq)
+	runtime := float64(maxCycle) * cycleNS
+	leakEnergy := leakPerAreaNS * area * node.LeakPower() * runtime
+	energy := dynEnergy + leakEnergy
+
+	util := 0.0
+	if maxCycle > 0 && d.Partition > 0 {
+		util = float64(sum.issuedOps-sum.fusedOps) / (float64(d.Partition) * float64(maxCycle))
+	}
+
 	return Result{
 		Design:      d,
 		Cycles:      maxCycle,
@@ -569,6 +661,6 @@ func (c *Compiled) simulate(d Design, capture bool) (Result, []OpSlot, error) {
 		Power:       energy / runtime,
 		Area:        area,
 		Utilization: util,
-		FusedOps:    fusedOps,
-	}, slots, nil
+		FusedOps:    sum.fusedOps,
+	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package aladdin
+
+// raceEnabled reports whether the race detector is active. Allocation
+// regression gates skip under -race: the detector deliberately randomizes
+// sync.Pool reuse, so pooled paths allocate nondeterministically there.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"accelwall/internal/core"
@@ -112,12 +113,13 @@ func (c *engineCache) len() int {
 	return len(c.entries)
 }
 
-// engineKey normalizes a workload reference onto its cache key.
+// engineKey normalizes a workload reference onto its cache key. Plain
+// concatenation: this runs on every sweep request.
 func engineKey(workload string, size int) string {
 	if size < 0 {
 		size = 0
 	}
-	return fmt.Sprintf("%s@%d", workload, size)
+	return workload + "@" + strconv.Itoa(size)
 }
 
 // buildWorkload resolves a kernel name across the three registries — a

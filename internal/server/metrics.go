@@ -34,6 +34,10 @@ type Metrics struct {
 	UncertaintyRuns expvar.Int // Monte Carlo runs executed (uncertainty-cache loads)
 	UncertaintyHits expvar.Int
 
+	// Marshaled grid-sweep response cache telemetry.
+	SweepRespHits   expvar.Int
+	SweepRespMisses expvar.Int
+
 	// Durable async-job telemetry.
 	JobsSubmitted expvar.Int // jobs accepted by POST /v1/jobs
 	JobsCompleted expvar.Int // jobs reaching the done state
@@ -160,6 +164,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"uncertainty_cache": map[string]int64{
 			"hits": m.UncertaintyHits.Value(),
 			"runs": m.UncertaintyRuns.Value(),
+		},
+		"sweep_response_cache": map[string]int64{
+			"hits":   m.SweepRespHits.Value(),
+			"misses": m.SweepRespMisses.Value(),
 		},
 		"jobs": map[string]int64{
 			"submitted": m.JobsSubmitted.Value(),

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSweepResponseCacheHit: the second identical grid sweep is served
+// from the marshaled-response cache, byte-for-byte identical to the first
+// render, while the engine-cache telemetry still observes both requests.
+func TestSweepResponseCacheHit(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := `{"workload": "RED", "preset": "reduced"}`
+	status, first := post(t, ts.URL+"/v1/sweep", req)
+	if status != 200 {
+		t.Fatalf("first sweep: %d %s", status, first)
+	}
+	if got := s.metrics.SweepRespMisses.Value(); got != 1 {
+		t.Fatalf("response misses = %d, want 1", got)
+	}
+	status, second := post(t, ts.URL+"/v1/sweep", req)
+	if status != 200 {
+		t.Fatalf("second sweep: %d %s", status, second)
+	}
+	if got := s.metrics.SweepRespHits.Value(); got != 1 {
+		t.Fatalf("response hits = %d, want 1", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached response differs from the first render")
+	}
+	if got := s.metrics.EngineHits.Value(); got != 1 {
+		t.Fatalf("engine hits = %d, want 1 (response cache must sit behind the engine lookup)", got)
+	}
+}
+
+// TestSweepResponseCacheKeying: objective, include_points, workload, and
+// grid all partition the cache; a design-list request never populates it.
+func TestSweepResponseCacheKeying(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	variants := []string{
+		`{"workload": "RED", "preset": "reduced"}`,
+		`{"workload": "RED", "preset": "reduced", "objective": "performance"}`,
+		`{"workload": "RED", "preset": "reduced", "include_points": true}`,
+		`{"workload": "TRD", "preset": "reduced"}`,
+	}
+	for _, v := range variants {
+		if status, body := post(t, ts.URL+"/v1/sweep", v); status != 200 {
+			t.Fatalf("sweep %s: %d %s", v, status, body)
+		}
+	}
+	if got := s.metrics.SweepRespHits.Value(); got != 0 {
+		t.Fatalf("distinct requests shared a cached body (%d hits)", got)
+	}
+	if got := s.responses.len(); got != len(variants) {
+		t.Fatalf("resident bodies = %d, want %d", got, len(variants))
+	}
+
+	n := s.responses.len()
+	designReq := `{"workload": "RED", "designs": [{"node_nm": 45, "partition": 1, "simplification": 1}]}`
+	if status, body := post(t, ts.URL+"/v1/sweep", designReq); status != 200 {
+		t.Fatalf("design sweep: %d %s", status, body)
+	}
+	if got := s.responses.len(); got != n {
+		t.Fatalf("design-list request was cached: %d -> %d bodies", n, got)
+	}
+}
+
+// TestRespCacheLRU exercises the bound and eviction order directly.
+func TestRespCacheLRU(t *testing.T) {
+	c := newRespCache(2)
+	k := func(i int) respKey { return respKey{engine: fmt.Sprintf("e%d", i)} }
+	c.put(k(1), []byte("one"))
+	c.put(k(2), []byte("two"))
+	if got := c.get(k(1)); got == nil { // touch 1: 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.put(k(3), []byte("three"))
+	if c.get(k(2)) != nil {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	if c.get(k(1)) == nil || c.get(k(3)) == nil {
+		t.Fatal("recent entries evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	huge := make([]byte, maxCachedRespBytes+1)
+	c.put(k(4), huge)
+	if c.get(k(4)) != nil {
+		t.Fatal("oversized body was cached")
+	}
+}

@@ -142,6 +142,7 @@ type Server struct {
 	opts        Options
 	metrics     *Metrics
 	engines     *engineCache
+	responses   *respCache // marshaled grid-sweep bodies
 	studies     *studyCache
 	uncertainty *uncertaintyCache
 	adm         *admission
@@ -162,6 +163,7 @@ func New(opts Options) (*Server, error) {
 		adm:     newAdmission(opts.MaxInflight, opts.MaxQueue),
 	}
 	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
+	s.responses = newRespCache(0)
 	s.studies = newStudyCache(s.metrics)
 	s.uncertainty = newUncertaintyCache(0, s.metrics)
 	if opts.JobsDir != "" {

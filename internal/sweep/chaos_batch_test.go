@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/faultinject"
+	"accelwall/internal/leakcheck"
+)
+
+// TestChaosBatchLanePool arms the batch evaluator's per-lane seam (below
+// the pool's own admission seam) and asserts the pool's contracts survive
+// faults that strike mid-batch: the run reports the failure, drains
+// without deadlock or goroutine leaks, and — injector removed — the same
+// graph sweeps to bit-identical results, proving a panicking lane neither
+// poisoned its siblings' schedule cache nor leaked a dirty pooled scratch.
+func TestChaosBatchLanePool(t *testing.T) {
+	g := buildApp(t, "FFT", 0)
+	ref, err := Run(g, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []faultinject.Mode{faultinject.ModeError, faultinject.ModePanic} {
+			t.Run(mode.String()+"/w"+string(rune('0'+workers)), func(t *testing.T) {
+				leakcheck.Check(t)
+				inj := faultinject.New(17).Set(aladdin.SiteLane, faultinject.Rule{
+					Mode: mode, P: 0.2,
+				})
+				faultinject.Enable(inj)
+				defer faultinject.Disable()
+
+				pts, err := RunParallel(g, tiny(), workers)
+				if inj.Fired(aladdin.SiteLane) == 0 {
+					t.Fatalf("lane injector never fired over %d hits", inj.Hits(aladdin.SiteLane))
+				}
+				if err == nil {
+					t.Fatal("injected lane faults produced no error")
+				}
+				if mode == faultinject.ModeError && !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("error does not wrap ErrInjected: %v", err)
+				}
+				if pts != nil {
+					t.Fatalf("faulted sweep returned %d points alongside error", len(pts))
+				}
+
+				faultinject.Disable()
+				again, err := RunParallel(g, tiny(), workers)
+				if err != nil {
+					t.Fatalf("post-chaos sweep failed: %v", err)
+				}
+				for i := range again {
+					if again[i] != ref[i] {
+						t.Fatalf("post-chaos results diverged at %d", i)
+					}
+				}
+			})
+		}
+	}
+}

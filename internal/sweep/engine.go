@@ -48,6 +48,13 @@ func NewEngine(g *dfg.Graph) (*Engine, error) {
 // Stats returns the compiled graph's structural statistics.
 func (e *Engine) Stats() dfg.Stats { return e.c.Stats() }
 
+// ScheduleCacheStats reports the underlying compiled engine's schedule
+// reuse counters: how many full scheduling walks ran and how many design
+// evaluations were served from a cached or reused schedule summary.
+func (e *Engine) ScheduleCacheStats() (walks, hits uint64) {
+	return e.c.ScheduleCacheStats()
+}
+
 // CachedPoints reports how many distinct design points are memoized.
 func (e *Engine) CachedPoints() int {
 	e.mu.RLock()

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math/rand"
 	"testing"
 
 	"accelwall/internal/aladdin"
@@ -62,6 +63,183 @@ func TestAttributeMatchesAttributeParallel(t *testing.T) {
 	}
 	if _, err := AttributeParallel("S3D", g, Params{}, Performance, 2); err == nil {
 		t.Error("empty params should error")
+	}
+}
+
+// TestBatchMatchesSequentialAllWorkloads is the sweep-side half of the
+// batch equivalence suite: for every Table IV workload, the grid's unique
+// design keys run through SimulateBatch must be bit-identical to the same
+// keys run through sequential Simulate calls. Separate Compiled instances
+// keep the two paths' schedule caches from serving each other.
+func TestBatchMatchesSequentialAllWorkloads(t *testing.T) {
+	p := Reduced()
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Abbrev, func(t *testing.T) {
+			g, err := spec.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := newRunner(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uniques := r.uniqueDesigns(p)
+			seq, err := aladdin.Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bat, err := aladdin.Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]aladdin.Result, len(uniques))
+			for i, d := range uniques {
+				if want[i], err = seq.Simulate(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := bat.SimulateBatch(uniques)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("lane %d (%+v):\nbatch      %+v\nsequential %+v", i, uniques[i], got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesColdWalks pins the incremental re-simulation path:
+// every design served by a warm engine (where most points reuse a cached
+// or adjacent schedule summary) must be bit-identical to the same design
+// on a freshly compiled engine whose first walk is necessarily cold, and
+// the warm engine's counters must prove reuse actually happened.
+func TestIncrementalMatchesColdWalks(t *testing.T) {
+	g := buildApp(t, "FFT", 0)
+	r, err := newRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniques := r.uniqueDesigns(tiny())
+	warm, err := aladdin.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]aladdin.Result, len(uniques))
+	errs := make([]error, len(uniques))
+	warm.SimulateBatchInto(uniques, results, errs)
+	for i, d := range uniques {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		cold, err := aladdin.Compile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cold.Simulate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i] != want {
+			t.Fatalf("design %+v:\nincremental %+v\ncold        %+v", d, results[i], want)
+		}
+	}
+	walks, hits := warm.ScheduleCacheStats()
+	if hits == 0 {
+		t.Error("warm engine reused no schedule summaries")
+	}
+	if walks >= uint64(len(uniques)) {
+		t.Errorf("no incremental reuse: %d walks for %d designs", walks, len(uniques))
+	}
+}
+
+// TestRandomChunkOrderingsProduceIdenticalPoints is the property test over
+// batch scheduling order: feeding the grid's unique designs to the batch
+// evaluator in random permutations and random chunk sizes, then assembling
+// the sweep in enumeration order, must reproduce Run's []Point exactly.
+// This is what licenses the pool's dynamic chunk claiming — results can
+// never depend on which worker batched which designs in what order.
+func TestRandomChunkOrderingsProduceIdenticalPoints(t *testing.T) {
+	g := buildApp(t, "S3D", 0)
+	p := tiny()
+	want, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := newRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniques := r.uniqueDesigns(p)
+	c, err := aladdin.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		order := make([]aladdin.Design, len(uniques))
+		copy(order, uniques)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		chunk := 1 + rng.Intn(32)
+		memo := make(map[aladdin.Design]aladdin.Result, len(order))
+		for lo := 0; lo < len(order); lo += chunk {
+			hi := min(lo+chunk, len(order))
+			res := make([]aladdin.Result, hi-lo)
+			errs := make([]error, hi-lo)
+			c.SimulateBatchInto(order[lo:hi], res, errs)
+			for j, e := range errs {
+				if e != nil {
+					t.Fatal(e)
+				}
+				memo[order[lo+j]] = res[j]
+			}
+		}
+		got := make([]Point, 0, len(want))
+		for _, d := range p.enumerate() {
+			res, ok := memo[r.keyOf(d)]
+			if !ok {
+				t.Fatalf("trial %d: design %+v missing from memo", trial, d)
+			}
+			res.Design = d
+			got = append(got, Point{Design: d, Result: res})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d points, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (chunk %d): point %d differs:\n got %+v\nwant %+v", trial, chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelWorkerCountsBitIdentical sweeps the pool width: every
+// worker count must reproduce the serial sweep point for point now that
+// workers advance designs through shared-cache batches.
+func TestRunParallelWorkerCountsBitIdentical(t *testing.T) {
+	g := buildApp(t, "SMV", 0)
+	p := tiny()
+	want, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := RunParallel(g, p, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: point %d differs:\n got %+v\nwant %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }
 

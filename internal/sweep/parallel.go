@@ -44,6 +44,23 @@ func simulateOne(c *aladdin.Compiled, d aladdin.Design) (res aladdin.Result, err
 	return c.Simulate(d)
 }
 
+// admitDesign is the per-design admission gate the pool runs before a
+// design joins a batch: it hits the simulation seam (fault injection,
+// chaos delays) and converts an injected panic into the same error a
+// pre-batch worker would have reported, so arming SiteSimulate observes
+// one hit per design exactly as before batching.
+func admitDesign(d aladdin.Design) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("sweep: simulation panic on %+v: %v", d, v)
+		}
+	}()
+	if err := faultinject.Hit(SiteSimulate); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
 // simulateDesigns fans the design list out over a worker pool and returns
 // one result per design, in input order. All workers share the one
 // *aladdin.Compiled, which is immutable and concurrency-safe. workers <= 0
@@ -107,11 +124,40 @@ func simulatePool(ctx context.Context, c *aladdin.Compiled, designs []aladdin.De
 				if hi > len(designs) {
 					hi = len(designs)
 				}
+				// Admission pass: the per-design seam semantics (one
+				// SiteSimulate hit per design, cancellation checked between
+				// designs, injected faults failing exactly their design) are
+				// unchanged from the pre-batch pool; survivors then advance
+				// in lockstep through one batch call over the worker's
+				// stack-resident lanes, which allocates nothing in steady
+				// state. On cancellation mid-chunk the already-admitted
+				// designs still batch — their results are bit-identical to
+				// an uncancelled run's, so partial work stays keepable.
+				var (
+					lanes  [chunkSize]int
+					batchD [chunkSize]aladdin.Design
+					batchR [chunkSize]aladdin.Result
+					batchE [chunkSize]error
+				)
+				k := 0
+				cancelled := false
 				for i := lo; i < hi; i++ {
 					if ctx.Err() != nil {
-						return
+						cancelled = true
+						break
 					}
-					results[i], errs[i] = simulateOne(c, designs[i])
+					if err := admitDesign(designs[i]); err != nil {
+						errs[i] = err
+						continue
+					}
+					lanes[k] = i
+					batchD[k] = designs[i]
+					k++
+				}
+				c.SimulateBatchInto(batchD[:k], batchR[:k], batchE[:k])
+				for j := 0; j < k; j++ {
+					i := lanes[j]
+					results[i], errs[i] = batchR[j], batchE[j]
 					done[i] = errs[i] == nil
 					if done[i] {
 						// Only successful slots checkpoint: an errored
@@ -119,6 +165,9 @@ func simulatePool(ctx context.Context, c *aladdin.Compiled, designs []aladdin.De
 						// pins the durable prefix behind it.
 						tr.Complete(i)
 					}
+				}
+				if cancelled {
+					return
 				}
 			}
 		}()
