@@ -10,7 +10,8 @@
 //   - Experiments / ExperimentByID enumerate and run every table and
 //     figure of the paper, returning rendered rows;
 //   - Simulate runs the Aladdin-style accelerator simulator (Section VI)
-//     on one of the sixteen Table IV workloads.
+//     on any registered workload (the sixteen Table IV kernels plus the
+//     deep-learning additions).
 //
 // For finer-grained access (DFG construction, custom datasets, projection
 // internals) import the focused packages under internal/ from within this

@@ -31,6 +31,22 @@
 //	-gain-target G   headroom factor for the wall-probability report
 //	                 (default 10)
 //
+// Search mode (-search) runs the guided design-space explorer over one
+// workload's Table III knob space and reports the Pareto frontier:
+//
+//	-search          run a multi-objective design-space search instead of
+//	                 experiments; deterministic in -seed at any -workers
+//	-workload K      kernel to search (Table IV abbreviation like S3D, a
+//	                 variant like GMM/strassen, or a domain kernel)
+//	-size N          kernel problem size (0 = the kernel's default)
+//	-strategy S      nsga2 (default) or halving
+//	-objectives L    comma-separated: delay, energy, edp, efficiency
+//	                 (default delay,energy)
+//	-population N    population / rung survivor floor (default 48)
+//	-generations N   evolution generations or refinement rungs (default 24)
+//	-max-area A      feasibility constraint: area <= A
+//	-max-power W     feasibility constraint: power <= W watts
+//
 // Durability (-checkpoint) makes long runs survive interruption: progress
 // snapshots land in the given directory (created 0700, files 0600), a
 // Ctrl-C leaves the completed prefix on disk, and rerunning the same
@@ -38,7 +54,7 @@
 // never interrupted:
 //
 //	-checkpoint DIR  write durable progress snapshots into DIR (applies to
-//	                 -uncertainty and the fig13 design-space sweep)
+//	                 -uncertainty, -search, and the fig13 design-space sweep)
 //	-resume          restore the snapshot a previous run left in DIR
 package main
 
@@ -58,6 +74,7 @@ import (
 	"accelwall/internal/core"
 	"accelwall/internal/dfg"
 	"accelwall/internal/montecarlo"
+	"accelwall/internal/search"
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
 )
@@ -97,6 +114,15 @@ func run(ctx context.Context, args []string) error {
 	replicates := fs.Int("replicates", montecarlo.DefaultReplicates, "Monte Carlo replicate count (with -uncertainty)")
 	conf := fs.Float64("conf", montecarlo.DefaultConfidence, "Monte Carlo band confidence level in (0,1) (with -uncertainty)")
 	gainTarget := fs.Float64("gain-target", montecarlo.DefaultGainTarget, "headroom factor for the wall-probability report (with -uncertainty)")
+	searchMode := fs.Bool("search", false, "run the guided design-space search (Pareto frontier over the Table III knobs)")
+	workload := fs.String("workload", "", "kernel to search (with -search)")
+	size := fs.Int("size", 0, "kernel problem size, 0 = default (with -search)")
+	strategy := fs.String("strategy", "", "search strategy: nsga2 or halving (with -search)")
+	objectives := fs.String("objectives", "", "comma-separated search objectives: delay, energy, edp, efficiency (with -search)")
+	population := fs.Int("population", 0, "search population size, 0 = default (with -search)")
+	generations := fs.Int("generations", 0, "search generations / refinement rungs, 0 = default (with -search)")
+	maxArea := fs.Float64("max-area", 0, "search feasibility constraint: area <= A, 0 = unconstrained (with -search)")
+	maxPower := fs.Float64("max-power", 0, "search feasibility constraint: power <= W watts, 0 = unconstrained (with -search)")
 	ckptDir := fs.String("checkpoint", "", "directory for durable progress snapshots; an interrupted run continues with -resume")
 	resume := fs.Bool("resume", false, "resume from the snapshot a previous run left in the -checkpoint directory")
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +144,34 @@ func run(ctx context.Context, args []string) error {
 		if store, err = checkpoint.Open(*ckptDir); err != nil {
 			return err
 		}
+	}
+	if *searchMode && *uncertainty {
+		return fmt.Errorf("-search and -uncertainty are mutually exclusive")
+	}
+	if *searchMode {
+		if *plot || *published || *full {
+			return fmt.Errorf("-search is incompatible with -plot, -published, and -full")
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("-search takes no experiment arguments (got %s)", strings.Join(rest, " "))
+		}
+		if *workload == "" {
+			return fmt.Errorf("-search requires -workload <kernel> (run `accelwall list` or see /v1/workloads)")
+		}
+		return runSearch(ctx, searchFlags{
+			workload:    *workload,
+			size:        *size,
+			strategy:    *strategy,
+			objectives:  *objectives,
+			population:  *population,
+			generations: *generations,
+			seed:        *seed,
+			maxArea:     *maxArea,
+			maxPowerW:   *maxPower,
+			workers:     *workers,
+			jsonOut:     *jsonOut,
+			resume:      *resume,
+		}, store)
 	}
 	if *uncertainty {
 		if *plot || *published || *full {
@@ -324,6 +378,114 @@ func runUncertainty(ctx context.Context, seed int64, replicates int, conf, gainT
 	return nil
 }
 
+// searchLog names the snapshot log a checkpointed -search run writes.
+const searchLog = "search"
+
+// searchFlags carries the -search mode's flag values into runSearch.
+type searchFlags struct {
+	workload    string
+	size        int
+	strategy    string
+	objectives  string
+	population  int
+	generations int
+	seed        int64
+	maxArea     float64
+	maxPowerW   float64
+	workers     int
+	jsonOut     bool
+	resume      bool
+}
+
+// runSearch compiles the workload, runs the guided design-space search,
+// and renders the Pareto frontier. The JSON output is the exact payload
+// POST /v1/search serves for the same configuration. With a checkpoint
+// store the run is durable: every completed generation lands in the
+// store, an interrupt leaves a parting snapshot, and -resume continues
+// from it with bit-identical output.
+func runSearch(ctx context.Context, f searchFlags, store *checkpoint.Store) error {
+	strategy, err := search.ParseStrategy(f.strategy)
+	if err != nil {
+		return err
+	}
+	var objs []search.Objective
+	if f.objectives != "" {
+		for _, name := range strings.Split(f.objectives, ",") {
+			o, err := search.ParseObjective(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			objs = append(objs, o)
+		}
+	}
+	cfg := search.Config{
+		Strategy:    strategy,
+		Objectives:  objs,
+		Population:  f.population,
+		Generations: f.generations,
+		Seed:        f.seed,
+		Constraints: search.Constraints{MaxArea: f.maxArea, MaxPowerW: f.maxPowerW},
+		Workers:     f.workers,
+	}.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g, err := buildKernel(f.workload, f.size)
+	if err != nil {
+		return err
+	}
+	eng, err := sweep.NewEngine(g)
+	if err != nil {
+		return err
+	}
+	var ck *search.Checkpoint
+	if store != nil {
+		ck = &search.Checkpoint{
+			OnError: func(e error) { fmt.Fprintf(os.Stderr, "accelwall: checkpointing disabled: %v\n", e) },
+		}
+		if f.resume {
+			payload, err := store.ReadLast(searchLog)
+			switch {
+			case err == nil:
+				ck.Resume = payload
+			case errors.Is(err, checkpoint.ErrNoSnapshot), errors.Is(err, checkpoint.ErrCorrupt):
+				fmt.Fprintf(os.Stderr, "accelwall: no usable snapshot (%v), starting cold\n", err)
+			default:
+				return err
+			}
+		}
+		log, err := store.OpenLog(searchLog)
+		if err != nil {
+			return err
+		}
+		defer log.Close()
+		ck.Sink = log
+	}
+	res, err := search.RunCheckpointed(ctx, eng, cfg, ck)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && store != nil {
+			return fmt.Errorf("interrupted (%w) — progress snapshot saved in %s; rerun with -resume to continue", err, store.Dir())
+		}
+		return err
+	}
+	if res.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "accelwall: resumed — restored %d evaluations already on disk\n", res.Resumed)
+	}
+	if store != nil {
+		// The run finished; its progress log owes nobody anything.
+		if err := store.Remove(searchLog); err != nil {
+			fmt.Fprintf(os.Stderr, "accelwall: could not remove finished checkpoint: %v\n", err)
+		}
+	}
+	if f.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.NewSearchJSON(f.workload, cfg, res))
+	}
+	fmt.Print(core.SearchText(f.workload, cfg, res))
+	return nil
+}
+
 // listJSON emits the experiment registry in the /v1/experiments wire shape.
 func listJSON() error {
 	type row struct {
@@ -343,30 +505,28 @@ func listJSON() error {
 	return enc.Encode(map[string]any{"experiments": out})
 }
 
-// writeDOT resolves a kernel by name across the three registries and
-// emits its Graphviz DOT to stdout.
-func writeDOT(name string) error {
-	var g *dfg.Graph
+// buildKernel resolves a kernel by name across the three registries — a
+// Table IV abbreviation, an algorithm variant, or a case-study domain
+// kernel — and builds its dataflow graph (size 0 = the kernel's default
+// problem size).
+func buildKernel(name string, size int) (*dfg.Graph, error) {
 	if spec, err := workloads.ByAbbrev(name); err == nil {
-		built, err := spec.Build(0)
-		if err != nil {
-			return err
-		}
-		g = built
-	} else if v, err := workloads.VariantByName(name); err == nil {
-		built, err := v.Build(0)
-		if err != nil {
-			return err
-		}
-		g = built
-	} else if k, err := workloads.DomainKernelByName(name); err == nil {
-		built, err := k.Build(0)
-		if err != nil {
-			return err
-		}
-		g = built
-	} else {
-		return fmt.Errorf("unknown kernel %q", name)
+		return spec.Build(size)
+	}
+	if v, err := workloads.VariantByName(name); err == nil {
+		return v.Build(size)
+	}
+	if k, err := workloads.DomainKernelByName(name); err == nil {
+		return k.Build(size)
+	}
+	return nil, fmt.Errorf("unknown kernel %q", name)
+}
+
+// writeDOT emits a kernel's Graphviz DOT to stdout.
+func writeDOT(name string) error {
+	g, err := buildKernel(name, 0)
+	if err != nil {
+		return err
 	}
 	return g.WriteDOT(os.Stdout)
 }
@@ -437,6 +597,7 @@ func writeReport(ctx context.Context, path string, seed int64, published, full b
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: accelwall [-seed N] [-published] [-full] [-workers N] [-plot] [-json] [-checkpoint DIR [-resume]] <command>
        accelwall -uncertainty [-replicates N] [-conf C] [-gain-target G] [-seed N] [-workers N] [-json] [-checkpoint DIR [-resume]]
+       accelwall -search -workload K [-size N] [-strategy S] [-objectives L] [-population N] [-generations N] [-max-area A] [-max-power W] [-seed N] [-workers N] [-json] [-checkpoint DIR [-resume]]
 commands:
   list               list every reproducible experiment
   all                run every experiment in paper order

@@ -357,7 +357,7 @@ func (s *Study) Fig9(target gains.Target) (string, error) {
 // evaluated on every Table IV workload at its default size.
 func (s *Study) Table2() (string, error) {
 	var buf bytes.Buffer
-	for _, spec := range workloads.All() {
+	for _, spec := range workloads.TableIV() {
 		g, err := spec.Build(0)
 		if err != nil {
 			return "", fmt.Errorf("core: building %s: %w", spec.Abbrev, err)
@@ -420,7 +420,7 @@ func (s *Study) Fig14Attributions(objective sweep.Objective) ([]sweep.Attributio
 	var attrs []sweep.Attribution
 	var totals, csrs []float64
 	avg := sweep.Attribution{App: "AVG", Objective: objective}
-	for _, spec := range workloads.All() {
+	for _, spec := range workloads.TableIV() {
 		g, err := spec.Build(0)
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", spec.Abbrev, err)

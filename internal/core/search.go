@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"accelwall/internal/search"
+)
+
+// SearchPointJSON is one Pareto-frontier member on the wire: the design,
+// its full simulation result, and the objective values in request order.
+type SearchPointJSON struct {
+	Design DesignJSON `json:"design"`
+	Result ResultJSON `json:"result"`
+	Values []float64  `json:"values"`
+}
+
+// SearchJSON is the design-space search wire payload, shared by
+// POST /v1/search, the search job result file, and accelwall -search
+// -json. It deliberately excludes the resumed-evaluation count (like
+// UncertaintyJSON): a resumed search's payload is byte-identical to an
+// uninterrupted one.
+type SearchJSON struct {
+	Workload    string            `json:"workload,omitempty"`
+	Strategy    string            `json:"strategy"`
+	Objectives  []string          `json:"objectives"`
+	Population  int               `json:"population"`
+	Generations int               `json:"generations"`
+	Seed        int64             `json:"seed"`
+	MaxArea     float64           `json:"max_area,omitempty"`
+	MaxPowerW   float64           `json:"max_power_w,omitempty"`
+	SpaceSize   int               `json:"space_size"`
+	Evaluations int               `json:"evaluations"`
+	Frontier    []SearchPointJSON `json:"frontier"`
+}
+
+// NewSearchJSON renders a search result. cfg must be the normalized
+// config the run used.
+func NewSearchJSON(workload string, cfg search.Config, res *search.Result) SearchJSON {
+	out := SearchJSON{
+		Workload:    workload,
+		Strategy:    res.Strategy.String(),
+		Objectives:  make([]string, len(res.Objectives)),
+		Population:  cfg.Population,
+		Generations: res.Generations,
+		Seed:        cfg.Seed,
+		MaxArea:     cfg.Constraints.MaxArea,
+		MaxPowerW:   cfg.Constraints.MaxPowerW,
+		SpaceSize:   res.SpaceSize,
+		Evaluations: res.Evaluations,
+		Frontier:    make([]SearchPointJSON, len(res.Frontier)),
+	}
+	for i, o := range res.Objectives {
+		out.Objectives[i] = o.String()
+	}
+	for i, p := range res.Frontier {
+		out.Frontier[i] = SearchPointJSON{
+			Design: NewDesignJSON(p.Design),
+			Result: NewResultJSON(p.Result),
+			Values: p.Values,
+		}
+	}
+	return out
+}
+
+// SearchText renders a search result as the CLI's text report.
+func SearchText(workload string, cfg search.Config, res *search.Result) string {
+	var b strings.Builder
+	names := make([]string, len(res.Objectives))
+	for i, o := range res.Objectives {
+		names[i] = o.String()
+	}
+	fmt.Fprintf(&b, "design-space search: %s strategy=%s objectives=%s\n",
+		workload, res.Strategy, strings.Join(names, ","))
+	fmt.Fprintf(&b, "population %d, %d generations, seed %d: %d of %d designs evaluated (%.1f%%), frontier %d points\n",
+		cfg.Population, res.Generations, cfg.Seed, res.Evaluations, res.SpaceSize,
+		100*float64(res.Evaluations)/float64(res.SpaceSize), len(res.Frontier))
+	if cfg.Constraints.MaxArea > 0 {
+		fmt.Fprintf(&b, "constraint: area <= %g\n", cfg.Constraints.MaxArea)
+	}
+	if cfg.Constraints.MaxPowerW > 0 {
+		fmt.Fprintf(&b, "constraint: power <= %g W\n", cfg.Constraints.MaxPowerW)
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "node\tpartition\tsimpl\tfusion\t%s\n", strings.Join(names, "\t"))
+	for _, p := range res.Frontier {
+		fmt.Fprintf(w, "%gnm\t%d\t%d\t%v", p.Design.NodeNM, p.Design.Partition,
+			p.Design.Simplification, p.Design.Fusion)
+		for _, v := range p.Values {
+			fmt.Fprintf(w, "\t%.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -54,7 +54,7 @@ func (s *Study) Table4() (string, error) {
 		v, e, depth, maxWS, vin, vout int
 	}
 	var rows []row
-	for _, spec := range workloads.All() {
+	for _, spec := range workloads.TableIV() {
 		g, err := spec.Build(0)
 		if err != nil {
 			return "", fmt.Errorf("core: building %s: %w", spec.Abbrev, err)

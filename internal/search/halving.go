@@ -1,0 +1,75 @@
+package search
+
+import "context"
+
+// halvingStride returns each axis's rung-r refinement stride: the seeding
+// lattice's stride halved once per rung, floored at one index.
+func halvingStride(lens [numAxes]int, rung int) [numAxes]int {
+	var strides [numAxes]int
+	for a := 0; a < numAxes; a++ {
+		budget := latticeBudgets[a]
+		if budget < 2 {
+			budget = 2
+		}
+		s := (lens[a] - 1) / (budget - 1)
+		for r := 0; r < rung; r++ {
+			s /= 2
+		}
+		if s < 1 {
+			s = 1
+		}
+		strides[a] = s
+	}
+	return strides
+}
+
+// halvingStep advances successive halving by one rung. Step 0 evaluates
+// the coarse seeding lattice; rung r keeps the non-dominated half of the
+// current candidates (floored at the configured population) and evaluates
+// each survivor's axis neighborhood at half the previous stride, so the
+// search sharpens from a space-wide sketch toward grid resolution around
+// the frontier. Fully deterministic — no random draws at all.
+func (st *state) halvingStep(ctx context.Context, step int, current []int) ([]int, error) {
+	if step == 0 {
+		ids, err := st.evalBatch(ctx, coarseLattice(st.cfg.Space))
+		if err != nil {
+			return nil, err
+		}
+		return uniqueIDs(ids), nil
+	}
+
+	keep := len(current) / 4
+	if keep < st.cfg.Population {
+		keep = st.cfg.Population
+	}
+	survivors := st.selectN(current, keep)
+
+	lens := st.cfg.Space.axisLens()
+	strides := halvingStride(lens, step)
+	candidates := make([]genotype, 0, len(survivors)*(2*numAxes+1))
+	for _, id := range survivors {
+		g := st.entries[id].geno
+		candidates = append(candidates, g)
+		for a := 0; a < numAxes; a++ {
+			if lens[a] < 2 {
+				continue
+			}
+			if lo := g[a] - strides[a]; lo >= 0 {
+				n := g
+				n[a] = lo
+				candidates = append(candidates, n)
+			}
+			if hi := g[a] + strides[a]; hi < lens[a] {
+				n := g
+				n[a] = hi
+				candidates = append(candidates, n)
+			}
+		}
+	}
+
+	ids, err := st.evalBatch(ctx, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return uniqueIDs(ids), nil
+}

@@ -1,0 +1,137 @@
+package search
+
+import "context"
+
+// Mutation shape: mutateProb per axis, of which mutateStepFrac take a
+// ±1 lattice step (local refinement) and the rest reset uniformly
+// (global escape). Tuned on the Table III spaces; changing them changes
+// every seeded search, so they are constants, not knobs.
+const (
+	mutateProb     = 0.35
+	mutateStepFrac = 0.75
+)
+
+// latticeBudgets caps how many values per axis the seeding lattice
+// samples (genotype axis order: node, partition, simplification, fusion,
+// clock, banks). The stratified cross product covers every region of the
+// space for a few percent of its genotypes.
+var latticeBudgets = [numAxes]int{7, 6, 3, 2, 3, 3}
+
+// latticeIndices returns the strided index subset of one axis.
+func latticeIndices(length, budget int) []int {
+	if budget < 2 {
+		budget = 2
+	}
+	if length <= budget {
+		out := make([]int, length)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, budget)
+	last := -1
+	for i := 0; i < budget; i++ {
+		idx := i * (length - 1) / (budget - 1)
+		if idx != last {
+			out = append(out, idx)
+			last = idx
+		}
+	}
+	return out
+}
+
+// coarseLattice is the deterministic stratified sample both strategies
+// seed from: the cross product of each axis's strided subset, in
+// axis-major order.
+func coarseLattice(s Space) []genotype {
+	lens := s.axisLens()
+	var axes [numAxes][]int
+	total := 1
+	for a := 0; a < numAxes; a++ {
+		axes[a] = latticeIndices(lens[a], latticeBudgets[a])
+		total *= len(axes[a])
+	}
+	out := make([]genotype, 0, total)
+	var g genotype
+	var rec func(axis int)
+	rec = func(axis int) {
+		if axis == numAxes {
+			out = append(out, g)
+			return
+		}
+		for _, idx := range axes[axis] {
+			g[axis] = idx
+			rec(axis + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// tournament draws two candidates and keeps the (rank, crowding) winner.
+func tournament(r *rng, rk *ranking) int {
+	x, y := r.intn(len(rk.ids)), r.intn(len(rk.ids))
+	if rk.betterPos(x, y) {
+		return x
+	}
+	return y
+}
+
+// nsga2Step advances the evolutionary loop by one step. Step 0 evaluates
+// the coarse seeding lattice and selects the initial population; step g
+// breeds one offspring population from substreams (seed, g, slot),
+// evaluates it as a single batch, and selects the next population from
+// parents plus children.
+func (st *state) nsga2Step(ctx context.Context, step int, pop []int) ([]int, error) {
+	if step == 0 {
+		ids, err := st.evalBatch(ctx, coarseLattice(st.cfg.Space))
+		if err != nil {
+			return nil, err
+		}
+		return st.selectN(uniqueIDs(ids), st.cfg.Population), nil
+	}
+
+	rk := st.rankAndCrowd(pop)
+	lens := st.cfg.Space.axisLens()
+	children := make([]genotype, st.cfg.Population)
+	for i := range children {
+		r := newRNG(st.cfg.Seed, step, i)
+		p1 := st.entries[pop[tournament(r, rk)]].geno
+		p2 := st.entries[pop[tournament(r, rk)]].geno
+		child := p1
+		for a := 0; a < numAxes; a++ {
+			if r.next()&1 == 1 {
+				child[a] = p2[a]
+			}
+		}
+		for a := 0; a < numAxes; a++ {
+			if lens[a] < 2 || r.float64() >= mutateProb {
+				continue
+			}
+			if r.float64() < mutateStepFrac {
+				if r.next()&1 == 1 {
+					child[a]++
+				} else {
+					child[a]--
+				}
+				if child[a] < 0 {
+					child[a] = 0
+				}
+				if child[a] >= lens[a] {
+					child[a] = lens[a] - 1
+				}
+			} else {
+				child[a] = r.intn(lens[a])
+			}
+		}
+		children[i] = child
+	}
+
+	ids, err := st.evalBatch(ctx, children)
+	if err != nil {
+		return nil, err
+	}
+	merged := uniqueIDs(append(append([]int{}, pop...), ids...))
+	return st.selectN(merged, st.cfg.Population), nil
+}

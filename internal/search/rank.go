@@ -1,0 +1,143 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+// constrainedDominates implements NSGA-II constrained domination between
+// archive entries a and b: a feasible point beats any infeasible one, a
+// less-violating infeasible point beats a more-violating one, and two
+// feasible points compare by Pareto dominance over the objectives.
+func (st *state) constrainedDominates(a, b int) bool {
+	ea, eb := &st.entries[a], &st.entries[b]
+	switch {
+	case ea.violation == 0 && eb.violation > 0:
+		return true
+	case ea.violation > 0 && eb.violation == 0:
+		return false
+	case ea.violation > 0 && eb.violation > 0:
+		return ea.violation < eb.violation
+	}
+	return dominates(st.cfg.Objectives, ea.values, eb.values)
+}
+
+// ranking is per-candidate selection metadata over one candidate list.
+type ranking struct {
+	ids   []int // archive indices
+	rank  []int // non-domination front, 0 = Pareto-optimal among ids
+	crowd []float64
+}
+
+// rankAndCrowd runs fast non-dominated sorting and per-front
+// crowding-distance assignment over the candidates. Entirely
+// deterministic: every internal order derives from the input order and
+// value comparisons with archive-index tie-breaks.
+func (st *state) rankAndCrowd(ids []int) *ranking {
+	n := len(ids)
+	r := &ranking{ids: ids, rank: make([]int, n), crowd: make([]float64, n)}
+
+	dominatedBy := make([]int, n)  // how many candidates dominate position i
+	dominating := make([][]int, n) // positions i dominates
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case st.constrainedDominates(ids[i], ids[j]):
+				dominating[i] = append(dominating[i], j)
+				dominatedBy[j]++
+			case st.constrainedDominates(ids[j], ids[i]):
+				dominating[j] = append(dominating[j], i)
+				dominatedBy[i]++
+			}
+		}
+	}
+	var front []int
+	for i := 0; i < n; i++ {
+		if dominatedBy[i] == 0 {
+			front = append(front, i)
+		}
+	}
+
+	for depth := 0; len(front) > 0; depth++ {
+		var next []int
+		for _, i := range front {
+			r.rank[i] = depth
+			for _, j := range dominating[i] {
+				if dominatedBy[j]--; dominatedBy[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		st.crowding(r, front)
+		front = next
+	}
+	return r
+}
+
+// crowding assigns crowding distances within one front: boundary points
+// per objective get +Inf, interior points accumulate normalized gaps to
+// their value-neighbors.
+func (st *state) crowding(r *ranking, front []int) {
+	if len(front) <= 2 {
+		for _, i := range front {
+			r.crowd[i] = math.Inf(1)
+		}
+		return
+	}
+	order := make([]int, len(front))
+	for k := range st.cfg.Objectives {
+		copy(order, front)
+		sort.Slice(order, func(x, y int) bool {
+			vx, vy := st.entries[r.ids[order[x]]].values[k], st.entries[r.ids[order[y]]].values[k]
+			if vx != vy {
+				return vx < vy
+			}
+			return r.ids[order[x]] < r.ids[order[y]]
+		})
+		lo := st.entries[r.ids[order[0]]].values[k]
+		hi := st.entries[r.ids[order[len(order)-1]]].values[k]
+		r.crowd[order[0]] = math.Inf(1)
+		r.crowd[order[len(order)-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for x := 1; x < len(order)-1; x++ {
+			prev := st.entries[r.ids[order[x-1]]].values[k]
+			next := st.entries[r.ids[order[x+1]]].values[k]
+			r.crowd[order[x]] += (next - prev) / (hi - lo)
+		}
+	}
+}
+
+// betterPos reports whether candidate position x beats y: lower front
+// first, larger crowding distance second, smaller archive index last so
+// every comparison is a total order.
+func (r *ranking) betterPos(x, y int) bool {
+	if r.rank[x] != r.rank[y] {
+		return r.rank[x] < r.rank[y]
+	}
+	if r.crowd[x] != r.crowd[y] {
+		return r.crowd[x] > r.crowd[y]
+	}
+	return r.ids[x] < r.ids[y]
+}
+
+// selectN keeps the n best candidates by (front, crowding) — whole fronts
+// while they fit, the last front truncated by crowding distance — in
+// deterministic order.
+func (st *state) selectN(ids []int, n int) []int {
+	if len(ids) <= n {
+		return ids
+	}
+	r := st.rankAndCrowd(ids)
+	pos := make([]int, len(ids))
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(x, y int) bool { return r.betterPos(pos[x], pos[y]) })
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = ids[pos[i]]
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+// Package search is a deterministic multi-objective design-space explorer
+// over the aladdin.Design knob space (process node, partition factor,
+// simplification degree, fusion, clock, memory banks). Where the paper's
+// Table III / Figure 13 exploration enumerates the full grid, search finds
+// the Pareto frontier of a configurable objective set (delay, energy, EDP,
+// energy efficiency) under area/power constraints while evaluating only a
+// fraction of the space.
+//
+// Two strategies are provided. NSGA2 is an NSGA-II-style evolutionary
+// loop: fast non-dominated sorting with crowding-distance diversity,
+// binary tournaments, uniform crossover and per-knob mutation, seeded from
+// a coarse stratified lattice over the space. Halving is successive
+// halving over a coarse-to-fine lattice: each rung keeps the non-dominated
+// half of the current candidates and refines the survivors' axis
+// neighborhoods at half the previous stride.
+//
+// Both strategies evaluate whole populations through one batched,
+// cancellable, fault-isolated Evaluator call per generation (sweep.Engine
+// satisfies Evaluator via EvaluateBatchContext), and both are bit-identical
+// at any worker count: all search logic runs sequentially on the
+// coordinator, every random draw comes from a SplitMix64 substream derived
+// purely from (seed, generation, slot) — mirroring internal/montecarlo, no
+// RNG state ever needs saving — and the worker pool only affects how the
+// deterministic batch is scheduled, which PR 6's equivalence suites prove
+// does not change results. The frontier is computed over the archive of
+// every design ever evaluated, so no simulation is wasted.
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/dfg"
+	"accelwall/internal/sweep"
+)
+
+// Objective is one minimized-or-maximized target function over a design
+// point's simulation result.
+type Objective int
+
+const (
+	// Delay minimizes kernel runtime (ns).
+	Delay Objective = iota
+	// Energy minimizes energy per kernel execution.
+	Energy
+	// EDP minimizes the energy-delay product.
+	EDP
+	// Efficiency maximizes executions per energy unit (the paper's
+	// efficiency target). It orders designs identically to Energy but
+	// reports the paper's natural units.
+	Efficiency
+)
+
+// ParseObjective maps a wire/CLI spelling onto an objective.
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "delay", "latency", "runtime", "performance":
+		return Delay, nil
+	case "energy":
+		return Energy, nil
+	case "edp", "energy-delay", "energy-delay-product":
+		return EDP, nil
+	case "efficiency", "energy-efficiency", "eff":
+		return Efficiency, nil
+	}
+	return 0, fmt.Errorf("search: unknown objective %q (want delay, energy, edp, or efficiency)", s)
+}
+
+// String returns the canonical spelling ParseObjective accepts.
+func (o Objective) String() string {
+	switch o {
+	case Delay:
+		return "delay"
+	case Energy:
+		return "energy"
+	case EDP:
+		return "edp"
+	case Efficiency:
+		return "efficiency"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
+// Value returns the objective's natural-units value for a result.
+func (o Objective) Value(r aladdin.Result) float64 {
+	switch o {
+	case Delay:
+		return r.RuntimeNS
+	case Energy:
+		return r.Energy
+	case EDP:
+		return r.RuntimeNS * r.Energy
+	case Efficiency:
+		return r.EnergyEfficiency()
+	}
+	return math.NaN()
+}
+
+// maximized reports whether larger natural values are better.
+func (o Objective) maximized() bool { return o == Efficiency }
+
+// better reports whether a is strictly better than b under o.
+func (o Objective) better(a, b float64) bool {
+	if o.maximized() {
+		return a > b
+	}
+	return a < b
+}
+
+// Strategy selects the exploration algorithm.
+type Strategy int
+
+const (
+	// NSGA2 is the NSGA-II-style evolutionary loop.
+	NSGA2 Strategy = iota
+	// Halving is successive halving over a coarse-to-fine lattice.
+	Halving
+)
+
+// ParseStrategy maps a wire/CLI spelling onto a strategy ("" selects
+// NSGA2).
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "nsga2", "nsga-ii", "nsga", "evolutionary", "ga":
+		return NSGA2, nil
+	case "halving", "successive-halving", "sha":
+		return Halving, nil
+	}
+	return 0, fmt.Errorf("search: unknown strategy %q (want nsga2 or halving)", s)
+}
+
+// String returns the canonical spelling ParseStrategy accepts.
+func (s Strategy) String() string {
+	switch s {
+	case NSGA2:
+		return "nsga2"
+	case Halving:
+		return "halving"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Space is the discrete design space: the cross product of the axis value
+// lists. Clocks and MemoryBanks may be empty, selecting the single
+// zero-value default of each knob (reference 1 GHz clock; banks coupled to
+// the partition factor) — exactly the axes the Table III grid sweeps.
+type Space struct {
+	Nodes           []float64
+	Partitions      []int
+	Simplifications []int
+	Fusion          []bool
+	Clocks          []float64
+	MemoryBanks     []int
+}
+
+// TableIII returns the paper's full Table III grid as a search space.
+func TableIII() Space {
+	p := sweep.Default()
+	return Space{
+		Nodes:           p.Nodes,
+		Partitions:      p.Partitions,
+		Simplifications: p.Simplifications,
+		Fusion:          p.Fusion,
+	}
+}
+
+// normalized fills the optional axes' zero-value defaults.
+func (s Space) normalized() Space {
+	if len(s.Clocks) == 0 {
+		s.Clocks = []float64{0}
+	}
+	if len(s.MemoryBanks) == 0 {
+		s.MemoryBanks = []int{0}
+	}
+	return s
+}
+
+// Validate reports the first problem with the space.
+func (s Space) Validate() error {
+	if len(s.Nodes) == 0 || len(s.Partitions) == 0 || len(s.Simplifications) == 0 || len(s.Fusion) == 0 {
+		return errors.New("search: space needs at least one value per required axis (nodes, partitions, simplifications, fusion)")
+	}
+	for _, n := range s.Nodes {
+		if !(n > 0) || math.IsInf(n, 0) {
+			return fmt.Errorf("search: process node %g outside (0, inf)", n)
+		}
+	}
+	for _, p := range s.Partitions {
+		if p < 1 || p > aladdin.MaxPartition {
+			return fmt.Errorf("search: partition factor %d outside [1, %d]", p, aladdin.MaxPartition)
+		}
+	}
+	for _, d := range s.Simplifications {
+		if d < 1 || d > aladdin.MaxSimplification {
+			return fmt.Errorf("search: simplification degree %d outside [1, %d]", d, aladdin.MaxSimplification)
+		}
+	}
+	for _, c := range s.Clocks {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("search: clock %g GHz outside [0, inf)", c)
+		}
+	}
+	for _, b := range s.MemoryBanks {
+		if b < 0 {
+			return fmt.Errorf("search: memory banks %d negative", b)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of genotypes in the space (the exhaustive-grid
+// evaluation count search is competing against).
+func (s Space) Size() int {
+	s = s.normalized()
+	return len(s.Nodes) * len(s.Partitions) * len(s.Simplifications) *
+		len(s.Fusion) * len(s.Clocks) * len(s.MemoryBanks)
+}
+
+// numAxes is the genotype length: one index per design knob.
+const numAxes = 6
+
+// genotype is a design point as per-axis indices into the space.
+type genotype [numAxes]int
+
+// axisLens returns each axis's cardinality in genotype order.
+func (s Space) axisLens() [numAxes]int {
+	return [numAxes]int{
+		len(s.Nodes), len(s.Partitions), len(s.Simplifications),
+		len(s.Fusion), len(s.Clocks), len(s.MemoryBanks),
+	}
+}
+
+// design materializes a genotype.
+func (s Space) design(g genotype) aladdin.Design {
+	return aladdin.Design{
+		NodeNM:         s.Nodes[g[0]],
+		Partition:      s.Partitions[g[1]],
+		Simplification: s.Simplifications[g[2]],
+		Fusion:         s.Fusion[g[3]],
+		ClockGHz:       s.Clocks[g[4]],
+		MemoryBanks:    s.MemoryBanks[g[5]],
+	}
+}
+
+// Constraints bounds the feasible region. Zero values leave an axis
+// unconstrained. Infeasible designs still steer the search (constrained
+// domination: feasible beats infeasible, less-violating beats
+// more-violating) but never appear on the returned frontier.
+type Constraints struct {
+	MaxArea   float64 // adder-cell units
+	MaxPowerW float64
+}
+
+// violation returns 0 for a feasible result, otherwise the summed relative
+// excess over each violated bound.
+func (c Constraints) violation(r aladdin.Result) float64 {
+	v := 0.0
+	if c.MaxArea > 0 && r.Area > c.MaxArea {
+		v += r.Area/c.MaxArea - 1
+	}
+	if c.MaxPowerW > 0 && r.Power > c.MaxPowerW {
+		v += r.Power/c.MaxPowerW - 1
+	}
+	return v
+}
+
+// Default knob values. A 48-individual, 24-generation run over Table III
+// evaluates under a quarter of the grid's unique points while recovering
+// the exhaustive frontier, for either strategy (see BENCH_search.json).
+const (
+	DefaultPopulation  = 48
+	DefaultGenerations = 24
+	DefaultSeed        = 1
+)
+
+// Config parameterizes one search run.
+type Config struct {
+	Strategy    Strategy
+	Space       Space       // zero value selects TableIII()
+	Objectives  []Objective // empty selects {Delay, Energy}
+	Constraints Constraints
+	Population  int   // NSGA2 population / Halving floor (<= 0 selects DefaultPopulation)
+	Generations int   // NSGA2 generations / Halving rungs (<= 0 selects DefaultGenerations)
+	Seed        int64 // root of the SplitMix64 substreams (0 selects DefaultSeed)
+	// Workers sizes the evaluation pool of each generation's batch.
+	// Deliberately excluded from the checkpoint digest: results are
+	// bit-identical at any worker count.
+	Workers int
+}
+
+// spaceIsZero reports whether no axis was specified.
+func spaceIsZero(s Space) bool {
+	return len(s.Nodes) == 0 && len(s.Partitions) == 0 && len(s.Simplifications) == 0 &&
+		len(s.Fusion) == 0 && len(s.Clocks) == 0 && len(s.MemoryBanks) == 0
+}
+
+// Normalized spells out every defaulted knob. Two configs with equal
+// normalized forms produce bit-identical searches (workers aside).
+func (c Config) Normalized() Config {
+	if spaceIsZero(c.Space) {
+		c.Space = TableIII()
+	}
+	c.Space = c.Space.normalized()
+	if len(c.Objectives) == 0 {
+		c.Objectives = []Objective{Delay, Energy}
+	}
+	if c.Population <= 0 {
+		c.Population = DefaultPopulation
+	}
+	if c.Generations <= 0 {
+		c.Generations = DefaultGenerations
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// Validate reports the first problem with the (normalized) config.
+func (c Config) Validate() error {
+	c = c.Normalized()
+	if err := c.Space.Validate(); err != nil {
+		return err
+	}
+	for _, o := range c.Objectives {
+		if o < Delay || o > Efficiency {
+			return fmt.Errorf("search: invalid objective %d", int(o))
+		}
+	}
+	if c.Population < 2 {
+		return fmt.Errorf("search: population %d below 2", c.Population)
+	}
+	if bad := c.Constraints.MaxArea; bad < 0 || math.IsNaN(bad) || math.IsInf(bad, 0) {
+		return fmt.Errorf("search: max area %g outside [0, inf)", bad)
+	}
+	if bad := c.Constraints.MaxPowerW; bad < 0 || math.IsNaN(bad) || math.IsInf(bad, 0) {
+		return fmt.Errorf("search: max power %g outside [0, inf)", bad)
+	}
+	return nil
+}
+
+// Evaluator is the population-evaluation seam: sweep.Engine satisfies it.
+// Normalize must map designs with identical simulation results onto one
+// key, and EvaluateBatchContext must return results in input order.
+type Evaluator interface {
+	Name() string
+	Stats() dfg.Stats
+	Normalize(d aladdin.Design) aladdin.Design
+	EvaluateBatchContext(ctx context.Context, designs []aladdin.Design, workers int) ([]aladdin.Result, error)
+}
+
+var _ Evaluator = (*sweep.Engine)(nil)
+
+// Point is one frontier member: the design, its full simulation result,
+// and the objective values in config order (natural units).
+type Point struct {
+	Design aladdin.Design
+	Result aladdin.Result
+	Values []float64
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	Strategy    Strategy
+	Objectives  []Objective
+	Generations int // generations (NSGA2) or rungs (Halving) completed
+	Evaluations int // unique design points simulated, restored + fresh
+	Resumed     int // evaluations restored from a checkpoint snapshot
+	SpaceSize   int // genotype count of the searched space
+	Frontier    []Point
+}
+
+// dominates reports whether values a dominate b (no worse everywhere,
+// strictly better somewhere) under the objective directions.
+func dominates(objectives []Objective, a, b []float64) bool {
+	strict := false
+	for i, o := range objectives {
+		if o.better(b[i], a[i]) {
+			return false
+		}
+		if o.better(a[i], b[i]) {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// sortFrontier orders points deterministically: better first objective
+// first, ties broken by the remaining objectives then the design tuple.
+func sortFrontier(objectives []Objective, pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		for k, o := range objectives {
+			if a.Values[k] != b.Values[k] {
+				return o.better(a.Values[k], b.Values[k])
+			}
+		}
+		return designLess(a.Design, b.Design)
+	})
+}
+
+// designLess is a total order over designs for deterministic tie-breaks.
+func designLess(a, b aladdin.Design) bool {
+	if a.NodeNM != b.NodeNM {
+		return a.NodeNM < b.NodeNM
+	}
+	if a.Partition != b.Partition {
+		return a.Partition < b.Partition
+	}
+	if a.Simplification != b.Simplification {
+		return a.Simplification < b.Simplification
+	}
+	if a.Fusion != b.Fusion {
+		return !a.Fusion
+	}
+	if a.ClockGHz != b.ClockGHz {
+		return a.ClockGHz < b.ClockGHz
+	}
+	return a.MemoryBanks < b.MemoryBanks
+}

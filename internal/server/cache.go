@@ -113,6 +113,40 @@ func (c *engineCache) len() int {
 	return len(c.entries)
 }
 
+// stats reports per-resident-engine telemetry for /v1/metrics: the
+// compiled engine's schedule-cache reuse (full scheduling walks vs
+// evaluations served from a reused schedule summary) and how many
+// distinct design points its memo table holds. In-flight compiles are
+// skipped rather than waited on — a metrics scrape must never block on a
+// compile.
+func (c *engineCache) stats() map[string]any {
+	c.mu.Lock()
+	entries := make(map[string]*engineEntry, len(c.entries))
+	for k, e := range c.entries {
+		entries[k] = e
+	}
+	c.mu.Unlock()
+
+	out := make(map[string]any, len(entries))
+	for k, e := range entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still compiling
+		}
+		if e.err != nil || e.eng == nil {
+			continue
+		}
+		walks, hits := e.eng.ScheduleCacheStats()
+		out[k] = map[string]any{
+			"schedule_walks": walks,
+			"schedule_hits":  hits,
+			"cached_points":  e.eng.CachedPoints(),
+		}
+	}
+	return out
+}
+
 // engineKey normalizes a workload reference onto its cache key. Plain
 // concatenation: this runs on every sweep request.
 func engineKey(workload string, size int) string {

@@ -93,6 +93,56 @@ func FuzzUncertaintyRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzSearchRequestDecode hammers the search codec + validator + config
+// mapping: no input may panic, and a body that clears the validator must
+// map to a search.Config that the engine's own Validate accepts, with a
+// bounded evaluation budget and only finite numerics — the invariants the
+// explorer relies on to terminate.
+func FuzzSearchRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"workload": "FFT", "population": 12, "generations": 4, "seed": 5}`))
+	f.Add([]byte(`{"workload": "S3D", "strategy": "halving", "objectives": ["delay", "energy"], "max_area": 50, "max_power_w": 5}`))
+	f.Add([]byte(`{"workload": "RED", "space": {"nodes": [45, 5], "partitions": [1, 4], "simplifications": [1, 2], "fusion": [false, true], "clocks": [1, 2], "memory_banks": [1, 8]}}`))
+	f.Add([]byte(`{"workload": "FFT", "population": 1000, "generations": 1000}`))
+	f.Add([]byte(`{"workload": "FFT", "max_area": 1e309}`))
+	f.Add([]byte(`{"workload": "FFT", "space": {"nodes": [0]}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req searchRequest
+		if err := decodeBody(&req, body); err != nil {
+			return
+		}
+		if err := req.validate(); err != nil {
+			return
+		}
+		cfg, err := req.config()
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("validated request maps to invalid config: %v (body %q)", err, body)
+		}
+		if cfg.Population < 2 || cfg.Generations < 1 || cfg.Population*cfg.Generations > maxSearchEvaluations {
+			t.Fatalf("accepted config has unbounded budget: pop=%d gens=%d", cfg.Population, cfg.Generations)
+		}
+		for name, v := range map[string]float64{
+			"max_area": cfg.Constraints.MaxArea, "max_power_w": cfg.Constraints.MaxPowerW,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted config has non-finite %s: %v", name, v)
+			}
+		}
+		for i, nm := range cfg.Space.Nodes {
+			if math.IsNaN(nm) || math.IsInf(nm, 0) || nm < 1 {
+				t.Fatalf("accepted space node %d: %v", i, nm)
+			}
+		}
+		for i, c := range cfg.Space.Clocks {
+			if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+				t.Fatalf("accepted space clock %d: %v", i, c)
+			}
+		}
+	})
+}
+
 // FuzzCSRRequestDecode checks the CSR codec + validator never panic and
 // never accept non-finite observation numerics.
 func FuzzCSRRequestDecode(f *testing.F) {

@@ -60,9 +60,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// handleMetrics serves the operational counters.
+// handleMetrics serves the operational counters, plus a per-resident-
+// engine block: each cached engine's schedule-reuse counters and memoized
+// design-point count, keyed by "workload@size".
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap["engines"] = s.engines.stats()
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleCMOS serves the node-scaling model: every modeled node, or one
@@ -268,8 +272,11 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		Full   string `json:"full_name,omitempty"`
 	}
 	var out []row
-	for _, spec := range workloads.All() {
+	for _, spec := range workloads.TableIV() {
 		out = append(out, row{Name: spec.Abbrev, Kind: "table4", Domain: spec.Domain, Full: spec.Name})
+	}
+	for _, spec := range workloads.All()[len(workloads.TableIV()):] {
+		out = append(out, row{Name: spec.Abbrev, Kind: "dnn", Domain: spec.Domain, Full: spec.Name})
 	}
 	for _, v := range workloads.Variants() {
 		out = append(out, row{Name: v.Base + "/" + v.Name, Kind: "variant", Full: v.Effect})

@@ -33,6 +33,7 @@ import (
 	"accelwall/internal/checkpoint"
 	"accelwall/internal/core"
 	"accelwall/internal/montecarlo"
+	"accelwall/internal/search"
 	"accelwall/internal/sweep"
 )
 
@@ -49,12 +50,13 @@ const (
 // asynchronously, carrying the same body the synchronous endpoint
 // accepts. Exactly one of the kind-specific bodies may be set.
 type jobRequest struct {
-	Kind        string              `json:"kind"` // uncertainty | sweep
+	Kind        string              `json:"kind"` // uncertainty | sweep | search
 	Uncertainty *uncertaintyRequest `json:"uncertainty,omitempty"`
 	Sweep       *sweepRequest       `json:"sweep,omitempty"`
+	Search      *searchRequest      `json:"search,omitempty"`
 	// CheckpointEvery overrides the snapshot cadence in completed work
-	// units — replicates or unique design points (<= 0: the engine
-	// default).
+	// units — replicates, unique design points, or search steps (<= 0:
+	// the engine default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
@@ -361,13 +363,24 @@ func (jm *jobManager) fillTerminalProgress(j *job) {
 		if json.Unmarshal(j.result, &out) == nil {
 			j.setProgress(out.Evaluated, out.Evaluated)
 		}
+	case "search":
+		var out struct {
+			Generations int `json:"generations"`
+		}
+		if json.Unmarshal(j.result, &out) == nil {
+			// A search of G generations runs G+1 steps (seeding + G).
+			j.setProgress(out.Generations+1, out.Generations+1)
+		}
 	}
 }
 
 // snapshotProgress decodes a progress payload's counters per job kind.
 func (jm *jobManager) snapshotProgress(kind string, payload []byte) (done, total int, err error) {
-	if kind == "sweep" {
+	switch kind {
+	case "sweep":
 		return sweep.SnapshotProgress(payload)
+	case "search":
+		return search.SnapshotProgress(payload)
 	}
 	return montecarlo.SnapshotProgress(payload)
 }
@@ -377,8 +390,8 @@ func (jm *jobManager) snapshotProgress(kind string, payload []byte) (done, total
 func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 	switch req.Kind {
 	case "uncertainty":
-		if req.Sweep != nil {
-			return nil, http.StatusBadRequest, errors.New("uncertainty job carries a sweep body")
+		if req.Sweep != nil || req.Search != nil {
+			return nil, http.StatusBadRequest, errors.New("uncertainty job carries another kind's body")
 		}
 		if req.Uncertainty == nil {
 			req.Uncertainty = &uncertaintyRequest{} // all defaults
@@ -394,8 +407,8 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 			return nil, http.StatusBadRequest, err
 		}
 	case "sweep":
-		if req.Uncertainty != nil {
-			return nil, http.StatusBadRequest, errors.New("sweep job carries an uncertainty body")
+		if req.Uncertainty != nil || req.Search != nil {
+			return nil, http.StatusBadRequest, errors.New("sweep job carries another kind's body")
 		}
 		if req.Sweep == nil {
 			return nil, http.StatusBadRequest, errors.New("sweep job needs a sweep body")
@@ -403,8 +416,27 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 		if status, err := jm.validateSweepJob(req.Sweep); err != nil {
 			return nil, status, err
 		}
+	case "search":
+		if req.Uncertainty != nil || req.Sweep != nil {
+			return nil, http.StatusBadRequest, errors.New("search job carries another kind's body")
+		}
+		if req.Search == nil {
+			return nil, http.StatusBadRequest, errors.New("search job needs a search body")
+		}
+		if req.Search.Workload == "" {
+			return nil, http.StatusBadRequest, errors.New("missing workload")
+		}
+		if err := req.Search.validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if _, err := req.Search.config(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if err := knownWorkload(req.Search.Workload); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 	default:
-		return nil, http.StatusBadRequest, fmt.Errorf("unknown kind %q (want uncertainty or sweep)", req.Kind)
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown kind %q (want uncertainty, sweep, or search)", req.Kind)
 	}
 
 	<-jm.recovered // ids are allocated only once recovery has fixed the sequence
@@ -423,6 +455,11 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 	j := &job{id: id, req: req, created: time.Now(), state: jobPending}
 	if req.Kind == "uncertainty" {
 		j.total = req.Uncertainty.config().Normalized().Replicates
+	}
+	if req.Kind == "search" {
+		if cfg, err := req.Search.config(); err == nil {
+			j.total = cfg.Generations + 1
+		}
 	}
 	jm.mu.Unlock()
 
@@ -587,6 +624,7 @@ func isSnapshotErr(err error) bool {
 	for _, cause := range []error{
 		montecarlo.ErrSnapshotVersion, montecarlo.ErrSnapshotMismatch, montecarlo.ErrSnapshotCorrupt,
 		sweep.ErrSnapshotVersion, sweep.ErrSnapshotMismatch, sweep.ErrSnapshotCorrupt,
+		search.ErrSnapshotVersion, search.ErrSnapshotMismatch, search.ErrSnapshotCorrupt,
 	} {
 		if errors.Is(err, cause) {
 			return true
@@ -673,6 +711,32 @@ func (jm *jobManager) runKind(j *job, resume []byte, log *checkpoint.Log) (json.
 		}
 		payload, err := json.Marshal(resp)
 		return payload, resumed, err
+	case "search":
+		req := j.req.Search
+		cfg, err := req.config()
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := buildWorkload(req.Workload, req.Size)
+		if err != nil {
+			return nil, 0, err
+		}
+		eng, err := sweep.NewEngine(g)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cfg.Workers <= 0 {
+			cfg.Workers = jm.srv.opts.Workers
+		}
+		res, err := search.RunCheckpointed(jm.ctx, eng, cfg, &search.Checkpoint{
+			Sink: sink, Every: j.req.CheckpointEvery, Resume: resume, OnError: onError,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		j.setProgress(res.Generations+1, res.Generations+1)
+		payload, err := json.Marshal(core.NewSearchJSON(req.Workload, cfg, res))
+		return payload, res.Resumed, err
 	}
 	return nil, 0, fmt.Errorf("unknown job kind %q", j.req.Kind)
 }

@@ -34,6 +34,9 @@ type Metrics struct {
 	UncertaintyRuns expvar.Int // Monte Carlo runs executed (uncertainty-cache loads)
 	UncertaintyHits expvar.Int
 
+	SearchRuns expvar.Int // design-space searches executed (search-cache loads)
+	SearchHits expvar.Int
+
 	// Marshaled grid-sweep response cache telemetry.
 	SweepRespHits   expvar.Int
 	SweepRespMisses expvar.Int
@@ -164,6 +167,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"uncertainty_cache": map[string]int64{
 			"hits": m.UncertaintyHits.Value(),
 			"runs": m.UncertaintyRuns.Value(),
+		},
+		"search_cache": map[string]int64{
+			"hits": m.SearchHits.Value(),
+			"runs": m.SearchRuns.Value(),
 		},
 		"sweep_response_cache": map[string]int64{
 			"hits":   m.SweepRespHits.Value(),

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"accelwall/internal/core"
+	"accelwall/internal/search"
+)
+
+// maxSearchEvaluations bounds a search request's evaluation budget —
+// population × generations, the worst-case fresh simulations past the
+// seeding lattice — to the same grid-point limit exhaustive sweeps get.
+const maxSearchEvaluations = 65536
+
+// maxSpaceAxis bounds each custom space axis's value count.
+const maxSpaceAxis = 1024
+
+// searchSpaceJSON describes a custom design space intensionally; a nil
+// space selects the paper's full Table III grid.
+type searchSpaceJSON struct {
+	Nodes           []float64 `json:"nodes"`
+	Partitions      []int     `json:"partitions"`
+	Simplifications []int     `json:"simplifications"`
+	Fusion          []bool    `json:"fusion"`
+	Clocks          []float64 `json:"clocks"`
+	MemoryBanks     []int     `json:"memory_banks"`
+}
+
+// searchRequest is the POST /v1/search body (and the search job body).
+// Every field but workload is optional; zero values select the search
+// defaults (NSGA-II, delay+energy objectives, Table III space, population
+// 48, 24 generations, seed 1).
+type searchRequest struct {
+	Workload    string           `json:"workload"`
+	Size        int              `json:"size,omitempty"`
+	Strategy    string           `json:"strategy,omitempty"`
+	Objectives  []string         `json:"objectives,omitempty"`
+	Population  int              `json:"population,omitempty"`
+	Generations int              `json:"generations,omitempty"`
+	Seed        int64            `json:"seed,omitempty"`
+	MaxArea     float64          `json:"max_area,omitempty"`
+	MaxPowerW   float64          `json:"max_power_w,omitempty"`
+	Space       *searchSpaceJSON `json:"space,omitempty"`
+	Workers     int              `json:"workers,omitempty"`
+}
+
+// config maps the wire body onto the normalized engine configuration.
+// Shared by the synchronous handler and the job runner.
+func (r *searchRequest) config() (search.Config, error) {
+	strategy, err := search.ParseStrategy(r.Strategy)
+	if err != nil {
+		return search.Config{}, err
+	}
+	cfg := search.Config{
+		Strategy:    strategy,
+		Population:  r.Population,
+		Generations: r.Generations,
+		Seed:        r.Seed,
+		Constraints: search.Constraints{MaxArea: r.MaxArea, MaxPowerW: r.MaxPowerW},
+		Workers:     r.Workers,
+	}
+	for _, name := range r.Objectives {
+		o, err := search.ParseObjective(name)
+		if err != nil {
+			return search.Config{}, err
+		}
+		cfg.Objectives = append(cfg.Objectives, o)
+	}
+	if r.Space != nil {
+		cfg.Space = search.Space{
+			Nodes:           r.Space.Nodes,
+			Partitions:      r.Space.Partitions,
+			Simplifications: r.Space.Simplifications,
+			Fusion:          r.Space.Fusion,
+			Clocks:          r.Space.Clocks,
+			MemoryBanks:     r.Space.MemoryBanks,
+		}
+	}
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return search.Config{}, err
+	}
+	return cfg, nil
+}
+
+// searchKey fingerprints a normalized search config for the response
+// cache. Worker count is excluded: searches are bit-identical at any pool
+// width. (search.Config holds slices, so it cannot key a map directly the
+// way montecarlo.Config does.)
+func searchKey(engine string, cfg search.Config) string {
+	var b strings.Builder
+	b.WriteString(engine)
+	b.WriteByte('|')
+	b.WriteString(cfg.Strategy.String())
+	f := func(v float64) { b.WriteByte(' '); b.WriteString(strconv.FormatFloat(v, 'g', -1, 64)) }
+	i := func(v int) { b.WriteByte(' '); b.WriteString(strconv.Itoa(v)) }
+	i(cfg.Population)
+	i(cfg.Generations)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cfg.Seed, 10))
+	f(cfg.Constraints.MaxArea)
+	f(cfg.Constraints.MaxPowerW)
+	b.WriteString("|obj")
+	for _, o := range cfg.Objectives {
+		i(int(o))
+	}
+	b.WriteString("|n")
+	for _, v := range cfg.Space.Nodes {
+		f(v)
+	}
+	b.WriteString("|p")
+	for _, v := range cfg.Space.Partitions {
+		i(v)
+	}
+	b.WriteString("|s")
+	for _, v := range cfg.Space.Simplifications {
+		i(v)
+	}
+	b.WriteString("|f")
+	for _, v := range cfg.Space.Fusion {
+		if v {
+			i(1)
+		} else {
+			i(0)
+		}
+	}
+	b.WriteString("|c")
+	for _, v := range cfg.Space.Clocks {
+		f(v)
+	}
+	b.WriteString("|b")
+	for _, v := range cfg.Space.MemoryBanks {
+		i(v)
+	}
+	return b.String()
+}
+
+// searchCache memoizes search runs keyed by the normalized config
+// fingerprint, with the uncertainty cache's reference-counted
+// singleflight discipline: concurrent identical requests share one run,
+// the run is cancelled only when its last waiter goes away, and failed or
+// abandoned runs are never cached.
+type searchCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*searchEntry
+	order   []string // ready keys in completion order
+	metrics *Metrics
+}
+
+type searchEntry struct {
+	ready chan struct{}
+	out   core.SearchJSON
+	err   error
+
+	mu      sync.Mutex
+	waiters int
+	done    bool
+	cancel  context.CancelFunc
+	drop    func()
+}
+
+func (e *searchEntry) join() {
+	e.mu.Lock()
+	e.waiters++
+	e.mu.Unlock()
+}
+
+func (e *searchEntry) leave() {
+	e.mu.Lock()
+	e.waiters--
+	abandon := e.waiters <= 0 && !e.done
+	e.mu.Unlock()
+	if abandon {
+		e.cancel()
+		e.drop()
+	}
+}
+
+func (e *searchEntry) finish() {
+	e.mu.Lock()
+	e.done = true
+	e.mu.Unlock()
+	close(e.ready)
+}
+
+func (e *searchEntry) await(ctx context.Context) (core.SearchJSON, error) {
+	stop := context.AfterFunc(ctx, e.leave)
+	select {
+	case <-e.ready:
+		if stop() {
+			e.leave()
+		}
+		return e.out, e.err
+	case <-ctx.Done():
+		return core.SearchJSON{}, ctx.Err()
+	}
+}
+
+// newSearchCache builds a cache of at most max completed runs (max <= 0
+// selects 64).
+func newSearchCache(max int, metrics *Metrics) *searchCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &searchCache{
+		max:     max,
+		entries: make(map[string]*searchEntry),
+		metrics: metrics,
+	}
+}
+
+// get returns the wire payload for the key, running the search at most
+// once per key no matter how many goroutines ask concurrently. run
+// executes on a background context that is cancelled only when every
+// waiter has gone away; ctx bounds this caller's wait alone.
+func (c *searchCache) get(ctx context.Context, key string, run func(ctx context.Context) (core.SearchJSON, error)) (core.SearchJSON, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.join()
+		c.mu.Unlock()
+		c.metrics.SearchHits.Add(1)
+		return e.await(ctx)
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	e := &searchEntry{ready: make(chan struct{}), cancel: cancel}
+	e.drop = func() {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	e.join()
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.metrics.SearchRuns.Add(1)
+	go func() {
+		e.out, e.err = run(runCtx)
+		e.finish()
+		cancel()
+
+		c.mu.Lock()
+		cur, resident := c.entries[key]
+		switch {
+		case !resident || cur != e:
+			// Abandoned in the final instant; nothing to cache.
+		case e.err != nil:
+			delete(c.entries, key)
+		default:
+			c.order = append(c.order, key)
+			for len(c.order) > c.max {
+				victim := c.order[0]
+				c.order = c.order[1:]
+				delete(c.entries, victim)
+			}
+		}
+		c.mu.Unlock()
+	}()
+	return e.await(ctx)
+}
+
+// handleSearch serves synchronous design-space searches on the workload's
+// cached engine. Deterministic in everything but pool width, so completed
+// frontiers are memoized on the normalized config; concurrent identical
+// requests share one run with reference-counted cancellation, matching
+// /v1/uncertainty.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload")
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng, err := s.engines.get(engineKey(req.Workload, req.Size))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	key := searchKey(engineKey(req.Workload, req.Size), cfg)
+	out, err := s.searches.get(r.Context(), key, func(runCtx context.Context) (core.SearchJSON, error) {
+		run := cfg
+		run.Workers = workers
+		res, err := search.RunContext(runCtx, eng, run)
+		if err != nil {
+			return core.SearchJSON{}, err
+		}
+		return core.NewSearchJSON(req.Workload, run, res), nil
+	})
+	if err != nil {
+		if s.cancelled(w, r, err) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}

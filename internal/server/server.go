@@ -17,10 +17,11 @@
 //	GET  /v1/casestudy/{name}      bitcoin | videodec | gpu | fpgacnn
 //	POST /v1/sweep                 design-point / grid evaluation
 //	POST /v1/uncertainty           Monte Carlo confidence bands on the wall
+//	POST /v1/search                guided design-space search (Pareto frontier)
 //	GET  /v1/workloads             kernels /v1/sweep accepts
 //	GET  /v1/experiments           experiment registry
 //	GET  /v1/experiments/{id}      one experiment, machine-readable
-//	POST /v1/jobs                  submit a durable async job (uncertainty | sweep)
+//	POST /v1/jobs                  submit a durable async job (uncertainty | sweep | search)
 //	GET  /v1/jobs                  list jobs, including those recovered after a crash
 //	GET  /v1/jobs/{id}             job state, progress, and result
 //
@@ -145,6 +146,7 @@ type Server struct {
 	responses   *respCache // marshaled grid-sweep bodies
 	studies     *studyCache
 	uncertainty *uncertaintyCache
+	searches    *searchCache
 	adm         *admission
 	jobs        *jobManager // nil unless Options.JobsDir is set
 	draining    atomic.Bool // set once a graceful drain begins; gates /readyz
@@ -166,6 +168,7 @@ func New(opts Options) (*Server, error) {
 	s.responses = newRespCache(0)
 	s.studies = newStudyCache(s.metrics)
 	s.uncertainty = newUncertaintyCache(0, s.metrics)
+	s.searches = newSearchCache(0, s.metrics)
 	if opts.JobsDir != "" {
 		jm, err := newJobManager(s, opts.JobsDir, opts.MaxJobs)
 		if err != nil {
@@ -216,6 +219,7 @@ func (s *Server) routes() http.Handler {
 	route("GET /v1/casestudy/{name}", s.handleCaseStudy)
 	route("POST /v1/sweep", s.handleSweep)
 	route("POST /v1/uncertainty", s.handleUncertainty)
+	route("POST /v1/search", s.handleSearch)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/experiments/{id}", s.handleExperiment)

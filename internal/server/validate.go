@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"math"
+
+	"accelwall/internal/search"
 )
 
 // Numeric sanity bounds for request bodies. JSON happily encodes NaN-free
@@ -99,6 +101,64 @@ func (r *uncertaintyRequest) validate() error {
 	}
 	if err := finiteIn("cmos_jitter", r.CMOSJitter, 0, 1); err != nil {
 		return err
+	}
+	return nil
+}
+
+// validate checks a search request's numeric fields before config mapping.
+// Budget semantics (population × generations against the grid-point limit)
+// live here too: the search package happily runs any size, but the server
+// bounds synchronous work the same way it bounds exhaustive sweeps.
+func (r *searchRequest) validate() error {
+	if r.Workers < 0 || r.Workers > maxWorkers {
+		return badField("workers", "%d outside [0, %d]", r.Workers, maxWorkers)
+	}
+	if r.Size < 0 || r.Size > maxSize {
+		return badField("size", "%d outside [0, %d]", r.Size, maxSize)
+	}
+	if r.Population < 0 || r.Generations < 0 {
+		return badField("population", "population/generations must be non-negative")
+	}
+	if r.Seed < 0 {
+		return badField("seed", "%d is negative", r.Seed)
+	}
+	if err := finiteIn("max_area", r.MaxArea, 0, maxDieMM2); err != nil {
+		return err
+	}
+	if err := finiteIn("max_power_w", r.MaxPowerW, 0, maxTDPW); err != nil {
+		return err
+	}
+	pop, gens := r.Population, r.Generations
+	if pop == 0 {
+		pop = search.DefaultPopulation
+	}
+	if gens == 0 {
+		gens = search.DefaultGenerations
+	}
+	if pop*gens > maxSearchEvaluations {
+		return badField("generations", "population %d x generations %d exceeds the %d evaluation budget", pop, gens, maxSearchEvaluations)
+	}
+	if sp := r.Space; sp != nil {
+		for _, n := range [...]int{len(sp.Nodes), len(sp.Partitions), len(sp.Simplifications), len(sp.Fusion), len(sp.Clocks), len(sp.MemoryBanks)} {
+			if n > maxSpaceAxis {
+				return badField("space", "axis has %d values, limit %d", n, maxSpaceAxis)
+			}
+		}
+		for i, nm := range sp.Nodes {
+			if err := finiteIn(fmt.Sprintf("space.nodes[%d]", i), nm, 1, maxNodeNM); err != nil {
+				return err
+			}
+		}
+		for i, c := range sp.Clocks {
+			if err := finiteIn(fmt.Sprintf("space.clocks[%d]", i), c, 0, maxClockGHz); err != nil {
+				return err
+			}
+		}
+		for i, b := range sp.MemoryBanks {
+			if b < 0 || b > maxWorkers {
+				return badField(fmt.Sprintf("space.memory_banks[%d]", i), "%d outside [0, %d]", b, maxWorkers)
+			}
+		}
 	}
 	return nil
 }

@@ -48,6 +48,18 @@ func NewEngine(g *dfg.Graph) (*Engine, error) {
 // Stats returns the compiled graph's structural statistics.
 func (e *Engine) Stats() dfg.Stats { return e.c.Stats() }
 
+// Name returns the compiled workload graph's name.
+func (e *Engine) Name() string { return e.c.Name() }
+
+// Normalize maps a design onto the engine's memo key: the partition
+// plateau is clamped at the graph's compute width and zero-value knobs
+// are spelled out (clock 1 GHz, banks = partition). Two designs with the
+// same normalized key are guaranteed bit-identical results, which is what
+// deduplicating callers (the design-space search) key their archives on.
+func (e *Engine) Normalize(d aladdin.Design) aladdin.Design {
+	return normalizeKey(e.maxP, d)
+}
+
 // ScheduleCacheStats reports the underlying compiled engine's schedule
 // reuse counters: how many full scheduling walks ran and how many design
 // evaluations were served from a cached or reused schedule summary.
@@ -150,6 +162,69 @@ func (e *Engine) WarmContext(ctx context.Context, p Params, workers int) (int, e
 	}
 	e.mu.Unlock()
 	return len(missing), nil
+}
+
+// EvaluateBatch simulates a population of design points in one pooled,
+// batched pass and returns results in input order. See
+// EvaluateBatchContext.
+func (e *Engine) EvaluateBatch(designs []aladdin.Design, workers int) ([]aladdin.Result, error) {
+	return e.EvaluateBatchContext(context.Background(), designs, workers)
+}
+
+// EvaluateBatchContext simulates every design of the population whose
+// normalized key is not yet memoized — deduplicated within the batch and
+// against the memo table — as one batched, cancellable, fault-isolated
+// pool pass (the same chunked SimulateBatchInto path grid sweeps use),
+// then assembles results in input order with each caller's design
+// spelling. This is the population-evaluation seam the design-space
+// search drives: one call per generation, memo hits costing a map lookup.
+//
+// On cancellation it returns ctx.Err(); the unique points that completed
+// before the pool quiesced are kept in the memo table (bit-identical to an
+// uncancelled run's), so an abandoned generation still warms its re-run.
+func (e *Engine) EvaluateBatchContext(ctx context.Context, designs []aladdin.Design, workers int) ([]aladdin.Result, error) {
+	seen := make(map[aladdin.Design]bool, len(designs))
+	var missing []aladdin.Design
+	e.mu.RLock()
+	for _, d := range designs {
+		k := normalizeKey(e.maxP, d)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := e.cache[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	e.mu.RUnlock()
+	if len(missing) > 0 {
+		results, completed, err := simulateDesigns(ctx, e.c, missing, workers)
+		if completed != nil {
+			e.mu.Lock()
+			for i, k := range missing {
+				if completed[i] {
+					e.cache[k] = results[i]
+				}
+			}
+			e.mu.Unlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]aladdin.Result, len(designs))
+	e.mu.RLock()
+	for i, d := range designs {
+		res, ok := e.cache[normalizeKey(e.maxP, d)]
+		if !ok {
+			e.mu.RUnlock()
+			return nil, errors.New("sweep: batch result missing after simulation")
+		}
+		res.Design = d
+		out[i] = res
+	}
+	e.mu.RUnlock()
+	return out, nil
 }
 
 // Run sweeps the grid and returns every design point in the deterministic

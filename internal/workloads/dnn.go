@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+
+	"accelwall/internal/dfg"
+)
+
+// BuildConv2D models one 3×3 convolution layer over an n×n interior with
+// two input channels — the DNN-accelerator workhorse. Per output pixel,
+// each channel contributes nine weight multiplies; the 18 products fold
+// through a balanced add tree, take a bias add, and pass a ReLU
+// (nonlinear). Weights are shared across pixels (as in a real layer), so
+// the kernel is wide, shallow, and multiply-dominated. Default n = 6.
+func BuildConv2D(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 6)
+	const channels = 2
+	const k = 3 // kernel side
+	g := dfg.New("CNV")
+	// One shared weight input per (channel, tap) and one bias.
+	weights := make([][k * k]dfg.NodeID, channels)
+	for c := 0; c < channels; c++ {
+		for t := 0; t < k*k; t++ {
+			weights[c][t] = g.AddInput(fmt.Sprintf("w%d_%d", c, t))
+		}
+	}
+	bias := g.AddInput("bias")
+	// The padded input feature map, per channel.
+	grid := make([][][]dfg.NodeID, channels)
+	for c := 0; c < channels; c++ {
+		grid[c] = make([][]dfg.NodeID, n+2)
+		for i := range grid[c] {
+			grid[c][i] = make([]dfg.NodeID, n+2)
+			for j := range grid[c][i] {
+				grid[c][i][j] = g.AddInput(fmt.Sprintf("x%d_%d_%d", c, i, j))
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			var taps []dfg.NodeID
+			for c := 0; c < channels; c++ {
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						t := (di+1)*k + (dj + 1)
+						taps = append(taps, g.MustOp(dfg.OpMul, grid[c][i+di][j+dj], weights[c][t]))
+					}
+				}
+			}
+			pre := g.MustOp(dfg.OpAdd, reduceTree(g, dfg.OpAdd, taps), bias)
+			g.MustOutput(fmt.Sprintf("y%d_%d", i, j), g.MustOp(dfg.OpNonlinear, pre))
+		}
+	}
+	return finish(g)
+}
+
+// BuildAttention models single-head scaled dot-product attention over a
+// length-n sequence with 4-dimensional heads: per query, dot products
+// against every key (multiplies + add tree), a scale multiply, a softmax
+// (per-score exponential via nonlinear, an add-tree normalizer, and a
+// divide per weight), then the value-weighted sum per dimension. Queries
+// parallelize; the softmax normalizer serializes each row — the
+// mixed-shape kernel that makes attention accelerators interesting.
+// Default n = 6.
+func BuildAttention(n int) (*dfg.Graph, error) {
+	n = defaultSize(n, 6)
+	const dims = 4
+	g := dfg.New("ATT")
+	q := make([][dims]dfg.NodeID, n)
+	kk := make([][dims]dfg.NodeID, n)
+	v := make([][dims]dfg.NodeID, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			q[i][d] = g.AddInput(fmt.Sprintf("q%d_%d", i, d))
+			kk[i][d] = g.AddInput(fmt.Sprintf("k%d_%d", i, d))
+			v[i][d] = g.AddInput(fmt.Sprintf("v%d_%d", i, d))
+		}
+	}
+	scale := g.AddInput("scale") // 1/sqrt(dims)
+	for i := 0; i < n; i++ {
+		// Scores: q_i · k_j, scaled.
+		exps := make([]dfg.NodeID, n)
+		for j := 0; j < n; j++ {
+			prods := make([]dfg.NodeID, dims)
+			for d := 0; d < dims; d++ {
+				prods[d] = g.MustOp(dfg.OpMul, q[i][d], kk[j][d])
+			}
+			score := g.MustOp(dfg.OpMul, reduceTree(g, dfg.OpAdd, prods), scale)
+			exps[j] = g.MustOp(dfg.OpNonlinear, score) // exp
+		}
+		// Softmax normalization.
+		norm := reduceTree(g, dfg.OpAdd, exps)
+		weights := make([]dfg.NodeID, n)
+		for j := 0; j < n; j++ {
+			weights[j] = g.MustOp(dfg.OpDiv, exps[j], norm)
+		}
+		// Value-weighted sum per head dimension.
+		for d := 0; d < dims; d++ {
+			terms := make([]dfg.NodeID, n)
+			for j := 0; j < n; j++ {
+				terms[j] = g.MustOp(dfg.OpMul, weights[j], v[j][d])
+			}
+			g.MustOutput(fmt.Sprintf("o%d_%d", i, d), reduceTree(g, dfg.OpAdd, terms))
+		}
+	}
+	return finish(g)
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import "testing"
+
+// Structural signatures of the deep-learning kernels, mirroring
+// TestKernelSignatures: each builder must produce its algorithm's
+// characteristic shape.
+func TestDNNSignatures(t *testing.T) {
+	build := func(abbrev string, n int) map[string]int {
+		spec, err := ByAbbrev(abbrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.ComputeStats()
+		return map[string]int{"vcmp": s.VCmp, "vout": s.VOut, "depth": s.Depth}
+	}
+
+	// CNV n=6: one output per interior pixel, each through a ReLU; depth is
+	// independent of the feature-map side (taps -> tree -> bias -> ReLU).
+	cnv := build("CNV", 6)
+	if cnv["vout"] != 36 {
+		t.Errorf("CNV outputs = %d, want 36 (6x6 interior)", cnv["vout"])
+	}
+	if d3, d8 := build("CNV", 3)["depth"], build("CNV", 8)["depth"]; d3 != d8 {
+		t.Errorf("CNV depth varies with feature-map size: %d vs %d", d3, d8)
+	}
+
+	// ATT n=6, 4 dims: one output per (query, dimension). The softmax
+	// normalizer makes each row deeper than a pure conv pipeline.
+	att := build("ATT", 6)
+	if att["vout"] != 24 {
+		t.Errorf("ATT outputs = %d, want 24 (6 queries x 4 dims)", att["vout"])
+	}
+	if att["depth"] <= cnv["depth"] {
+		t.Errorf("ATT depth (%d) should exceed CNV's (%d): softmax serializes each row", att["depth"], cnv["depth"])
+	}
+
+	// Attention cost grows quadratically in sequence length (n x n score
+	// matrix); doubling n must much more than double the compute nodes.
+	if c3, c6 := build("ATT", 3)["vcmp"], build("ATT", 6)["vcmp"]; c6 < 3*c3 {
+		t.Errorf("ATT compute did not grow quadratically: n=3 -> %d, n=6 -> %d", c3, c6)
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestAllSixteenApplications(t *testing.T) {
-	specs := All()
+	specs := TableIV()
 	if len(specs) != 16 {
 		t.Fatalf("Table IV lists 16 applications, got %d", len(specs))
 	}
@@ -19,6 +19,28 @@ func TestAllSixteenApplications(t *testing.T) {
 		}
 		if s.Name == "" || s.Domain == "" || s.Build == nil {
 			t.Errorf("spec %q incomplete: %+v", s.Abbrev, s)
+		}
+	}
+}
+
+// All() is the serving registry: the Table IV sixteen, in order, followed
+// by the deep-learning additions.
+func TestAllExtendsTableIV(t *testing.T) {
+	specs := All()
+	if len(specs) != 18 {
+		t.Fatalf("All() lists %d applications, want 18 (Table IV + CNV + ATT)", len(specs))
+	}
+	for i, s := range TableIV() {
+		if specs[i].Abbrev != s.Abbrev {
+			t.Errorf("All()[%d] = %q, want the Table IV order (%q)", i, specs[i].Abbrev, s.Abbrev)
+		}
+	}
+	if specs[16].Abbrev != "CNV" || specs[17].Abbrev != "ATT" {
+		t.Errorf("deep-learning tail = %q, %q; want CNV, ATT", specs[16].Abbrev, specs[17].Abbrev)
+	}
+	for _, abbrev := range []string{"CNV", "ATT"} {
+		if _, err := ByAbbrev(abbrev); err != nil {
+			t.Errorf("ByAbbrev(%q): %v", abbrev, err)
 		}
 	}
 }
@@ -72,6 +94,7 @@ func TestBuildsScaleWithSize(t *testing.T) {
 		"MDY": {10, 20}, "KNN": {16, 64}, "NWN": {6, 12}, "RBM": {8, 16},
 		"RED": {64, 256}, "SAD": {8, 16}, "SRT": {16, 32}, "SMV": {16, 32},
 		"SSP": {16, 32}, "S2D": {4, 8}, "S3D": {3, 5}, "TRD": {32, 128},
+		"CNV": {3, 6}, "ATT": {3, 6},
 	}
 	for _, spec := range All() {
 		spec := spec

@@ -11,7 +11,10 @@
 #      and poll the recovered job to completion;
 #   5. assert the job resumed (resumed > 0 — it did not restart cold)
 #      and that its result is byte-identical (jq -S canonicalized) to an
-#      uninterrupted `accelwall -uncertainty -json` reference run.
+#      uninterrupted `accelwall -uncertainty -json` reference run;
+#   6. repeat the same lifecycle for a design-space search job: SIGKILL
+#      the daemon mid-search, restart, and assert the resumed run's
+#      Pareto frontier is byte-identical to `accelwall -search -json`.
 #
 # Usage: scripts/crashtest.sh [port]   (default 18080)
 
@@ -109,3 +112,59 @@ fi
 
 echo "PASS: killed daemon resumed $JOB from replicate $RESUMED and produced"
 echo "      output byte-identical to an uninterrupted run."
+
+# ---------------------------------------------------------------------------
+# Stage 2: the same crash-recovery proof for a design-space search job.
+# Single worker + per-generation checkpoints keep the run slow and durable
+# enough to kill mid-search.
+SEARCH_WORKLOAD=S3D
+SEARCH_SIZE=14
+SEARCH_POP=64
+SEARCH_GENS=800
+SEARCH_SEED=7
+
+echo "== submit a search job =="
+SJOB=$(curl -sf "$BASE/v1/jobs" -d "{
+  \"kind\": \"search\", \"checkpoint_every\": 1,
+  \"search\": {\"workload\": \"$SEARCH_WORKLOAD\", \"size\": $SEARCH_SIZE,
+               \"population\": $SEARCH_POP, \"generations\": $SEARCH_GENS,
+               \"seed\": $SEARCH_SEED, \"workers\": 1}
+}" | jq -r .id)
+echo "submitted $SJOB"
+
+# Wait for at least two durable generations, then pull the plug again.
+poll_job "$SJOB" ".progress_done >= 2" 600 || {
+  echo "search job never made progress"; curl -s "$BASE/v1/jobs/$SJOB"; exit 1
+}
+
+echo "== kill -9 mid-search =="
+curl -s "$BASE/v1/jobs/$SJOB" | jq '{state, progress_done, progress_total}'
+kill -9 "$DAEMON_PID"
+while kill -0 "$DAEMON_PID" 2>/dev/null; do sleep 0.01; done
+DAEMON_PID=""
+
+echo "== restart over the same jobs directory =="
+start_daemon
+poll_job "$SJOB" '.state == "done"' 2400 || {
+  echo "recovered search job never finished"; curl -s "$BASE/v1/jobs/$SJOB"; exit 1
+}
+
+SRESUMED=$(curl -s "$BASE/v1/jobs/$SJOB" | jq .resumed)
+echo "search job done; resumed $SRESUMED evaluations from the snapshot"
+if [ "$SRESUMED" = "null" ] || [ "$SRESUMED" -le 0 ]; then
+  echo "FAIL: search job restarted cold instead of resuming" >&2
+  exit 1
+fi
+
+echo "== compare against an uninterrupted search reference run =="
+curl -s "$BASE/v1/jobs/$SJOB" | jq -S .result > "$WORK/search-job.json"
+"$WORK/accelwall" -search -json -workload "$SEARCH_WORKLOAD" -size "$SEARCH_SIZE" \
+  -population "$SEARCH_POP" -generations "$SEARCH_GENS" -seed "$SEARCH_SEED" \
+  | jq -S . > "$WORK/search-ref.json"
+if ! diff -u "$WORK/search-ref.json" "$WORK/search-job.json"; then
+  echo "FAIL: resumed search frontier differs from the uninterrupted run" >&2
+  exit 1
+fi
+
+echo "PASS: killed daemon resumed search job $SJOB ($SRESUMED evaluations"
+echo "      restored) and recovered the identical Pareto frontier."
