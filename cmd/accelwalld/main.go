@@ -31,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +64,11 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	maxGrid := fs.Int("max-grid", 0, "max design points per sweep request (0 = 65536)")
 	jobsDir := fs.String("jobs", "", "directory for durable async jobs (enables POST /v1/jobs; jobs resume here after a crash)")
 	maxJobs := fs.Int("max-jobs", 0, "max tracked jobs, finished included (0 = 64); requires -jobs")
+	peers := fs.String("peers", "", "comma-separated cluster peer URLs including this peer's own, or @FILE with one URL per line (>= 2 peers enables cluster mode)")
+	self := fs.String("self", "", "this peer's own URL within -peers; requires -peers")
+	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 500ms)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "how long a scatter waits on a straggler slice before duplicating it (0 = 2s)")
+	apiKeysFile := fs.String("api-keys", "", "API key file (lines of name:key[:rps[:burst]]); enables per-tenant auth + quotas on heavy endpoints")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +81,19 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	}
 	if *maxJobs != 0 && *jobsDir == "" {
 		return fmt.Errorf("-max-jobs requires -jobs")
+	}
+	peerList, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	if len(peerList) > 0 && *self == "" {
+		return fmt.Errorf("-peers requires -self")
+	}
+	var apiKeys []server.APIKey
+	if *apiKeysFile != "" {
+		if apiKeys, err = server.LoadAPIKeys(*apiKeysFile); err != nil {
+			return fmt.Errorf("-api-keys: %w", err)
+		}
 	}
 	var logger *log.Logger
 	if !*quiet {
@@ -93,10 +112,42 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 		MaxGridPoints:   *maxGrid,
 		JobsDir:         *jobsDir,
 		MaxJobs:         *maxJobs,
+		ClusterPeers:    peerList,
+		ClusterSelf:     *self,
+		ProbeInterval:   *probeInterval,
+		HedgeDelay:      *hedgeDelay,
+		APIKeys:         apiKeys,
 		Logger:          logger,
 	})
 	if err != nil {
 		return err
 	}
 	return s.ListenAndServe(ctx, *addr)
+}
+
+// parsePeers resolves the -peers flag: a comma-separated URL list, or
+// @FILE naming a file with one URL per line ('#' comments allowed).
+func parsePeers(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var fields []string
+	if name, ok := strings.CutPrefix(spec, "@"); ok {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("-peers: %w", err)
+		}
+		fields = strings.Split(string(data), "\n")
+	} else {
+		fields = strings.Split(spec, ",")
+	}
+	var peers []string
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" || strings.HasPrefix(f, "#") {
+			continue
+		}
+		peers = append(peers, strings.TrimRight(f, "/"))
+	}
+	return peers, nil
 }

@@ -1,0 +1,445 @@
+// The internode slice codec: the binary request/response frames peers
+// exchange on POST /v1/internal/slice. Binary rather than JSON because
+// the payloads are dense float vectors whose bit patterns must survive
+// the trip exactly — results are merged into responses that have to be
+// byte-identical to a single-node run, so floats travel as raw IEEE-754
+// bits, never through a decimal round-trip.
+//
+// Decoding is fully bounds- and sanity-checked: frames come only from
+// peers we configured, but the codec is fuzzed to the same standard as
+// the public JSON bodies — no input may panic, over-allocate, or smuggle
+// a non-finite float into the compute layers.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/montecarlo"
+	"accelwall/internal/sweep"
+)
+
+// Slice kinds: which endpoint's work a slice carries.
+const (
+	KindSweep       = 1 // evaluate a unique-design index range of a grid
+	KindUncertainty = 2 // compute a Monte Carlo replicate range
+	KindSearch      = 3 // evaluate an explicit design list (search batch)
+)
+
+// Frame magics and the codec version.
+var (
+	reqMagic  = [4]byte{'a', 'w', 's', 'q'}
+	respMagic = [4]byte{'a', 'w', 's', 'p'}
+)
+
+const codecVersion = 1
+
+// Decode limits. Generous multiples of what the server-side request
+// bounds allow, so a legitimate frame never trips them while a corrupt
+// length field cannot drive allocation.
+const (
+	maxWorkloadLen  = 256
+	maxAxisLen      = 4096
+	maxSliceDesigns = 1 << 20
+	maxSliceWidth   = 1 << 24
+	maxMCPayload    = 64 << 20
+)
+
+// ErrCodec is the sentinel wrapped by every decode failure.
+var ErrCodec = errors.New("cluster: malformed slice frame")
+
+// SliceRequest is one unit of scattered work. Kind selects which optional
+// fields are meaningful: sweeps carry Workload/Size/Grid and the unique-
+// design index range [Lo, Hi); uncertainty carries MC and the replicate
+// range; search carries Workload/Size and an explicit design list
+// (Lo/Hi frame the batch's position for logging and merging).
+type SliceRequest struct {
+	Kind     int
+	Lo, Hi   int
+	Workload string
+	Size     int
+	Grid     *sweep.Params
+	MC       *montecarlo.Config
+	Designs  []aladdin.Design
+}
+
+// SliceResponse carries the computed results of one slice. Sweep and
+// search slices return bare result records in request order (the designs
+// are re-derived by the coordinator, which knows the list); uncertainty
+// slices return an opaque montecarlo slice payload with its own digest
+// guard.
+type SliceResponse struct {
+	Kind    int
+	Lo, Hi  int
+	Results []aladdin.Result
+	Payload []byte
+}
+
+// frameWriter accumulates one frame.
+type frameWriter struct{ b []byte }
+
+func (w *frameWriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *frameWriter) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *frameWriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *frameWriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *frameWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *frameWriter) str(s string) {
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// frameReader is a bounds-checked cursor over one frame.
+type frameReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *frameReader) take(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *frameReader) u8() byte {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (r *frameReader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *frameReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *frameReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *frameReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *frameReader) str(max int) string {
+	n := int(r.u16())
+	if n > max {
+		r.bad = true
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// boolean reads a strict 0/1 byte; any other value marks the frame bad so
+// every accepted frame has exactly one encoding.
+func (r *frameReader) boolean() bool {
+	v := r.u8()
+	if !r.bad && v > 1 {
+		r.bad = true
+	}
+	return v == 1
+}
+
+// finite guards a decoded float: the compute layers assume finite inputs.
+func (r *frameReader) finite() float64 {
+	v := r.f64()
+	if !r.bad && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		r.bad = true
+	}
+	return v
+}
+
+// EncodeRequest renders one slice request frame.
+func EncodeRequest(req *SliceRequest) []byte {
+	w := &frameWriter{b: make([]byte, 0, 64+len(req.Designs)*33)}
+	w.b = append(w.b, reqMagic[:]...)
+	w.u16(codecVersion)
+	w.u8(byte(req.Kind))
+	w.u32(uint32(req.Lo))
+	w.u32(uint32(req.Hi))
+	w.str(req.Workload)
+	w.u32(uint32(req.Size))
+
+	var flags byte
+	if req.Grid != nil {
+		flags |= 1
+	}
+	if req.MC != nil {
+		flags |= 2
+	}
+	w.u8(flags)
+	if req.Grid != nil {
+		w.u32(uint32(len(req.Grid.Nodes)))
+		for _, v := range req.Grid.Nodes {
+			w.f64(v)
+		}
+		w.u32(uint32(len(req.Grid.Partitions)))
+		for _, v := range req.Grid.Partitions {
+			w.u32(uint32(v))
+		}
+		w.u32(uint32(len(req.Grid.Simplifications)))
+		for _, v := range req.Grid.Simplifications {
+			w.u32(uint32(v))
+		}
+		w.u32(uint32(len(req.Grid.Fusion)))
+		for _, v := range req.Grid.Fusion {
+			if v {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+		}
+	}
+	if req.MC != nil {
+		w.u32(uint32(req.MC.Replicates))
+		w.u64(uint64(req.MC.Seed))
+		w.u64(uint64(req.MC.CorpusSeed))
+		w.f64(req.MC.Confidence)
+		w.f64(req.MC.GainTarget)
+		w.f64(req.MC.CMOSJitter)
+	}
+	w.u32(uint32(len(req.Designs)))
+	for _, d := range req.Designs {
+		encodeDesign(w, d)
+	}
+	return w.b
+}
+
+func encodeDesign(w *frameWriter, d aladdin.Design) {
+	w.f64(d.NodeNM)
+	w.u32(uint32(d.Partition))
+	w.u32(uint32(d.Simplification))
+	if d.Fusion {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.f64(d.ClockGHz)
+	w.u32(uint32(d.MemoryBanks))
+}
+
+func decodeDesign(r *frameReader) aladdin.Design {
+	var d aladdin.Design
+	d.NodeNM = r.finite()
+	d.Partition = int(int32(r.u32()))
+	d.Simplification = int(int32(r.u32()))
+	d.Fusion = r.boolean()
+	d.ClockGHz = r.finite()
+	d.MemoryBanks = int(int32(r.u32()))
+	return d
+}
+
+// DecodeRequest parses and sanity-checks one slice request frame.
+func DecodeRequest(b []byte) (*SliceRequest, error) {
+	r := &frameReader{b: b}
+	if m := r.take(4); m == nil || [4]byte(m) != reqMagic {
+		return nil, fmt.Errorf("%w: bad request magic", ErrCodec)
+	}
+	if v := r.u16(); r.bad || v != codecVersion {
+		return nil, fmt.Errorf("%w: request version %d, this build reads %d", ErrCodec, v, codecVersion)
+	}
+	req := &SliceRequest{}
+	req.Kind = int(r.u8())
+	req.Lo = int(int32(r.u32()))
+	req.Hi = int(int32(r.u32()))
+	req.Workload = r.str(maxWorkloadLen)
+	req.Size = int(int32(r.u32()))
+	flags := r.u8()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated request header", ErrCodec)
+	}
+	if req.Kind < KindSweep || req.Kind > KindSearch {
+		return nil, fmt.Errorf("%w: unknown slice kind %d", ErrCodec, req.Kind)
+	}
+	if req.Lo < 0 || req.Hi < req.Lo || req.Hi > maxSliceWidth {
+		return nil, fmt.Errorf("%w: slice range [%d, %d)", ErrCodec, req.Lo, req.Hi)
+	}
+	if req.Size < 0 || req.Size > maxSliceWidth {
+		return nil, fmt.Errorf("%w: workload size %d", ErrCodec, req.Size)
+	}
+	if flags&^3 != 0 {
+		return nil, fmt.Errorf("%w: unknown request flags %#x", ErrCodec, flags)
+	}
+	if flags&1 != 0 {
+		g := &sweep.Params{}
+		g.Nodes = decodeFloats(r)
+		g.Partitions = decodeInts(r)
+		g.Simplifications = decodeInts(r)
+		g.Fusion = decodeBools(r)
+		req.Grid = g
+	}
+	if flags&2 != 0 {
+		mc := &montecarlo.Config{}
+		mc.Replicates = int(int32(r.u32()))
+		mc.Seed = int64(r.u64())
+		mc.CorpusSeed = int64(r.u64())
+		mc.Confidence = r.finite()
+		mc.GainTarget = r.finite()
+		mc.CMOSJitter = r.finite()
+		req.MC = mc
+	}
+	n := int(r.u32())
+	if r.bad || n < 0 || n > maxSliceDesigns {
+		return nil, fmt.Errorf("%w: design count", ErrCodec)
+	}
+	if n > 0 {
+		req.Designs = make([]aladdin.Design, n)
+		for i := range req.Designs {
+			req.Designs[i] = decodeDesign(r)
+			if r.bad {
+				return nil, fmt.Errorf("%w: truncated design %d", ErrCodec, i)
+			}
+		}
+	}
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated request body", ErrCodec)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(b)-r.off)
+	}
+	return req, nil
+}
+
+func decodeFloats(r *frameReader) []float64 {
+	n := int(r.u32())
+	if n < 0 || n > maxAxisLen {
+		r.bad = true
+		return nil
+	}
+	out := make([]float64, 0, min(n, maxAxisLen))
+	for i := 0; i < n && !r.bad; i++ {
+		out = append(out, r.finite())
+	}
+	return out
+}
+
+func decodeInts(r *frameReader) []int {
+	n := int(r.u32())
+	if n < 0 || n > maxAxisLen {
+		r.bad = true
+		return nil
+	}
+	out := make([]int, 0, min(n, maxAxisLen))
+	for i := 0; i < n && !r.bad; i++ {
+		out = append(out, int(int32(r.u32())))
+	}
+	return out
+}
+
+func decodeBools(r *frameReader) []bool {
+	n := int(r.u32())
+	if n < 0 || n > maxAxisLen {
+		r.bad = true
+		return nil
+	}
+	out := make([]bool, 0, min(n, maxAxisLen))
+	for i := 0; i < n && !r.bad; i++ {
+		out = append(out, r.boolean())
+	}
+	return out
+}
+
+// EncodeResponse renders one slice response frame. Result records use the
+// same 9-word layout as the sweep checkpoint codec: Cycles and FusedOps
+// as integers, then the seven float figures of merit as raw bits.
+func EncodeResponse(resp *SliceResponse) []byte {
+	w := &frameWriter{b: make([]byte, 0, 32+len(resp.Results)*72+len(resp.Payload))}
+	w.b = append(w.b, respMagic[:]...)
+	w.u16(codecVersion)
+	w.u8(byte(resp.Kind))
+	w.u32(uint32(resp.Lo))
+	w.u32(uint32(resp.Hi))
+	w.u32(uint32(len(resp.Results)))
+	for _, res := range resp.Results {
+		w.u64(uint64(res.Cycles))
+		w.u64(uint64(res.FusedOps))
+		w.f64(res.RuntimeNS)
+		w.f64(res.DynEnergy)
+		w.f64(res.LeakEnergy)
+		w.f64(res.Energy)
+		w.f64(res.Power)
+		w.f64(res.Area)
+		w.f64(res.Utilization)
+	}
+	w.u32(uint32(len(resp.Payload)))
+	w.b = append(w.b, resp.Payload...)
+	return w.b
+}
+
+// DecodeResponse parses and sanity-checks one slice response frame.
+func DecodeResponse(b []byte) (*SliceResponse, error) {
+	r := &frameReader{b: b}
+	if m := r.take(4); m == nil || [4]byte(m) != respMagic {
+		return nil, fmt.Errorf("%w: bad response magic", ErrCodec)
+	}
+	if v := r.u16(); r.bad || v != codecVersion {
+		return nil, fmt.Errorf("%w: response version %d, this build reads %d", ErrCodec, v, codecVersion)
+	}
+	resp := &SliceResponse{}
+	resp.Kind = int(r.u8())
+	resp.Lo = int(int32(r.u32()))
+	resp.Hi = int(int32(r.u32()))
+	n := int(r.u32())
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated response header", ErrCodec)
+	}
+	if resp.Kind < KindSweep || resp.Kind > KindSearch {
+		return nil, fmt.Errorf("%w: unknown slice kind %d", ErrCodec, resp.Kind)
+	}
+	if resp.Lo < 0 || resp.Hi < resp.Lo || resp.Hi > maxSliceWidth {
+		return nil, fmt.Errorf("%w: slice range [%d, %d)", ErrCodec, resp.Lo, resp.Hi)
+	}
+	if n < 0 || n > maxSliceDesigns {
+		return nil, fmt.Errorf("%w: result count", ErrCodec)
+	}
+	if n > 0 {
+		resp.Results = make([]aladdin.Result, n)
+		for i := range resp.Results {
+			res := &resp.Results[i]
+			res.Cycles = int(int64(r.u64()))
+			res.FusedOps = int(int64(r.u64()))
+			res.RuntimeNS = r.finite()
+			res.DynEnergy = r.finite()
+			res.LeakEnergy = r.finite()
+			res.Energy = r.finite()
+			res.Power = r.finite()
+			res.Area = r.finite()
+			res.Utilization = r.finite()
+			if r.bad {
+				return nil, fmt.Errorf("%w: truncated result %d", ErrCodec, i)
+			}
+		}
+	}
+	pn := int(r.u32())
+	if r.bad || pn < 0 || pn > maxMCPayload {
+		return nil, fmt.Errorf("%w: payload length", ErrCodec)
+	}
+	if pn > 0 {
+		p := r.take(pn)
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated payload", ErrCodec)
+		}
+		resp.Payload = append([]byte(nil), p...)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(b)-r.off)
+	}
+	return resp, nil
+}

@@ -1,0 +1,195 @@
+// Replicate-range slices: the distribution unit of a Monte Carlo run.
+//
+// The SplitMix64 substream design makes a replicate range [lo, hi) a pure
+// function of (config, range): any peer can compute any range with no
+// shared state, and a coordinator that merges full coverage of [0,
+// Replicates) reduces to bands bit-identical to a single-process run. The
+// slice payload reuses the checkpoint record layout (flag byte + raw
+// IEEE-754 bits) plus the covered range, and is guarded by the same
+// config digest so a slice computed under a different configuration can
+// never be merged silently.
+package montecarlo
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// sliceVersion frames the slice payload; bumped on layout changes.
+const sliceVersion = 1
+
+// RunSlice computes replicates [lo, hi) of the configuration and returns
+// them as an opaque slice payload for MergeSlices. The range bounds are
+// validated against the defaulted config; workers are clamped to the
+// range width by the pool itself.
+func RunSlice(ctx context.Context, cfg Config, lo, hi int) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := New(cfg.CorpusSeed)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunSlice(ctx, cfg, lo, hi)
+}
+
+// RunSlice is the engine-level slice run; see the package function.
+func (e *Engine) RunSlice(ctx context.Context, cfg Config, lo, hi int) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > cfg.Replicates || lo >= hi {
+		return nil, fmt.Errorf("montecarlo: slice [%d, %d) outside [0, %d)", lo, hi, cfg.Replicates)
+	}
+	// runReplicatesInto claims chunks in [start, sub.Replicates); bounding
+	// Replicates at hi confines the pool to exactly this range. Replicate
+	// output depends only on (Seed, CorpusSeed, CMOSJitter, index), never
+	// on Replicates, so the records match a full run's bit for bit.
+	sub := cfg
+	sub.Replicates = hi
+	outs := make([]replicateOut, hi)
+	e.runReplicatesInto(ctx, sub, outs, lo, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return encodeSlice(cfg, outs, lo, hi), nil
+}
+
+// encodeSlice renders replicates [lo, hi) of outs with the full-run shape
+// in the header.
+func encodeSlice(cfg Config, outs []replicateOut, lo, hi int) []byte {
+	nNodes, nDomains := snapshotDims()
+	buf := make([]byte, 0, 34+(hi-lo)*(1+8*(2+2*nNodes+4*nDomains)))
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+
+	buf = binary.LittleEndian.AppendUint16(buf, sliceVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, configDigest(cfg))
+	u32(uint32(cfg.Replicates))
+	u32(uint32(nNodes))
+	u32(uint32(nDomains))
+	u32(uint32(lo))
+	u32(uint32(hi))
+	for i := lo; i < hi; i++ {
+		o := outs[i]
+		if !o.ok {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		f64(o.fitA)
+		f64(o.fitB)
+		for _, v := range o.nodeTP {
+			f64(v)
+		}
+		for _, v := range o.nodeEff {
+			f64(v)
+		}
+		for _, d := range o.domains {
+			f64(d.physLimit)
+			f64(d.remainLog)
+			f64(d.remainLinear)
+			f64(d.finalCSR)
+		}
+	}
+	return buf
+}
+
+// decodeSlice validates one slice payload against cfg and fills outs with
+// its range, reporting the range covered.
+func decodeSlice(cfg Config, outs []replicateOut, payload []byte) (lo, hi int, err error) {
+	r := &snapshotReader{b: payload}
+	if v := r.u16(); r.bad || v != sliceVersion {
+		return 0, 0, fmt.Errorf("%w: slice version %d, this build reads %d", ErrSnapshotVersion, v, sliceVersion)
+	}
+	if d := r.u64(); r.bad || d != configDigest(cfg) {
+		return 0, 0, fmt.Errorf("%w: slice config digest mismatch", ErrSnapshotMismatch)
+	}
+	nNodes, nDomains := snapshotDims()
+	total, gotNodes, gotDomains := int(r.u32()), int(r.u32()), int(r.u32())
+	lo, hi = int(r.u32()), int(r.u32())
+	if r.bad {
+		return 0, 0, fmt.Errorf("%w: truncated slice header", ErrSnapshotCorrupt)
+	}
+	if total != cfg.Replicates || gotNodes != nNodes || gotDomains != nDomains {
+		return 0, 0, fmt.Errorf("%w: slice shape (%d replicates, %d nodes, %d domains) vs run (%d, %d, %d)",
+			ErrSnapshotMismatch, total, gotNodes, gotDomains, cfg.Replicates, nNodes, nDomains)
+	}
+	if lo < 0 || hi > total || lo >= hi {
+		return 0, 0, fmt.Errorf("%w: slice range [%d, %d) outside [0, %d)", ErrSnapshotCorrupt, lo, hi, total)
+	}
+	for i := lo; i < hi; i++ {
+		if r.byte() == 0 {
+			outs[i] = replicateOut{} // computed and failed
+			continue
+		}
+		o := replicateOut{ok: true, nodeTP: make([]float64, nNodes), nodeEff: make([]float64, nNodes)}
+		o.fitA, o.fitB = r.f64(), r.f64()
+		for j := range o.nodeTP {
+			o.nodeTP[j] = r.f64()
+		}
+		for j := range o.nodeEff {
+			o.nodeEff[j] = r.f64()
+		}
+		o.domains = make([]domainOut, nDomains)
+		for j := range o.domains {
+			o.domains[j] = domainOut{
+				physLimit: r.f64(), remainLog: r.f64(),
+				remainLinear: r.f64(), finalCSR: r.f64(),
+			}
+		}
+		outs[i] = o
+	}
+	if r.bad {
+		return 0, 0, fmt.Errorf("%w: truncated slice records", ErrSnapshotCorrupt)
+	}
+	if r.off != len(payload) {
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-r.off)
+	}
+	return lo, hi, nil
+}
+
+// MergeSlices reassembles a full run from slice payloads and reduces it.
+// The payloads must jointly cover [0, Replicates) — overlaps are fine
+// (duplicated ranges are bit-identical by construction), gaps are an
+// error. The result is bit-identical to RunContext with the same config.
+func MergeSlices(cfg Config, payloads [][]byte) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := New(cfg.CorpusSeed)
+	if err != nil {
+		return nil, err
+	}
+	return e.MergeSlices(cfg, payloads)
+}
+
+// MergeSlices is the engine-level merge; see the package function.
+func (e *Engine) MergeSlices(cfg Config, payloads [][]byte) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	outs := make([]replicateOut, cfg.Replicates)
+	covered := make([]bool, cfg.Replicates)
+	for _, p := range payloads {
+		lo, hi, err := decodeSlice(cfg, outs, p)
+		if err != nil {
+			return nil, err
+		}
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("montecarlo: merge is missing replicate %d of [0, %d)", i, cfg.Replicates)
+		}
+	}
+	return e.reduce(cfg, outs)
+}

@@ -1,0 +1,179 @@
+// Per-tenant API keys and quotas for the heavy endpoints. Keys are
+// loaded from a flat file (-api-keys) of lines
+//
+//	name:key[:rps[:burst]]
+//
+// with '#' comments; rps defaults to 5 requests/second and burst to
+// 2×rps. With no keys configured the endpoints stay open — auth is an
+// opt-in deployment posture, not a default. Cluster-internal routes
+// never pass auth: peers authenticate by static membership.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// APIKey is one tenant's credential and quota.
+type APIKey struct {
+	Name  string  // tenant label, shown in metrics
+	Key   string  // the bearer token
+	RPS   float64 // sustained requests/second on heavy endpoints (<= 0: 5)
+	Burst int     // bucket depth (<= 0: 2×RPS, min 1)
+}
+
+// LoadAPIKeys parses a key file for the -api-keys flag.
+func LoadAPIKeys(path string) ([]APIKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var keys []APIKey
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ":")
+		if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("%s:%d: want name:key[:rps[:burst]]", path, line)
+		}
+		k := APIKey{Name: parts[0], Key: parts[1]}
+		if len(parts) > 2 && parts[2] != "" {
+			if k.RPS, err = strconv.ParseFloat(parts[2], 64); err != nil || k.RPS <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad rps %q", path, line, parts[2])
+			}
+		}
+		if len(parts) > 3 && parts[3] != "" {
+			if k.Burst, err = strconv.Atoi(parts[3]); err != nil || k.Burst <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad burst %q", path, line, parts[3])
+			}
+		}
+		keys = append(keys, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("%s: no keys", path)
+	}
+	return keys, nil
+}
+
+// tenant is one key's live state: a token bucket plus usage counters.
+type tenant struct {
+	name  string
+	rps   float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	requests atomic.Int64 // authenticated requests admitted
+	rejected atomic.Int64 // requests refused by the quota
+}
+
+// allow takes one token if available, refilling by elapsed wall time;
+// retryAfter is how long until a token exists when the answer is no.
+func (t *tenant) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.rps
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	} else {
+		t.tokens = t.burst
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - t.tokens) / t.rps * float64(time.Second))
+}
+
+// tenantLimiter maps keys to tenants.
+type tenantLimiter struct {
+	byKey map[string]*tenant
+}
+
+func newTenantLimiter(keys []APIKey) *tenantLimiter {
+	tl := &tenantLimiter{byKey: make(map[string]*tenant, len(keys))}
+	for _, k := range keys {
+		rps := k.RPS
+		if rps <= 0 {
+			rps = 5
+		}
+		burst := float64(k.Burst)
+		if burst <= 0 {
+			burst = max(2*rps, 1)
+		}
+		tl.byKey[k.Key] = &tenant{name: k.Name, rps: rps, burst: burst}
+	}
+	return tl
+}
+
+// snapshot renders per-tenant counters for /v1/metrics, keyed by name.
+func (tl *tenantLimiter) snapshot() map[string]any {
+	out := make(map[string]any, len(tl.byKey))
+	for _, t := range tl.byKey {
+		out[t.name] = map[string]int64{
+			"requests": t.requests.Load(),
+			"rejected": t.rejected.Load(),
+		}
+	}
+	return out
+}
+
+// requestKey extracts the presented API key: Authorization: Bearer
+// first, X-API-Key as the fallback.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		return "" // a malformed scheme is not a key
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// auth gates a heavy endpoint behind tenant authentication and quota.
+// Without configured keys it is a no-op passthrough.
+func (s *Server) auth(next http.Handler) http.Handler {
+	if s.tenants == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := requestKey(r)
+		if key == "" {
+			writeError(w, http.StatusUnauthorized, "unauthorized: missing_api_key")
+			return
+		}
+		t, ok := s.tenants.byKey[key]
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "unauthorized: unknown_api_key")
+			return
+		}
+		if ok, retry := t.allow(time.Now()); !ok {
+			t.rejected.Add(1)
+			s.metrics.TenantRejected.Add(1)
+			w.Header().Set("Retry-After", retrySeconds(retry))
+			writeError(w, http.StatusTooManyRequests, "quota_exceeded: tenant %s is over its rate limit", t.name)
+			return
+		}
+		t.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}

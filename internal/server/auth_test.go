@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// postKeyed posts a JSON body with an API key in the given header.
+func postKeyed(t *testing.T, url, body, header, value string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, buf.Bytes()
+}
+
+const authSweepBody = `{"workload": "RED", "designs": [{"node_nm": 45, "partition": 1, "simplification": 1}]}`
+
+// TestAPIKeyAuth: with keys configured the heavy endpoints demand a
+// valid key, enforce per-tenant quotas with named reasons, and leave the
+// cheap endpoints open.
+func TestAPIKeyAuth(t *testing.T) {
+	s := newTestServer(t, Options{APIKeys: []APIKey{
+		{Name: "alice", Key: "alice-secret", RPS: 1000, Burst: 1000},
+		{Name: "bob", Key: "bob-secret", RPS: 0.01, Burst: 1},
+	}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sweepURL := ts.URL + "/v1/sweep"
+
+	// No key, unknown key, and a malformed Authorization scheme are all
+	// 401 with a named reason.
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "", ""); status != http.StatusUnauthorized || !bytes.Contains(body, []byte("missing_api_key")) {
+		t.Fatalf("no key: %d %s", status, body)
+	}
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "X-API-Key", "wrong"); status != http.StatusUnauthorized || !bytes.Contains(body, []byte("unknown_api_key")) {
+		t.Fatalf("unknown key: %d %s", status, body)
+	}
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "Authorization", "Basic alice-secret"); status != http.StatusUnauthorized || !bytes.Contains(body, []byte("missing_api_key")) {
+		t.Fatalf("malformed scheme: %d %s", status, body)
+	}
+
+	// A valid key works through both header forms.
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "Authorization", "Bearer alice-secret"); status != http.StatusOK {
+		t.Fatalf("bearer key: %d %s", status, body)
+	}
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "X-API-Key", "alice-secret"); status != http.StatusOK {
+		t.Fatalf("x-api-key: %d %s", status, body)
+	}
+
+	// bob's burst of one: the first request passes, the second is shed
+	// with 429, a Retry-After hint, and the quota_exceeded reason.
+	if status, body := postKeyed(t, sweepURL, authSweepBody, "X-API-Key", "bob-secret"); status != http.StatusOK {
+		t.Fatalf("bob first: %d %s", status, body)
+	}
+	req, err := http.NewRequest(http.MethodPost, sweepURL, strings.NewReader(authSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", "bob-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || !bytes.Contains(buf.Bytes(), []byte("quota_exceeded")) {
+		t.Fatalf("bob over quota: %d %s", resp.StatusCode, buf.Bytes())
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Auth also fronts job submission (it enqueues heavy compute), but
+	// cheap endpoints stay open.
+	if status, _ := postKeyed(t, ts.URL+"/v1/jobs", `{"kind":"uncertainty"}`, "", ""); status != http.StatusUnauthorized {
+		t.Fatalf("job submit without key: %d, want 401", status)
+	}
+	if status, _ := get(t, ts.URL+"/v1/cmos"); status != http.StatusOK {
+		t.Fatalf("open endpoint demanded a key: %d", status)
+	}
+
+	// Per-tenant counters surface under /v1/metrics.
+	status, body := get(t, ts.URL+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	for _, want := range []string{`"tenants"`, `"alice"`, `"bob"`, `"rejected"`} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// TestAuthDisabledIsOpen: without configured keys the heavy endpoints
+// accept anonymous requests — auth is opt-in.
+func TestAuthDisabledIsOpen(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t, Options{}).Handler())
+	defer ts.Close()
+	if status, body := post(t, ts.URL+"/v1/sweep", authSweepBody); status != http.StatusOK {
+		t.Fatalf("anonymous sweep without keys: %d %s", status, body)
+	}
+}
+
+// TestLoadAPIKeys pins the key-file format: comments, defaults, and the
+// errors for malformed lines.
+func TestLoadAPIKeys(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys")
+	ok := "# tenants\nalice:s1\n\nbob:s2:12\ncarol:s3:2.5:9\n"
+	if err := os.WriteFile(path, []byte(ok), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := LoadAPIKeys(path)
+	if err != nil {
+		t.Fatalf("LoadAPIKeys: %v", err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("got %d keys, want 3", len(keys))
+	}
+	if keys[1].Name != "bob" || keys[1].RPS != 12 || keys[2].Burst != 9 {
+		t.Fatalf("parsed keys wrong: %+v", keys)
+	}
+
+	for name, bad := range map[string]string{
+		"missing key":  "alice\n",
+		"empty name":   ":secret\n",
+		"bad rps":      "a:s:fast\n",
+		"bad burst":    "a:s:1:none\n",
+		"only comment": "# nothing\n",
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadAPIKeys(path); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

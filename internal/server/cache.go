@@ -311,6 +311,20 @@ func (e *uncertaintyEntry) await(ctx context.Context) (core.UncertaintyJSON, err
 	}
 }
 
+// localUncertaintyRun is the plain single-node run function for
+// uncertaintyCache.get: Monte Carlo on this process's own pool.
+func localUncertaintyRun(workers int) func(context.Context, montecarlo.Config) (core.UncertaintyJSON, error) {
+	return func(ctx context.Context, key montecarlo.Config) (core.UncertaintyJSON, error) {
+		run := key
+		run.Workers = workers
+		res, err := montecarlo.RunContext(ctx, run)
+		if err != nil {
+			return core.UncertaintyJSON{}, err
+		}
+		return core.NewUncertaintyJSON(res), nil
+	}
+}
+
 // newUncertaintyCache builds a cache of at most max completed runs
 // (max <= 0 selects 64).
 func newUncertaintyCache(max int, metrics *Metrics) *uncertaintyCache {
@@ -324,13 +338,13 @@ func newUncertaintyCache(max int, metrics *Metrics) *uncertaintyCache {
 	}
 }
 
-// get returns the wire payload for the config, running the Monte Carlo
-// engine at most once per normalized key no matter how many goroutines ask
-// concurrently. Failed and abandoned runs are not cached. The workers
-// argument sizes the pool of a run this call happens to start; it is not
-// part of the key. ctx bounds only this caller's wait: the run itself is
-// cancelled only when every request waiting on it has gone away.
-func (c *uncertaintyCache) get(ctx context.Context, cfg montecarlo.Config, workers int) (core.UncertaintyJSON, error) {
+// get returns the wire payload for the config, calling run at most once
+// per normalized key no matter how many goroutines ask concurrently.
+// Failed and abandoned runs are not cached. run receives the normalized
+// key and a context cancelled only when every request waiting on the run
+// has gone away; ctx bounds only this caller's wait. The handler chooses
+// what run does — local Monte Carlo or a cluster scatter.
+func (c *uncertaintyCache) get(ctx context.Context, cfg montecarlo.Config, run func(ctx context.Context, key montecarlo.Config) (core.UncertaintyJSON, error)) (core.UncertaintyJSON, error) {
 	key := cfg.Normalized()
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -354,14 +368,7 @@ func (c *uncertaintyCache) get(ctx context.Context, cfg montecarlo.Config, worke
 
 	c.metrics.UncertaintyRuns.Add(1)
 	go func() {
-		run := key
-		run.Workers = workers
-		res, err := montecarlo.RunContext(runCtx, run)
-		if err != nil {
-			e.err = err
-		} else {
-			e.out = core.NewUncertaintyJSON(res)
-		}
+		e.out, e.err = run(runCtx, key)
 		e.finish()
 		cancel() // release the context's timer resources
 

@@ -1,0 +1,472 @@
+// Cluster mode: scatter–gather distribution of the heavy endpoints and
+// durable-job replication/adoption over a static peer membership.
+//
+// Any peer can coordinate: the peer that receives /v1/sweep,
+// /v1/uncertainty, or /v1/search splits the work into slices (unique-
+// design index ranges for grids, SplitMix64 replicate ranges for Monte
+// Carlo, design batches for search generations), scatters them over
+// POST /v1/internal/slice placed by the consistent-hash ring, and merges
+// the gathered results through the exact assembly path a single node
+// uses — so the response bytes are identical at any shard count. Every
+// distribution failure falls back to local compute: the cluster layer
+// can only make requests faster, never wrong or failed.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"accelwall/internal/aladdin"
+	"accelwall/internal/cluster"
+	"accelwall/internal/core"
+	"accelwall/internal/dfg"
+	"accelwall/internal/faultinject"
+	"accelwall/internal/montecarlo"
+	"accelwall/internal/sweep"
+)
+
+// Minimum slice widths: below these a range is not worth a network
+// round-trip and the coordinator computes locally.
+const (
+	minSweepSlice       = 16 // unique designs
+	minReplicateSlice   = 50 // Monte Carlo replicates
+	minSearchSlice      = 8  // search batch designs
+	maxInternalSliceMiB = 8  // request-body bound for /v1/internal/slice
+)
+
+// clusterEnabled reports whether this server runs with peers.
+func (s *Server) clusterEnabled() bool { return s.cluster != nil }
+
+// splitRange divides [0, n) into at most shards contiguous ranges of at
+// least minWidth (the last range takes the remainder). A single range
+// means "don't scatter".
+func splitRange(n, shards, minWidth int) [][2]int {
+	if n <= 0 || shards < 1 {
+		return nil
+	}
+	if w := (n + shards - 1) / shards; w < minWidth {
+		shards = n / minWidth // floor: never produce slices under minWidth
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][2]int, 0, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := i*n/shards, (i+1)*n/shards
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// executeSlice runs one slice on this peer's own engines — the shared
+// local half of both roles: the peer side of /v1/internal/slice and the
+// coordinator's own share of a scatter.
+func (s *Server) executeSlice(ctx context.Context, req *cluster.SliceRequest) (*cluster.SliceResponse, error) {
+	switch req.Kind {
+	case cluster.KindSweep:
+		if req.Grid == nil {
+			return nil, fmt.Errorf("sweep slice carries no grid")
+		}
+		eng, err := s.engines.get(engineKey(req.Workload, req.Size))
+		if err != nil {
+			return nil, err
+		}
+		results, err := eng.EvaluateRange(ctx, *req.Grid, req.Lo, req.Hi, s.opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.SliceResponse{Kind: req.Kind, Lo: req.Lo, Hi: req.Hi, Results: results}, nil
+	case cluster.KindUncertainty:
+		if req.MC == nil {
+			return nil, fmt.Errorf("uncertainty slice carries no config")
+		}
+		if req.MC.Replicates > maxServedReplicates {
+			return nil, fmt.Errorf("replicates %d exceeds served limit %d", req.MC.Replicates, maxServedReplicates)
+		}
+		cfg := *req.MC
+		cfg.Workers = s.opts.Workers
+		payload, err := montecarlo.RunSlice(ctx, cfg, req.Lo, req.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.SliceResponse{Kind: req.Kind, Lo: req.Lo, Hi: req.Hi, Payload: payload}, nil
+	case cluster.KindSearch:
+		if len(req.Designs) == 0 {
+			return nil, fmt.Errorf("search slice carries no designs")
+		}
+		eng, err := s.engines.get(engineKey(req.Workload, req.Size))
+		if err != nil {
+			return nil, err
+		}
+		results, err := eng.EvaluateBatchContext(ctx, req.Designs, s.opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.SliceResponse{Kind: req.Kind, Lo: req.Lo, Hi: req.Hi, Results: results}, nil
+	}
+	return nil, fmt.Errorf("unknown slice kind %d", req.Kind)
+}
+
+// handleInternalSlice is the peer side of scatter–gather: decode the
+// binary frame, run the slice on local engines, encode the results. It
+// runs under the same admission queue as the public heavy endpoints, so
+// an overloaded peer sheds slices with 429/503 — exactly the signal the
+// coordinator's work-stealing reacts to.
+func (s *Server) handleInternalSlice(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled() {
+		writeError(w, http.StatusNotFound, "cluster mode is disabled: start the server with -peers")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxInternalSliceMiB<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading slice frame: %v", err)
+		return
+	}
+	req, err := cluster.DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := faultinject.Hit(cluster.SiteSlice); err != nil {
+		// The chaos seam: behave like a shedding peer so coordinator
+		// stealing is exercised deterministically in tests.
+		writeError(w, http.StatusServiceUnavailable, "injected shed: %v", err)
+		return
+	}
+	s.metrics.ClusterSlicesServed.Add(1)
+	resp, err := s.executeSlice(r.Context(), req)
+	if err != nil {
+		if s.cancelled(w, r, err) {
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(cluster.EncodeResponse(resp)) //nolint:errcheck // client gone
+}
+
+// distributeSweep scatters the grid's unique-design list across the
+// alive membership and primes the engine's memo table with the gathered
+// results, leaving RunContext a fully warm assembly. Returns nil when
+// there is nothing to scatter; any failure is returned for the caller to
+// log and fall back to local compute.
+func (s *Server) distributeSweep(ctx context.Context, eng *sweep.Engine, workload string, size int, grid sweep.Params) error {
+	uniques, err := eng.UniqueDesigns(grid)
+	if err != nil {
+		return err
+	}
+	if len(eng.MissingFrom(uniques)) == 0 {
+		return nil // fully warm: nothing worth scattering
+	}
+	ranges := splitRange(len(uniques), len(s.cluster.Alive()), minSweepSlice)
+	if len(ranges) <= 1 {
+		return nil // one slice: the local compute path is strictly better
+	}
+	reqs := make([]*cluster.SliceRequest, len(ranges))
+	for i, rg := range ranges {
+		g := grid
+		reqs[i] = &cluster.SliceRequest{
+			Kind: cluster.KindSweep, Lo: rg[0], Hi: rg[1],
+			Workload: workload, Size: size, Grid: &g,
+		}
+	}
+	resps, err := s.cluster.Scatter(ctx, engineKey(workload, size), reqs, s.executeSlice)
+	if err != nil {
+		return err
+	}
+	for i, resp := range resps {
+		if resp.Lo != ranges[i][0] || resp.Hi != ranges[i][1] || len(resp.Results) != resp.Hi-resp.Lo {
+			return fmt.Errorf("slice %d answered range [%d, %d) with %d results, want [%d, %d)",
+				i, resp.Lo, resp.Hi, len(resp.Results), ranges[i][0], ranges[i][1])
+		}
+		if err := eng.Prime(uniques[resp.Lo:resp.Hi], resp.Results); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distributeUncertainty scatters the replicate range of a Monte Carlo
+// run and merges the slices into a result bit-identical to a local run.
+func (s *Server) distributeUncertainty(ctx context.Context, cfg montecarlo.Config) (core.UncertaintyJSON, bool, error) {
+	ranges := splitRange(cfg.Replicates, len(s.cluster.Alive()), minReplicateSlice)
+	if len(ranges) <= 1 {
+		return core.UncertaintyJSON{}, false, nil
+	}
+	reqs := make([]*cluster.SliceRequest, len(ranges))
+	for i, rg := range ranges {
+		mc := cfg
+		mc.Workers = 0
+		reqs[i] = &cluster.SliceRequest{Kind: cluster.KindUncertainty, Lo: rg[0], Hi: rg[1], MC: &mc}
+	}
+	key := fmt.Sprintf("mc:%d:%d:%d", cfg.Seed, cfg.CorpusSeed, cfg.Replicates)
+	resps, err := s.cluster.Scatter(ctx, key, reqs, s.executeSlice)
+	if err != nil {
+		return core.UncertaintyJSON{}, true, err
+	}
+	payloads := make([][]byte, len(resps))
+	for i, resp := range resps {
+		payloads[i] = resp.Payload
+	}
+	res, err := montecarlo.MergeSlices(cfg, payloads)
+	if err != nil {
+		return core.UncertaintyJSON{}, true, err
+	}
+	return core.NewUncertaintyJSON(res), true, nil
+}
+
+// distEvaluator wraps the local sweep engine as a search.Evaluator whose
+// batch evaluation scatters across the cluster. All selection logic (and
+// the final in-order assembly, via the local engine's memo table) stays
+// on the coordinator, so the search trajectory is bit-identical to a
+// single-node run; only the simulations travel.
+type distEvaluator struct {
+	s        *Server
+	eng      *sweep.Engine
+	workload string
+	size     int
+}
+
+func (d *distEvaluator) Name() string                              { return d.eng.Name() }
+func (d *distEvaluator) Stats() dfg.Stats                          { return d.eng.Stats() }
+func (d *distEvaluator) Normalize(a aladdin.Design) aladdin.Design { return d.eng.Normalize(a) }
+
+func (d *distEvaluator) EvaluateBatchContext(ctx context.Context, designs []aladdin.Design, workers int) ([]aladdin.Result, error) {
+	missing := d.eng.MissingFrom(designs)
+	ranges := splitRange(len(missing), len(d.s.cluster.Alive()), minSearchSlice)
+	if len(ranges) > 1 {
+		reqs := make([]*cluster.SliceRequest, len(ranges))
+		for i, rg := range ranges {
+			reqs[i] = &cluster.SliceRequest{
+				Kind: cluster.KindSearch, Lo: rg[0], Hi: rg[1],
+				Workload: d.workload, Size: d.size, Designs: missing[rg[0]:rg[1]],
+			}
+		}
+		resps, err := d.s.cluster.Scatter(ctx, engineKey(d.workload, d.size), reqs, d.s.executeSlice)
+		if err != nil {
+			// Fall through: the local batch evaluation below computes
+			// whatever the scatter failed to deliver.
+			d.s.logf("cluster: search batch scatter failed, computing locally: %v", err)
+		} else {
+			for i, resp := range resps {
+				if len(resp.Results) != ranges[i][1]-ranges[i][0] {
+					return nil, fmt.Errorf("search slice %d returned %d results, want %d",
+						i, len(resp.Results), ranges[i][1]-ranges[i][0])
+				}
+				if err := d.eng.Prime(missing[ranges[i][0]:ranges[i][1]], resp.Results); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d.eng.EvaluateBatchContext(ctx, designs, workers)
+}
+
+// --- durable-job replication and adoption -------------------------------
+
+// jobReplica is the JSON body of POST /v1/internal/jobs/replicate: one
+// job's full durable state, pushed by its owner to its ring successor on
+// every transition and snapshot. Snapshot travels base64 (encoding/json
+// []byte convention).
+type jobReplica struct {
+	Owner    string          `json:"owner"`
+	Manifest json.RawMessage `json:"manifest"`
+	Snapshot []byte          `json:"snapshot,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// validJobID rejects ids that could escape the replica store's directory
+// or collide with store suffixes.
+func validJobID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+// replicateJob pushes the job's current durable state to its ring
+// successor, best-effort and asynchronous: replication failures are
+// logged, never fail the job — the single-node durability story is
+// unchanged and replication only adds survivability.
+func (s *Server) replicateJob(j *job, snapshot []byte) {
+	if !s.clusterEnabled() || s.jobs == nil {
+		return
+	}
+	peer, ok := s.cluster.ReplicaFor(j.id)
+	if !ok {
+		return
+	}
+	manifest, err := s.jobs.manifestJSON(j)
+	if err != nil {
+		s.logf("cluster: jobs: %s: replica manifest marshal failed: %v", j.id, err)
+		return
+	}
+	j.mu.Lock()
+	result := j.result
+	j.mu.Unlock()
+	body, err := json.Marshal(jobReplica{Owner: s.cluster.Self(), Manifest: manifest, Snapshot: snapshot, Result: result})
+	if err != nil {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			peer+"/v1/internal/jobs/replicate", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			s.logf("cluster: jobs: %s: replication to %s failed: %v", j.id, peer, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			s.logf("cluster: jobs: %s: replication to %s answered %d", j.id, peer, resp.StatusCode)
+		}
+	}()
+}
+
+// handleJobReplicate is the receiving side: persist the pushed replica
+// in the replica store, dormant until its owner dies.
+func (s *Server) handleJobReplicate(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled() || s.jobs == nil || s.jobs.replicas == nil {
+		writeError(w, http.StatusNotFound, "job replication is disabled")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxInternalSliceMiB<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading replica: %v", err)
+		return
+	}
+	var rep jobReplica
+	if err := json.Unmarshal(body, &rep); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed replica: %v", err)
+		return
+	}
+	var m jobManifest
+	if err := json.Unmarshal(rep.Manifest, &m); err != nil || !validJobID(m.ID) {
+		writeError(w, http.StatusBadRequest, "malformed replica manifest")
+		return
+	}
+	if err := s.jobs.replicas.Write(m.ID+".replica", body); err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting replica: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "replicated"})
+}
+
+// handleInternalJobGet is the proxy target for cross-peer job lookups:
+// strictly local, so two peers can never proxy in a cycle.
+func (s *Server) handleInternalJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusNotFound, "async jobs are disabled")
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.json(true))
+}
+
+// proxyJobGet asks every alive peer for the job and relays the first
+// hit verbatim; reports false when nobody has it.
+func (s *Server) proxyJobGet(w http.ResponseWriter, r *http.Request, id string) bool {
+	if !s.clusterEnabled() || !validJobID(id) {
+		return false
+	}
+	for _, peer := range s.cluster.Alive() {
+		if peer == s.cluster.Self() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/internal/jobs/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			cancel()
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxInternalSliceMiB<<20))
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body) //nolint:errcheck // client gone
+		return true
+	}
+	return false
+}
+
+// adoptFrom is the OnDeath hook: scan the replica store for jobs owned
+// by the dead peer that the ring now assigns to this survivor, and adopt
+// them — terminal jobs re-listed with their result, interrupted ones
+// re-run from their last replicated snapshot.
+func (s *Server) adoptFrom(dead string) {
+	if s.jobs == nil || s.jobs.replicas == nil {
+		return
+	}
+	names, err := s.jobs.replicas.List()
+	if err != nil {
+		s.logf("cluster: jobs: replica scan failed: %v", err)
+		return
+	}
+	for _, name := range names {
+		id, ok := strings.CutSuffix(name, ".replica")
+		if !ok {
+			continue
+		}
+		payload, err := s.jobs.replicas.ReadLast(name)
+		if err != nil {
+			continue
+		}
+		var rep jobReplica
+		if err := json.Unmarshal(payload, &rep); err != nil || rep.Owner != dead {
+			continue
+		}
+		// Only the ring's new owner among the survivors adopts; the other
+		// replicas stay dormant.
+		if s.cluster.OwnerOf(id) != s.cluster.Self() {
+			continue
+		}
+		if s.jobs.adopt(id, rep) {
+			s.jobs.replicas.Remove(name) //nolint:errcheck // adopted; replica no longer needed
+			s.metrics.ClusterJobsAdopted.Add(1)
+			s.cluster.Metrics.Adopted.Add(1)
+			s.logf("cluster: jobs: adopted %s from dead peer %s", id, dead)
+		}
+	}
+}

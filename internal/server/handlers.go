@@ -66,6 +66,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap["engines"] = s.engines.stats()
+	if s.cluster != nil {
+		cl := s.cluster.Metrics.Snapshot(s.cluster)
+		cl["slices_served"] = s.metrics.ClusterSlicesServed.Value()
+		snap["cluster"] = cl
+	}
+	if s.tenants != nil {
+		snap["tenants"] = map[string]any{
+			"rejected":   s.metrics.TenantRejected.Value(),
+			"per_tenant": s.tenants.snapshot(),
+		}
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -432,6 +443,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.metrics.SweepRespMisses.Add(1)
 	}
 
+	// Cluster mode: scatter the grid's cold design points across the
+	// membership, priming the engine's memo table; the assembly below is
+	// then a fully warm walk, byte-identical to a single-node run. A
+	// scatter failure only logs — the local path computes the same bytes.
+	if s.clusterEnabled() && grid != nil {
+		if derr := s.distributeSweep(r.Context(), eng, req.Workload, req.Size, *grid); derr != nil && r.Context().Err() == nil {
+			s.logf("cluster: sweep scatter failed, computing locally: %v", derr)
+		}
+	}
+
 	resp := sweepResponse{Workload: req.Workload, Objective: core.ObjectiveName(objective)}
 	var points []sweep.Point
 	if grid != nil {
@@ -537,7 +558,23 @@ func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
-	out, err := s.uncertainty.get(r.Context(), cfg, workers)
+	out, err := s.uncertainty.get(r.Context(), cfg, func(runCtx context.Context, key montecarlo.Config) (core.UncertaintyJSON, error) {
+		// Cluster mode: scatter the replicate range; the merged result is
+		// bit-identical to a local run, so a scatter failure just falls
+		// back to computing every replicate here.
+		if s.clusterEnabled() {
+			if res, distributed, derr := s.distributeUncertainty(runCtx, key); distributed {
+				if derr == nil {
+					return res, nil
+				}
+				if runCtx.Err() != nil {
+					return core.UncertaintyJSON{}, derr
+				}
+				s.logf("cluster: uncertainty scatter failed, computing locally: %v", derr)
+			}
+		}
+		return localUncertaintyRun(workers)(runCtx, key)
+	})
 	if err != nil {
 		if s.cancelled(w, r, err) {
 			return

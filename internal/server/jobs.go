@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -137,9 +138,11 @@ func (j *job) json(withResult bool) jobJSON {
 // worker pool, so running them concurrently would only oversubscribe the
 // machine and slow every job down.
 type jobManager struct {
-	srv   *Server
-	store *checkpoint.Store
-	max   int
+	srv      *Server
+	store    *checkpoint.Store
+	replicas *checkpoint.Store // cluster mode: dormant copies of peers' jobs
+	prefix   string            // cluster mode: per-peer id prefix ("p0-")
+	max      int
 
 	ctx    context.Context // cancelled to interrupt running jobs (drain)
 	cancel context.CancelFunc
@@ -162,10 +165,25 @@ func newJobManager(srv *Server, dir string, max int) (*jobManager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jobs directory: %w", err)
 	}
+	var replicas *checkpoint.Store
+	var prefix string
+	if srv.clusterEnabled() {
+		// Peer-unique id prefixes keep independently allocated job ids
+		// from colliding when jobs move between peers; the replica store
+		// lives beside the jobs so recovery never scans (or runs) peers'
+		// dormant copies.
+		prefix = fmt.Sprintf("p%d-", srv.cluster.SelfIndex())
+		replicas, err = checkpoint.Open(filepath.Join(dir, "replicas"))
+		if err != nil {
+			return nil, fmt.Errorf("job replica directory: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	jm := &jobManager{
 		srv:       srv,
 		store:     store,
+		replicas:  replicas,
+		prefix:    prefix,
 		max:       max,
 		ctx:       ctx,
 		cancel:    cancel,
@@ -218,11 +236,11 @@ func manifestName(id string) string { return id + ".manifest" }
 func progressName(id string) string { return id + ".progress" }
 func resultName(id string) string   { return id + ".result" }
 
-// writeManifest persists the job's current durable state atomically.
-func (jm *jobManager) writeManifest(j *job) error {
+// manifestJSON marshals the job's current durable state.
+func (jm *jobManager) manifestJSON(j *job) ([]byte, error) {
 	reqRaw, err := json.Marshal(j.req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	j.mu.Lock()
 	m := jobManifest{
@@ -234,7 +252,12 @@ func (jm *jobManager) writeManifest(j *job) error {
 		Error:   j.errMsg,
 	}
 	j.mu.Unlock()
-	payload, err := json.Marshal(m)
+	return json.Marshal(m)
+}
+
+// writeManifest persists the job's current durable state atomically.
+func (jm *jobManager) writeManifest(j *job) error {
+	payload, err := jm.manifestJSON(j)
 	if err != nil {
 		return err
 	}
@@ -287,8 +310,10 @@ func (jm *jobManager) recover() {
 			jm.srv.logf("jobs: skipping %s: malformed request: %v", id, err)
 			continue
 		}
+		// Adopted jobs carry another peer's prefix and never advance this
+		// peer's sequence; Sscanf simply fails to match them.
 		var seq int
-		if _, err := fmt.Sscanf(id, "job-%06d", &seq); err == nil && seq > jm.seq {
+		if _, err := fmt.Sscanf(id, "job-"+jm.prefix+"%06d", &seq); err == nil && seq > jm.seq {
 			jm.seq = seq
 		}
 		switch m.State {
@@ -451,7 +476,7 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 			fmt.Errorf("job table full (%d jobs, none finished); retry after one completes", jm.max)
 	}
 	jm.seq++
-	id := fmt.Sprintf("job-%06d", jm.seq)
+	id := fmt.Sprintf("job-%s%06d", jm.prefix, jm.seq)
 	j := &job{id: id, req: req, created: time.Now(), state: jobPending}
 	if req.Kind == "uncertainty" {
 		j.total = req.Uncertainty.config().Normalized().Replicates
@@ -470,8 +495,70 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 	jm.jobs[id] = j
 	jm.mu.Unlock()
 	jm.srv.metrics.JobsSubmitted.Add(1)
+	jm.srv.replicateJob(j, nil)
 	jm.run(j, nil)
 	return j, http.StatusAccepted, nil
+}
+
+// adopt registers a dead peer's replicated job as this peer's own:
+// terminal jobs are re-listed with their result, interrupted ones re-run
+// from the last replicated snapshot. Reports false when the id is
+// already tracked (a duplicate death notification).
+func (jm *jobManager) adopt(id string, rep jobReplica) bool {
+	var m jobManifest
+	if err := json.Unmarshal(rep.Manifest, &m); err != nil || m.ID != id {
+		jm.srv.logf("jobs: skipping malformed replica for %s", id)
+		return false
+	}
+	j := &job{id: id, state: m.State, errMsg: m.Error}
+	if t, err := time.Parse(time.RFC3339, m.Created); err == nil {
+		j.created = t
+	}
+	if err := json.Unmarshal(m.Request, &j.req); err != nil {
+		jm.srv.logf("jobs: skipping replica %s: malformed request: %v", id, err)
+		return false
+	}
+
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return false
+	}
+	if _, ok := jm.jobs[id]; ok {
+		jm.mu.Unlock()
+		return false
+	}
+	// Adoption intentionally ignores the job-table cap: dropping a durable
+	// job on the floor is worse than briefly exceeding max.
+	jm.jobs[id] = j
+	jm.mu.Unlock()
+
+	resume := rep.Snapshot
+	switch m.State {
+	case jobDone:
+		if err := jm.store.Write(resultName(id), rep.Result); err != nil {
+			jm.srv.logf("jobs: %s: adopted result write failed: %v", id, err)
+		}
+		j.result = rep.Result
+		jm.fillTerminalProgress(j)
+	case jobFailed:
+		// Terminal; re-list only.
+	default:
+		j.state = jobPending
+	}
+	if err := jm.writeManifest(j); err != nil {
+		jm.srv.logf("jobs: %s: adopted manifest write failed: %v", id, err)
+	}
+	if j.state == jobPending {
+		if resume != nil {
+			if done, total, err := jm.snapshotProgress(j.req.Kind, resume); err == nil {
+				j.setProgress(done, total)
+				jm.srv.metrics.JobsResumed.Add(1)
+			}
+		}
+		jm.run(j, resume)
+	}
+	return true
 }
 
 // validateSweepJob rejects everything the job runner could only fail on
@@ -526,8 +613,11 @@ func (jm *jobManager) evictTerminalLocked() bool {
 	return true
 }
 
-// get returns a tracked job by id.
+// get returns a tracked job by id. Reads wait out the startup scan like
+// submission does: a poll that races recovery must see the recovered job,
+// not a spurious 404.
 func (jm *jobManager) get(id string) (*job, bool) {
+	<-jm.recovered
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	j, ok := jm.jobs[id]
@@ -536,6 +626,7 @@ func (jm *jobManager) get(id string) (*job, bool) {
 
 // list returns every tracked job, oldest first.
 func (jm *jobManager) list() []*job {
+	<-jm.recovered
 	jm.mu.Lock()
 	out := make([]*job, 0, len(jm.jobs))
 	for _, j := range jm.jobs {
@@ -575,6 +666,7 @@ func (jm *jobManager) execute(j *job, resume []byte) {
 		jm.fail(j, fmt.Errorf("persisting running state: %w", err))
 		return
 	}
+	jm.srv.replicateJob(j, resume)
 	for attempt := 0; ; attempt++ {
 		log, err := jm.openProgress(j)
 		if err != nil {
@@ -649,6 +741,7 @@ func (s *jobSink) Save(payload []byte) error {
 	if done, total, err := s.jm.snapshotProgress(s.j.req.Kind, payload); err == nil {
 		s.j.setProgress(done, total)
 	}
+	s.jm.srv.replicateJob(s.j, payload)
 	return nil
 }
 
@@ -758,6 +851,7 @@ func (jm *jobManager) finish(j *job, payload json.RawMessage) {
 	}
 	jm.store.Remove(progressName(j.id)) //nolint:errcheck // orphan is swept on next recovery
 	jm.srv.metrics.JobsCompleted.Add(1)
+	jm.srv.replicateJob(j, nil)
 	jm.srv.logf("jobs: %s done", j.id)
 }
 
@@ -772,6 +866,7 @@ func (jm *jobManager) fail(j *job, err error) {
 	}
 	jm.store.Remove(progressName(j.id)) //nolint:errcheck // deterministic failure; no point resuming
 	jm.srv.metrics.JobsFailed.Add(1)
+	jm.srv.replicateJob(j, nil)
 	jm.srv.logf("jobs: %s failed: %v", j.id, err)
 }
 
@@ -819,6 +914,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
+		// Cluster mode: a job submitted to (or adopted by) another peer is
+		// visible from any peer via a one-hop internal proxy.
+		if s.proxyJobGet(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}

@@ -48,6 +48,14 @@ type Metrics struct {
 	JobsResumed   expvar.Int // jobs re-queued from a durable snapshot at startup
 	JobSnapshots  expvar.Int // progress snapshots persisted by job runs
 
+	// Cluster telemetry (the cluster package tracks its own coordinator-
+	// side counters; these are the peer side).
+	ClusterSlicesServed expvar.Int // internal slices executed for coordinators
+	ClusterJobsAdopted  expvar.Int // durable jobs adopted from dead peers
+
+	// Tenant quota telemetry; per-tenant counters live on the limiter.
+	TenantRejected expvar.Int // requests refused by any tenant quota
+
 	// Overload-protection telemetry: requests shed by the admission queue
 	// (429 deadline-aware, 503 saturation) and requests whose client went
 	// away before completion (queue abandonment or mid-compute cancel).

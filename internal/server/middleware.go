@@ -46,6 +46,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flush, which the SSE job-progress stream depends on.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument is the outermost middleware: panic recovery, in-flight
 // gauge, access logging, and per-route metrics. route is the registration
 // pattern, recorded verbatim so /v1/metrics aggregates by endpoint rather

@@ -300,14 +300,14 @@ func TestUncertaintyRefcountedCancel(t *testing.T) {
 	errs := make(chan error, 2)
 	go func() {
 		defer wg.Done()
-		_, err := c.get(ctx1, cfg, 2)
+		_, err := c.get(ctx1, cfg, localUncertaintyRun(2))
 		errs <- err
 	}()
 	go func() {
 		time.Sleep(5 * time.Millisecond)
 		cancel1()
 	}()
-	out, err := c.get(context.Background(), cfg, 2)
+	out, err := c.get(context.Background(), cfg, localUncertaintyRun(2))
 	errs <- err
 	wg.Wait()
 	if err != nil {
@@ -330,7 +330,7 @@ func TestUncertaintyRefcountedCancel(t *testing.T) {
 		}
 		cancel2()
 	}()
-	if _, err := c.get(ctx2, cfg2, 2); err == nil {
+	if _, err := c.get(ctx2, cfg2, localUncertaintyRun(2)); err == nil {
 		t.Fatal("abandoned waiter got a result, want context error")
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -347,7 +347,7 @@ func TestUncertaintyRefcountedCancel(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	runsBefore := c.metrics.UncertaintyRuns.Value()
-	if _, err := c.get(context.Background(), cfg2, 2); err != nil {
+	if _, err := c.get(context.Background(), cfg2, localUncertaintyRun(2)); err != nil {
 		t.Fatalf("re-request after abandonment: %v", err)
 	}
 	if c.metrics.UncertaintyRuns.Value() != runsBefore+1 {

@@ -298,11 +298,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
+	// Cluster mode swaps in an evaluator whose batch evaluations scatter
+	// cold designs across the membership; the search trajectory itself
+	// stays on this coordinator, so the result is byte-identical either
+	// way.
+	var eval search.Evaluator = eng
+	if s.clusterEnabled() {
+		eval = &distEvaluator{s: s, eng: eng, workload: req.Workload, size: req.Size}
+	}
 	key := searchKey(engineKey(req.Workload, req.Size), cfg)
 	out, err := s.searches.get(r.Context(), key, func(runCtx context.Context) (core.SearchJSON, error) {
 		run := cfg
 		run.Workers = workers
-		res, err := search.RunContext(runCtx, eng, run)
+		res, err := search.RunContext(runCtx, eval, run)
 		if err != nil {
 			return core.SearchJSON{}, err
 		}

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelwall/internal/cluster"
 	"accelwall/internal/core"
 	"accelwall/internal/sweep"
 )
@@ -105,6 +106,28 @@ type Options struct {
 	// 429 (<= 0: 64).
 	MaxJobs int
 
+	// ClusterPeers is the full static cluster membership: every peer's
+	// base URL including this one's. Fewer than two entries disables
+	// cluster mode. With peers, the heavy endpoints scatter their work
+	// across the membership and durable jobs replicate to ring successors.
+	ClusterPeers []string
+
+	// ClusterSelf is this peer's own entry in ClusterPeers (required when
+	// peers are configured).
+	ClusterSelf string
+
+	// ProbeInterval is the peer health-probe cadence (<= 0: 500ms).
+	ProbeInterval time.Duration
+
+	// HedgeDelay is how long a scatter waits on a straggler slice before
+	// duplicating it on another peer (<= 0: 2s).
+	HedgeDelay time.Duration
+
+	// APIKeys enables per-tenant authentication and rate limiting on the
+	// heavy endpoints (sweep, uncertainty, search, job submission). Empty
+	// leaves them open.
+	APIKeys []APIKey
+
 	// Logger receives access logs and panics; nil silences logging.
 	Logger *log.Logger
 }
@@ -148,8 +171,10 @@ type Server struct {
 	uncertainty *uncertaintyCache
 	searches    *searchCache
 	adm         *admission
-	jobs        *jobManager // nil unless Options.JobsDir is set
-	draining    atomic.Bool // set once a graceful drain begins; gates /readyz
+	jobs        *jobManager      // nil unless Options.JobsDir is set
+	cluster     *cluster.Cluster // nil unless Options.ClusterPeers has >= 2 entries
+	tenants     *tenantLimiter   // nil unless Options.APIKeys is set
+	draining    atomic.Bool      // set once a graceful drain begins; gates /readyz
 	handler     http.Handler
 }
 
@@ -169,6 +194,24 @@ func New(opts Options) (*Server, error) {
 	s.studies = newStudyCache(s.metrics)
 	s.uncertainty = newUncertaintyCache(0, s.metrics)
 	s.searches = newSearchCache(0, s.metrics)
+	if len(opts.APIKeys) > 0 {
+		s.tenants = newTenantLimiter(opts.APIKeys)
+	}
+	// The cluster layer comes before the job manager so jobs can derive
+	// their peer-unique id prefix and open the replica store.
+	cl, err := cluster.New(cluster.Options{
+		Self:          opts.ClusterSelf,
+		Peers:         opts.ClusterPeers,
+		ProbeInterval: opts.ProbeInterval,
+		HedgeDelay:    opts.HedgeDelay,
+		SliceTimeout:  opts.RequestTimeout,
+		OnDeath:       s.adoptFrom,
+		Logger:        opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cl
 	if opts.JobsDir != "" {
 		jm, err := newJobManager(s, opts.JobsDir, opts.MaxJobs)
 		if err != nil {
@@ -178,6 +221,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s.handler = s.routes()
 	s.metrics.publish()
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	return s, nil
 }
 
@@ -186,6 +232,9 @@ func New(opts Options) (*Server, error) {
 // out. Serve performs this itself during a graceful drain; Close is for
 // embedders and tests that use Handler directly.
 func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 	if s.jobs != nil {
 		s.jobs.interrupt()
 		s.jobs.waitAll()
@@ -213,13 +262,18 @@ func (s *Server) routes() http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		api.Handle(pattern, s.instrument(pattern, s.limit(pattern, h)))
 	}
+	// The heavy compute endpoints additionally pass per-tenant auth and
+	// quota when API keys are configured; everything else stays open.
+	heavy := func(pattern string, h http.HandlerFunc) {
+		api.Handle(pattern, s.instrument(pattern, s.auth(s.limit(pattern, h))))
+	}
 	route("GET /v1/cmos", s.handleCMOS)
 	route("POST /v1/csr", s.handleCSR)
 	route("GET /v1/projection", s.handleProjection)
 	route("GET /v1/casestudy/{name}", s.handleCaseStudy)
-	route("POST /v1/sweep", s.handleSweep)
-	route("POST /v1/uncertainty", s.handleUncertainty)
-	route("POST /v1/search", s.handleSearch)
+	heavy("POST /v1/sweep", s.handleSweep)
+	heavy("POST /v1/uncertainty", s.handleUncertainty)
+	heavy("POST /v1/search", s.handleSearch)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/experiments/{id}", s.handleExperiment)
@@ -228,10 +282,25 @@ func (s *Server) routes() http.Handler {
 	// are cheap metadata operations — the compute happens in the job
 	// runner, off the request path — and they must stay responsive when
 	// the synchronous endpoints are saturated, which is exactly when
-	// clients reach for async jobs.
-	api.Handle("POST /v1/jobs", s.instrument("POST /v1/jobs", http.HandlerFunc(s.handleJobSubmit)))
+	// clients reach for async jobs. Submission does pass tenant quotas:
+	// it enqueues heavy compute.
+	api.Handle("POST /v1/jobs", s.instrument("POST /v1/jobs", s.auth(http.HandlerFunc(s.handleJobSubmit))))
 	api.Handle("GET /v1/jobs", s.instrument("GET /v1/jobs", http.HandlerFunc(s.handleJobList)))
 	api.Handle("GET /v1/jobs/{id}", s.instrument("GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet)))
+
+	// Job progress streaming: instrumented but never behind the request
+	// timeout — an SSE stream outlives any sensible RequestTimeout by
+	// design and ends itself when the job reaches a terminal state.
+	api.Handle("GET /v1/jobs/{id}/events", s.instrument("GET /v1/jobs/{id}/events", http.HandlerFunc(s.handleJobEvents)))
+
+	// Cluster-internal routes. The slice route runs under the admission
+	// queue on purpose: an overloaded peer sheds slices with 429/503,
+	// which is the coordinator's signal to steal the slice elsewhere. The
+	// job routes are cheap metadata. None pass tenant auth — peers
+	// authenticate by static membership, not API keys.
+	route("POST /v1/internal/slice", s.handleInternalSlice)
+	api.Handle("POST /v1/internal/jobs/replicate", s.instrument("POST /v1/internal/jobs/replicate", http.HandlerFunc(s.handleJobReplicate)))
+	api.Handle("GET /v1/internal/jobs/{id}", s.instrument("GET /v1/internal/jobs/{id}", http.HandlerFunc(s.handleInternalJobGet)))
 
 	// Observability: instrumented but never throttled or timed out, so
 	// probes stay truthful under saturation. /healthz is pure liveness;
@@ -266,6 +335,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// a final snapshot the next process resumes from — while the HTTP
 	// side drains in parallel.
 	s.draining.Store(true)
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 	if s.jobs != nil {
 		s.jobs.interrupt()
 	}

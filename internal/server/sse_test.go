@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"accelwall/internal/faultinject"
+	"accelwall/internal/leakcheck"
+	"accelwall/internal/montecarlo"
+)
+
+// readSSE consumes one event-stream body into its data payloads.
+func readSSE(t *testing.T, resp *http.Response) []jobJSON {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var events []jobJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var j jobJSON
+			if err := json.Unmarshal([]byte(data), &j); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			events = append(events, j)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return events
+}
+
+// TestJobEventsStream: GET /v1/jobs/{id}/events streams progress frames
+// as the job advances and ends itself with a terminal frame — no polling
+// loop on the client side.
+func TestJobEventsStream(t *testing.T) {
+	leakcheck.Check(t)
+	// Slow each replicate so the stream observes intermediate progress.
+	inj := faultinject.New(1).Set(montecarlo.SiteReplicate, faultinject.Rule{
+		Mode: faultinject.ModeDelay, Every: 1, Delay: 2 * time.Millisecond,
+	})
+	faultinject.Enable(inj)
+	t.Cleanup(faultinject.Disable)
+
+	s := newTestServer(t, Options{JobsDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submitJob(t, ts.URL, `{"kind": "uncertainty",
+		"uncertainty": {"replicates": 300, "seed": 7, "corpus_seed": 7, "workers": 1}}`)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp)
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least an initial and a terminal frame", len(events))
+	}
+	last := events[len(events)-1]
+	if last.State != jobDone {
+		t.Fatalf("final frame state = %q, want %q", last.State, jobDone)
+	}
+	if last.ProgressDone != last.ProgressTotal || last.ProgressTotal == 0 {
+		t.Fatalf("final frame progress %d/%d, want complete", last.ProgressDone, last.ProgressTotal)
+	}
+	// Progress frames omit the (possibly large) result; clients fetch it
+	// from the job endpoint after the terminal frame.
+	if len(last.Result) != 0 {
+		t.Fatal("stream frames must not carry the result payload")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].ProgressDone < events[i-1].ProgressDone {
+			t.Fatalf("progress went backwards: %d after %d", events[i].ProgressDone, events[i-1].ProgressDone)
+		}
+	}
+	j := waitForJob(t, ts.URL, id, terminal)
+	if len(j.Result) == 0 {
+		t.Fatal("job result missing after stream completion")
+	}
+}
+
+// TestJobEventsErrors: the stream endpoint rejects unknown jobs and is
+// 404 when the job subsystem is disabled.
+func TestJobEventsErrors(t *testing.T) {
+	s := newTestServer(t, Options{JobsDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if status, _ := get(t, ts.URL+"/v1/jobs/nope/events"); status != http.StatusNotFound {
+		t.Fatalf("unknown job stream: %d, want 404", status)
+	}
+
+	bare := httptest.NewServer(newTestServer(t, Options{}).Handler())
+	defer bare.Close()
+	if status, _ := get(t, bare.URL+"/v1/jobs/x/events"); status != http.StatusNotFound {
+		t.Fatalf("stream with jobs disabled: %d, want 404", status)
+	}
+}

@@ -138,7 +138,7 @@ func TestUncertaintyBadRequests(t *testing.T) {
 func TestUncertaintyEvictionBound(t *testing.T) {
 	c := newUncertaintyCache(2, NewMetrics())
 	for seed := int64(1); seed <= 3; seed++ {
-		if _, err := c.get(context.Background(), montecarlo.Config{Replicates: 10, Seed: seed}, 2); err != nil {
+		if _, err := c.get(context.Background(), montecarlo.Config{Replicates: 10, Seed: seed}, localUncertaintyRun(2)); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -151,7 +151,7 @@ func TestUncertaintyEvictionBound(t *testing.T) {
 	// The evicted seed re-runs, the resident ones hit.
 	m := c.metrics
 	runsBefore := m.UncertaintyRuns.Value()
-	if _, err := c.get(context.Background(), montecarlo.Config{Replicates: 10, Seed: 1}, 2); err != nil {
+	if _, err := c.get(context.Background(), montecarlo.Config{Replicates: 10, Seed: 1}, localUncertaintyRun(2)); err != nil {
 		t.Fatal(err)
 	}
 	if m.UncertaintyRuns.Value() != runsBefore+1 {
