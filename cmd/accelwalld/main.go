@@ -68,6 +68,8 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	self := fs.String("self", "", "this peer's own URL within -peers; requires -peers")
 	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe cadence (0 = 500ms)")
 	hedgeDelay := fs.Duration("hedge-delay", 0, "how long a scatter waits on a straggler slice before duplicating it (0 = 2s)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive slice failures that trip a peer's circuit breaker open (0 = 5); requires -peers")
+	repairInterval := fs.Duration("repair-interval", 0, "anti-entropy replica repair cadence (0 = 5s); requires -peers and -jobs")
 	apiKeysFile := fs.String("api-keys", "", "API key file (lines of name:key[:rps[:burst]]); enables per-tenant auth + quotas on heavy endpoints")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +91,12 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	if len(peerList) > 0 && *self == "" {
 		return fmt.Errorf("-peers requires -self")
 	}
+	if *breakerThreshold != 0 && len(peerList) == 0 {
+		return fmt.Errorf("-breaker-threshold requires -peers")
+	}
+	if *repairInterval != 0 && (len(peerList) == 0 || *jobsDir == "") {
+		return fmt.Errorf("-repair-interval requires -peers and -jobs")
+	}
 	var apiKeys []server.APIKey
 	if *apiKeysFile != "" {
 		if apiKeys, err = server.LoadAPIKeys(*apiKeysFile); err != nil {
@@ -100,24 +108,26 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 		logger = log.New(logDst, "accelwalld ", log.LstdFlags)
 	}
 	s, err := server.New(server.Options{
-		Seed:            *seed,
-		Published:       *published,
-		FullGrid:        *full,
-		Workers:         *workers,
-		RequestTimeout:  *timeout,
-		ShutdownTimeout: *shutdownTimeout,
-		MaxInflight:     *maxInflight,
-		MaxQueue:        *maxQueue,
-		EngineCacheSize: *cacheSize,
-		MaxGridPoints:   *maxGrid,
-		JobsDir:         *jobsDir,
-		MaxJobs:         *maxJobs,
-		ClusterPeers:    peerList,
-		ClusterSelf:     *self,
-		ProbeInterval:   *probeInterval,
-		HedgeDelay:      *hedgeDelay,
-		APIKeys:         apiKeys,
-		Logger:          logger,
+		Seed:             *seed,
+		Published:        *published,
+		FullGrid:         *full,
+		Workers:          *workers,
+		RequestTimeout:   *timeout,
+		ShutdownTimeout:  *shutdownTimeout,
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		EngineCacheSize:  *cacheSize,
+		MaxGridPoints:    *maxGrid,
+		JobsDir:          *jobsDir,
+		MaxJobs:          *maxJobs,
+		ClusterPeers:     peerList,
+		ClusterSelf:      *self,
+		ProbeInterval:    *probeInterval,
+		HedgeDelay:       *hedgeDelay,
+		BreakerThreshold: *breakerThreshold,
+		RepairInterval:   *repairInterval,
+		APIKeys:          apiKeys,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

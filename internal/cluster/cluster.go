@@ -13,12 +13,28 @@ import (
 	"time"
 
 	"accelwall/internal/faultinject"
+	"accelwall/internal/resilience"
 )
 
 // SiteSlice is the fault-injection seam on the peer side of the slice
 // exchange: chaos tests arm it to make a peer shed or fail slices so the
 // coordinator's stealing and hedging paths execute deterministically.
 var SiteSlice = faultinject.Register("cluster.slice")
+
+// Transport seams: partition chaos arms these with faultinject
+// TransportRules to drop, delay, or duplicate outgoing frames per
+// (directed link, attempt). Links are "src->dst" peer URLs.
+var (
+	// SiteTransportSlice sits on the coordinator side of every remote
+	// slice attempt.
+	SiteTransportSlice = faultinject.Register("cluster.transport.slice")
+	// SiteTransportReplicate sits on every job-replica push (the
+	// server's replicateJob path).
+	SiteTransportReplicate = faultinject.Register("cluster.transport.replicate")
+	// SiteTransportProbe sits on every health probe, so tests can
+	// deterministically kill and resurrect a peer in-process.
+	SiteTransportProbe = faultinject.Register("cluster.transport.probe")
+)
 
 // internalSlicePath is the peer-to-peer slice route.
 const internalSlicePath = "/v1/internal/slice"
@@ -45,6 +61,15 @@ type Options struct {
 	HedgeDelay time.Duration
 	// SliceTimeout bounds one slice attempt end to end (<= 0: 60s).
 	SliceTimeout time.Duration
+	// BreakerThreshold is how many consecutive slice failures trip a
+	// peer's circuit breaker open (<= 0: 5). An open breaker removes
+	// the peer from candidate lists until the cooldown admits a
+	// half-open probe, so stealing skips it instead of burning a
+	// timeout. Sheds (429/503) do not count: a shedding peer is alive.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting its half-open probe (<= 0: 2s).
+	BreakerCooldown time.Duration
 	// OnDeath, when set, is called once per transition alive -> dead,
 	// from the prober goroutine. The server hooks job adoption here.
 	OnDeath func(peer string)
@@ -66,6 +91,13 @@ type Metrics struct {
 	Deaths        atomic.Int64 // alive -> dead transitions observed
 	Resurrections atomic.Int64 // dead -> alive transitions observed
 	Adopted       atomic.Int64 // durable jobs adopted from dead peers
+
+	BreakerTrips     atomic.Int64 // breaker transitions to open (incl. half-open reopens)
+	BreakerSkips     atomic.Int64 // candidate peers skipped because their breaker was open
+	ReplicaPushFails atomic.Int64 // job-replica pushes that exhausted their retries
+	RepairRuns       atomic.Int64 // anti-entropy repair sweeps completed
+	RepairPushes     atomic.Int64 // replicas re-pushed or forwarded by the repair loop
+	RepairGCs        atomic.Int64 // replicas garbage-collected by the repair loop
 }
 
 // Snapshot renders the counters plus the live membership view.
@@ -81,11 +113,19 @@ func (m *Metrics) Snapshot(c *Cluster) map[string]any {
 		"deaths":        m.Deaths.Load(),
 		"resurrections": m.Resurrections.Load(),
 		"jobs_adopted":  m.Adopted.Load(),
+
+		"breaker_trips":      m.BreakerTrips.Load(),
+		"breaker_skips":      m.BreakerSkips.Load(),
+		"replica_push_fails": m.ReplicaPushFails.Load(),
+		"repair_runs":        m.RepairRuns.Load(),
+		"repair_pushes":      m.RepairPushes.Load(),
+		"repair_gcs":         m.RepairGCs.Load(),
 	}
 	if c != nil {
 		out["self"] = c.Self()
 		out["peers"] = len(c.ring.Peers())
 		out["alive"] = len(c.Alive())
+		out["breakers"] = c.BreakerStates()
 	}
 	return out
 }
@@ -98,10 +138,11 @@ type peerState struct {
 
 // Cluster is one peer's membership view plus the scatter-gather client.
 type Cluster struct {
-	opts    Options
-	ring    *Ring
-	http    *http.Client
-	Metrics Metrics
+	opts     Options
+	ring     *Ring
+	http     *http.Client
+	Metrics  Metrics
+	breakers map[string]*resilience.Breaker // remote peer -> circuit breaker
 
 	mu    sync.Mutex
 	state map[string]*peerState
@@ -137,6 +178,12 @@ func New(opts Options) (*Cluster, error) {
 	if opts.SliceTimeout <= 0 {
 		opts.SliceTimeout = 60 * time.Second
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * time.Second
+	}
 	selfKnown := false
 	seen := make(map[string]bool, len(opts.Peers))
 	for _, p := range opts.Peers {
@@ -155,16 +202,21 @@ func New(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: self %q is not in the peer list", opts.Self)
 	}
 	c := &Cluster{
-		opts:  opts,
-		ring:  NewRing(opts.Peers),
-		http:  &http.Client{},
-		state: make(map[string]*peerState),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		opts:     opts,
+		ring:     NewRing(opts.Peers),
+		http:     &http.Client{},
+		breakers: make(map[string]*resilience.Breaker),
+		state:    make(map[string]*peerState),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	for _, p := range opts.Peers {
 		if p != opts.Self {
 			c.state[p] = &peerState{}
+			c.breakers[p] = resilience.NewBreaker(resilience.BreakerOptions{
+				Threshold: opts.BreakerThreshold,
+				Cooldown:  opts.BreakerCooldown,
+			})
 		}
 	}
 	return c, nil
@@ -229,15 +281,72 @@ func (c *Cluster) OwnerOf(key string) string {
 }
 
 // ReplicaFor returns the peer a job owned by this peer replicates to:
-// the first ring successor of the job id that is not self. ok is false
-// in a cluster too small to have one.
+// the first *alive* ring successor of the job id that is not self. ok
+// is false when no other peer is alive — the repair loop re-replicates
+// once one comes back.
 func (c *Cluster) ReplicaFor(id string) (string, bool) {
+	return c.ReplicaTargetFor(id, c.opts.Self)
+}
+
+// ReplicaTargetFor returns where a job owned by owner should hold its
+// standby copy under the current failure view: the first alive ring
+// successor of the job id that is not the owner. The repair loop uses
+// it to decide whether a replica it holds is still assigned here.
+func (c *Cluster) ReplicaTargetFor(id, owner string) (string, bool) {
 	for _, p := range c.ring.Successors(id, len(c.ring.Peers())) {
-		if p != c.opts.Self {
+		if p != owner && c.alive(p) {
 			return p, true
 		}
 	}
 	return "", false
+}
+
+// PeerAlive reports the failure detector's view of one peer (self is
+// always alive; unknown URLs are never alive).
+func (c *Cluster) PeerAlive(peer string) bool { return c.alive(peer) }
+
+// Member reports whether peer is part of the static membership.
+func (c *Cluster) Member(peer string) bool {
+	if peer == c.opts.Self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.state[peer]
+	return ok
+}
+
+// BreakerStates renders every remote peer's breaker position for the
+// metrics snapshot.
+func (c *Cluster) BreakerStates() map[string]string {
+	out := make(map[string]string, len(c.breakers))
+	for p, b := range c.breakers {
+		out[p] = b.State().String()
+	}
+	return out
+}
+
+// breakerAllows is the non-consuming routing check used by candidates.
+func (c *Cluster) breakerAllows(peer string) bool {
+	b := c.breakers[peer]
+	return b == nil || b.Allows()
+}
+
+// noteSliceOutcome feeds one remote attempt's outcome into the peer's
+// breaker, counting trips.
+func (c *Cluster) noteSliceOutcome(peer string, ok bool) {
+	b := c.breakers[peer]
+	if b == nil {
+		return
+	}
+	if ok {
+		b.OnSuccess()
+		return
+	}
+	if b.OnFailure() {
+		c.Metrics.BreakerTrips.Add(1)
+		c.logf("cluster: breaker for %s tripped open", peer)
+	}
 }
 
 // reportFailure feeds a slice-level connection failure into the failure
@@ -312,6 +421,14 @@ func (c *Cluster) probeLoop() {
 
 // probe is one liveness check: GET /healthz with a bounded deadline.
 func (c *Cluster) probe(peer string) bool {
+	if op := faultinject.Transport(SiteTransportProbe, c.opts.Self+"->"+peer); op.Drop || op.Delay > 0 {
+		if op.Delay > 0 {
+			time.Sleep(op.Delay)
+		}
+		if op.Drop {
+			return false
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
@@ -332,8 +449,47 @@ func (c *Cluster) probe(peer string) bool {
 // feeding the failure detector.
 var errShed = errors.New("cluster: peer shed the slice")
 
-// sendSlice performs one remote slice attempt.
+// errBreakerOpen marks a slice attempt rejected locally by the peer's
+// open breaker: no frame was sent, no timeout burned; the gather
+// steals the slice to the next candidate.
+var errBreakerOpen = errors.New("cluster: breaker open")
+
+// sendSlice performs one remote slice attempt: breaker admission, the
+// partition-chaos transport seam, then the HTTP exchange, with the
+// outcome fed back into the peer's breaker. Sheds count as successes
+// for the breaker — a shedding peer is alive and responsive.
 func (c *Cluster) sendSlice(ctx context.Context, peer string, frame []byte) (*SliceResponse, error) {
+	if b := c.breakers[peer]; b != nil && !b.Admit() {
+		return nil, fmt.Errorf("%w for %s", errBreakerOpen, peer)
+	}
+	op := faultinject.Transport(SiteTransportSlice, c.opts.Self+"->"+peer)
+	if op.Delay > 0 {
+		time.Sleep(op.Delay)
+	}
+	if op.Drop {
+		c.Metrics.SlicesSent.Add(1)
+		c.reportFailure(peer)
+		c.noteSliceOutcome(peer, false)
+		return nil, fmt.Errorf("%w: slice %s->%s", faultinject.ErrPartitioned, c.opts.Self, peer)
+	}
+	if op.Duplicate {
+		// Deliver the frame once more; the duplicate's response is
+		// discarded. Slices are pure functions of their request, so
+		// the receiver needs no dedup for correctness.
+		c.postSlice(ctx, peer, frame) //nolint:errcheck // duplicate delivery
+	}
+	resp, err := c.postSlice(ctx, peer, frame)
+	switch {
+	case err == nil, errors.Is(err, errShed):
+		c.noteSliceOutcome(peer, true)
+	default:
+		c.noteSliceOutcome(peer, false)
+	}
+	return resp, err
+}
+
+// postSlice is the raw HTTP slice exchange.
+func (c *Cluster) postSlice(ctx context.Context, peer string, frame []byte) (*SliceResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.SliceTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+internalSlicePath, bytes.NewReader(frame))
@@ -376,16 +532,25 @@ func sliceKey(key string, i int) string { return fmt.Sprintf("%s#%d", key, i) }
 
 // candidates returns the slice's attempt order: the ring owner of its
 // key first, then the remaining alive peers clockwise, self included.
+// Peers whose circuit breaker is open are skipped — the slice routes
+// around them without burning an attempt timeout. sendSlice re-checks
+// admission, so a peer that trips between planning and send is still
+// rejected cheaply.
 func (c *Cluster) candidates(key string, i int) []string {
 	all := c.ring.Successors(sliceKey(key, i), len(c.ring.Peers()))
 	out := make([]string, 0, len(all))
 	for _, p := range all {
-		if c.alive(p) {
-			out = append(out, p)
+		if !c.alive(p) {
+			continue
 		}
+		if p != c.opts.Self && !c.breakerAllows(p) {
+			c.Metrics.BreakerSkips.Add(1)
+			continue
+		}
+		out = append(out, p)
 	}
 	if len(out) == 0 {
-		out = append(out, c.opts.Self) // nobody alive but us: compute locally
+		out = append(out, c.opts.Self) // nobody admittable but us: compute locally
 	}
 	return out
 }

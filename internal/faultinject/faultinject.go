@@ -77,9 +77,10 @@ type siteState struct {
 // Injector is one armed fault plan. It is safe for concurrent Hit calls
 // once installed.
 type Injector struct {
-	seed  uint64
-	mu    sync.Mutex
-	sites map[string]*siteState
+	seed       uint64
+	mu         sync.Mutex
+	sites      map[string]*siteState
+	transports map[string]*transportState
 }
 
 // New returns an empty injector deriving all firing decisions from seed.

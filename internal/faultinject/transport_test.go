@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransportDisabledIsZero(t *testing.T) {
+	Disable()
+	if op := Transport("x.site", "a->b"); op != (TransportOp{}) {
+		t.Fatalf("disabled transport op = %+v, want zero", op)
+	}
+}
+
+func TestTransportUnarmedSiteIsZero(t *testing.T) {
+	inj := New(1).SetTransport("x.armed", func(string, uint64) TransportOp {
+		return TransportOp{Drop: true}
+	})
+	Enable(inj)
+	defer Disable()
+	if op := Transport("x.other", "a->b"); op != (TransportOp{}) {
+		t.Fatalf("unarmed site op = %+v, want zero", op)
+	}
+}
+
+func TestTransportPerLinkAttemptCounters(t *testing.T) {
+	inj := New(1).SetTransport("x.site", func(link string, n uint64) TransportOp {
+		// Drop the first two attempts per link, then heal.
+		return TransportOp{Drop: n <= 2}
+	})
+	Enable(inj)
+	defer Disable()
+
+	for _, link := range []string{"a->b", "b->a"} {
+		for n := 1; n <= 4; n++ {
+			op := Transport("x.site", link)
+			if want := n <= 2; op.Drop != want {
+				t.Fatalf("link %s attempt %d: Drop = %v, want %v", link, n, op.Drop, want)
+			}
+		}
+	}
+	if got := inj.TransportAttempts("x.site", "a->b"); got != 4 {
+		t.Fatalf("attempts(a->b) = %d, want 4", got)
+	}
+	if got := inj.TransportAttempts("x.site", "c->d"); got != 0 {
+		t.Fatalf("attempts on an untouched link = %d, want 0", got)
+	}
+}
+
+func TestTransportAsymmetricRule(t *testing.T) {
+	inj := New(1).SetTransport("x.site", func(link string, _ uint64) TransportOp {
+		return TransportOp{Drop: link == "a->b"}
+	})
+	Enable(inj)
+	defer Disable()
+	if !Transport("x.site", "a->b").Drop {
+		t.Fatal("a->b not dropped")
+	}
+	if Transport("x.site", "b->a").Drop {
+		t.Fatal("reverse link b->a dropped by an asymmetric rule")
+	}
+}
+
+func TestTransportDelayAndDuplicatePassThrough(t *testing.T) {
+	want := TransportOp{Delay: 5 * time.Millisecond, Duplicate: true}
+	inj := New(1).SetTransport("x.site", func(string, uint64) TransportOp { return want })
+	Enable(inj)
+	defer Disable()
+	if op := Transport("x.site", "a->b"); op != want {
+		t.Fatalf("op = %+v, want %+v", op, want)
+	}
+}
+
+func TestTransportConcurrentAttemptsAllCounted(t *testing.T) {
+	inj := New(1).SetTransport("x.site", func(_ string, n uint64) TransportOp {
+		return TransportOp{Drop: n%2 == 0}
+	})
+	Enable(inj)
+	defer Disable()
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	drops := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < per; i++ {
+				if Transport("x.site", "a->b").Drop {
+					local++
+				}
+			}
+			mu.Lock()
+			drops += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := inj.TransportAttempts("x.site", "a->b"); got != workers*per {
+		t.Fatalf("attempts = %d, want %d", got, workers*per)
+	}
+	// Attempt numbers are assigned atomically, so exactly half fire.
+	if drops != workers*per/2 {
+		t.Fatalf("drops = %d, want %d", drops, workers*per/2)
+	}
+}

@@ -1,0 +1,173 @@
+// Package resilience provides the failure-handling primitives the
+// cluster layer composes: per-peer circuit breakers with deterministic
+// half-open probe admission, and bounded retries with seeded
+// exponential backoff. Both are pure state machines over an injectable
+// clock/sleeper, so every transition is unit-testable without
+// wall-clock sleeps.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the closed -> open -> half-open
+// cycle.
+type State int
+
+const (
+	// StateClosed admits every attempt; consecutive failures are
+	// counted toward the trip threshold.
+	StateClosed State = iota
+	// StateOpen rejects every attempt until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits exactly one probe attempt; its outcome
+	// decides between closing and re-opening.
+	StateHalfOpen
+)
+
+// String names the state as rendered in metrics snapshots.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerOptions configures one breaker.
+type BreakerOptions struct {
+	// Threshold is how many consecutive failures trip the breaker
+	// open (<= 0: 5).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe (<= 0: 2s).
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake to
+	// step through transitions deterministically.
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker for one downstream peer. Attempt
+// admission is deterministic: while half-open, exactly one in-flight
+// probe is admitted at a time, regardless of how many goroutines race
+// on Admit.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 2 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{threshold: opts.Threshold, cooldown: opts.Cooldown, now: opts.Now}
+}
+
+// State returns the breaker's current position, surfacing the
+// open -> half-open transition a pending Admit would take.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allows is the non-consuming routing check: would an attempt be
+// admitted right now? Planners (candidate selection) use it to skip
+// open peers without consuming the half-open probe slot.
+func (b *Breaker) Allows() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		return !b.now().Before(b.openedAt.Add(b.cooldown))
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// Admit is the consuming admission check made immediately before an
+// attempt. Closed admits unconditionally. Open admits nothing until
+// the cooldown elapses, then transitions to half-open and admits
+// exactly one probe; further Admit calls are rejected until that probe
+// resolves via OnSuccess or OnFailure.
+func (b *Breaker) Admit() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Before(b.openedAt.Add(b.cooldown)) {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// OnSuccess records a successful attempt: any state collapses back to
+// closed with the failure count reset.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// OnFailure records a failed attempt and reports whether this failure
+// tripped the breaker open (callers count trips). A half-open probe
+// failure re-opens immediately; failures while already open are
+// ignored (late results from attempts admitted earlier).
+func (b *Breaker) OnFailure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.fails = 0
+		return true
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = StateOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			return true
+		}
+		return false
+	default: // open: late failure, no transition
+		return false
+	}
+}

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerOptions{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if b.State() != StateClosed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+	if tripped := b.OnFailure(); tripped {
+		t.Fatal("failure 1 tripped")
+	}
+	if tripped := b.OnFailure(); tripped {
+		t.Fatal("failure 2 tripped")
+	}
+	if !b.Admit() {
+		t.Fatal("closed breaker rejected an attempt")
+	}
+	if tripped := b.OnFailure(); !tripped {
+		t.Fatal("failure 3 did not trip")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state after trip = %v, want open", b.State())
+	}
+	if b.Admit() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	if b.Allows() {
+		t.Fatal("open breaker Allows before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	if b.OnFailure() {
+		t.Fatal("tripped after 2 failures post-reset; success did not reset the count")
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.OnFailure() // trip
+	clk.advance(time.Second)
+	if !b.Allows() {
+		t.Fatal("cooled-down breaker does not Allow")
+	}
+	// Exactly one of many racing admissions wins the half-open probe.
+	if !b.Admit() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if b.Admit() {
+			t.Fatalf("admission %d granted while a probe is in flight", i)
+		}
+	}
+	// Probe success closes the breaker fully.
+	b.OnSuccess()
+	if b.State() != StateClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Admit() {
+		t.Fatal("closed breaker rejected an attempt")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.OnFailure() // trip
+	clk.advance(time.Second)
+	if !b.Admit() {
+		t.Fatal("probe rejected")
+	}
+	if !b.OnFailure() {
+		t.Fatal("probe failure did not count as a trip")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Admit() {
+		t.Fatal("re-opened breaker admitted before a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Admit() {
+		t.Fatal("re-cooled breaker rejected the next probe")
+	}
+	b.OnSuccess()
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerLateFailureWhileOpenIgnored(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.OnFailure() // trip
+	// A straggler attempt admitted before the trip reports its failure
+	// late: no state change, and the cooldown clock is not reset.
+	if b.OnFailure() {
+		t.Fatal("late failure while open counted as a trip")
+	}
+	clk.advance(time.Second)
+	if !b.Admit() {
+		t.Fatal("cooldown was disturbed by a late failure")
+	}
+}
+
+func TestBreakerConcurrentAdmitExactlyOneProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.OnFailure()
+	clk.advance(time.Second)
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Admit() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("admitted %d concurrent probes, want exactly 1", admitted)
+	}
+}

@@ -392,6 +392,28 @@ func (c *uncertaintyCache) get(ctx context.Context, cfg montecarlo.Config, run f
 	return e.await(ctx)
 }
 
+// peek returns the completed payload for the config without joining the
+// entry — ready, successful runs only. The degraded serving path depends
+// on this: a shed request must never start a run, extend one, or hold a
+// cancellation stake in one.
+func (c *uncertaintyCache) peek(cfg montecarlo.Config) (core.UncertaintyJSON, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[cfg.Normalized()]
+	c.mu.Unlock()
+	if !ok {
+		return core.UncertaintyJSON{}, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return core.UncertaintyJSON{}, false
+	}
+	if e.err != nil {
+		return core.UncertaintyJSON{}, false
+	}
+	return e.out, true
+}
+
 // get returns the fitted study for the key, fitting the corpus regressions
 // at most once per key.
 func (c *studyCache) get(key studyKey, workers int, grid sweep.Params) (*core.Study, error) {

@@ -28,6 +28,7 @@ import (
 	"accelwall/internal/dfg"
 	"accelwall/internal/faultinject"
 	"accelwall/internal/montecarlo"
+	"accelwall/internal/resilience"
 	"accelwall/internal/sweep"
 )
 
@@ -300,16 +301,36 @@ func validJobID(id string) bool {
 	return true
 }
 
-// replicateJob pushes the job's current durable state to its ring
-// successor, best-effort and asynchronous: replication failures are
-// logged, never fail the job — the single-node durability story is
-// unchanged and replication only adds survivability.
+// replicaPushTimeout bounds one push attempt; replicaPushBudget bounds
+// the whole retried push. Both are short of the probe-death window on
+// purpose: a hung successor (e.g. SIGSTOP) fails the push before the
+// failure detector moves the target, and the repair loop converges the
+// replica once the ring settles.
+const (
+	replicaPushTimeout = 5 * time.Second
+	replicaPushBudget  = 30 * time.Second
+)
+
+// replicateJob queues the job's current durable state for push to its
+// ring successor. Pushes are asynchronous and never fail the job — the
+// single-node durability story is unchanged — but unlike the
+// fire-and-forget original they are retried with deterministic backoff,
+// their outcome is tracked per job (so the anti-entropy repair loop can
+// re-push after a failure or a successor change), and exhausted retries
+// count in cluster.Metrics.ReplicaPushFails. A single worker goroutine
+// per job drains the newest queued frame, so rapid snapshots coalesce
+// and an old frame can never overwrite a newer one on the receiver.
 func (s *Server) replicateJob(j *job, snapshot []byte) {
 	if !s.clusterEnabled() || s.jobs == nil {
 		return
 	}
 	peer, ok := s.cluster.ReplicaFor(j.id)
 	if !ok {
+		// Nobody alive to hold a copy; the repair loop re-replicates
+		// when a peer comes back.
+		j.mu.Lock()
+		j.replOK = false
+		j.mu.Unlock()
 		return
 	}
 	manifest, err := s.jobs.manifestJSON(j)
@@ -324,30 +345,97 @@ func (s *Server) replicateJob(j *job, snapshot []byte) {
 	if err != nil {
 		return
 	}
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			peer+"/v1/internal/jobs/replicate", bytes.NewReader(body))
-		if err != nil {
+	j.mu.Lock()
+	j.replBody, j.replWant = body, peer
+	if j.replActive {
+		j.mu.Unlock()
+		return
+	}
+	j.replActive = true
+	j.mu.Unlock()
+	go s.replicaWorker(j)
+}
+
+// replicaWorker drains a job's queued replica frames latest-wins.
+func (s *Server) replicaWorker(j *job) {
+	for {
+		j.mu.Lock()
+		body, peer := j.replBody, j.replWant
+		j.replBody = nil
+		if body == nil {
+			j.replActive = false
+			j.mu.Unlock()
 			return
 		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := http.DefaultClient.Do(req)
+		j.mu.Unlock()
+		err := s.pushReplicaFrame(j.id, peer, body)
+		j.mu.Lock()
+		j.replPeer, j.replOK = peer, err == nil
+		j.mu.Unlock()
 		if err != nil {
+			s.cluster.Metrics.ReplicaPushFails.Add(1)
 			s.logf("cluster: jobs: %s: replication to %s failed: %v", j.id, peer, err)
-			return
 		}
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			s.logf("cluster: jobs: %s: replication to %s answered %d", j.id, peer, resp.StatusCode)
+	}
+}
+
+// pushReplicaFrame delivers one replica frame with bounded retries. The
+// push context descends from the job manager's, so a drain cancels
+// in-flight retries promptly.
+func (s *Server) pushReplicaFrame(id, peer string, body []byte) error {
+	parent := context.Background()
+	if s.jobs != nil {
+		parent = s.jobs.ctx
+	}
+	ctx, cancel := context.WithTimeout(parent, replicaPushBudget)
+	defer cancel()
+	return s.replRetry.Do(ctx, id, func(ctx context.Context) error {
+		op := faultinject.Transport(cluster.SiteTransportReplicate, s.cluster.Self()+"->"+peer)
+		if op.Delay > 0 {
+			time.Sleep(op.Delay)
 		}
-	}()
+		if op.Drop {
+			return fmt.Errorf("%w: replica %s -> %s", faultinject.ErrPartitioned, id, peer)
+		}
+		if op.Duplicate {
+			s.postReplica(ctx, peer, body) //nolint:errcheck // duplicate delivery
+		}
+		return s.postReplica(ctx, peer, body)
+	})
+}
+
+// postReplica is the raw HTTP replica push. A 4xx answer is permanent:
+// the peer understood the frame and rejected it, so retrying the same
+// bytes cannot help.
+func (s *Server) postReplica(ctx context.Context, peer string, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, replicaPushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/v1/internal/jobs/replicate", bytes.NewReader(body))
+	if err != nil {
+		return resilience.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return resilience.Permanent(fmt.Errorf("peer %s rejected replica: %d", peer, resp.StatusCode))
+	default:
+		return fmt.Errorf("peer %s answered %d", peer, resp.StatusCode)
+	}
 }
 
 // handleJobReplicate is the receiving side: persist the pushed replica
-// in the replica store, dormant until its owner dies.
+// in the replica store, dormant until its owner dies. A replica whose
+// owner is already dead (the repair loop forwarding a stranded copy to
+// the ring's new owner) is adopted immediately.
 func (s *Server) handleJobReplicate(w http.ResponseWriter, r *http.Request) {
 	if !s.clusterEnabled() || s.jobs == nil || s.jobs.replicas == nil {
 		writeError(w, http.StatusNotFound, "job replication is disabled")
@@ -368,11 +456,48 @@ func (s *Server) handleJobReplicate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed replica manifest")
 		return
 	}
+	if !s.cluster.Member(rep.Owner) {
+		writeError(w, http.StatusBadRequest, "replica owner %q is not a cluster member", rep.Owner)
+		return
+	}
+	if s.jobs.tracked(m.ID) {
+		// Already ours (typically: the owner died, we adopted, and a
+		// stranded copy is being forwarded). Acknowledge so the sender
+		// drops its copy; persisting would only create GC work.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "already-tracked"})
+		return
+	}
 	if err := s.jobs.replicas.Write(m.ID+".replica", body); err != nil {
 		writeError(w, http.StatusInternalServerError, "persisting replica: %v", err)
 		return
 	}
+	s.maybeAdoptReplica(m.ID, rep)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "replicated"})
+}
+
+// maybeAdoptReplica adopts a stored replica when its owner is dead and
+// the ring assigns the job to this peer; reports whether it adopted.
+// The shared endgame of the OnDeath hook, the replicate receiver, and
+// the repair loop — and the satellite fix for adopted jobs: adoption
+// immediately pushes the job's state onward to the adopter's own ring
+// successor, so the adopted job is never left with zero standby copies.
+func (s *Server) maybeAdoptReplica(id string, rep jobReplica) bool {
+	if s.cluster.PeerAlive(rep.Owner) {
+		return false
+	}
+	if s.cluster.OwnerOf(id) != s.cluster.Self() {
+		return false
+	}
+	j := s.jobs.adopt(id, rep)
+	if j == nil {
+		return false
+	}
+	s.jobs.replicas.Remove(id + ".replica") //nolint:errcheck // adopted; replica no longer needed
+	s.metrics.ClusterJobsAdopted.Add(1)
+	s.cluster.Metrics.Adopted.Add(1)
+	s.logf("cluster: jobs: adopted %s from dead peer %s", id, rep.Owner)
+	s.replicateJob(j, rep.Snapshot)
+	return true
 }
 
 // handleInternalJobGet is the proxy target for cross-peer job lookups:
@@ -458,15 +583,8 @@ func (s *Server) adoptFrom(dead string) {
 			continue
 		}
 		// Only the ring's new owner among the survivors adopts; the other
-		// replicas stay dormant.
-		if s.cluster.OwnerOf(id) != s.cluster.Self() {
-			continue
-		}
-		if s.jobs.adopt(id, rep) {
-			s.jobs.replicas.Remove(name) //nolint:errcheck // adopted; replica no longer needed
-			s.metrics.ClusterJobsAdopted.Add(1)
-			s.cluster.Metrics.Adopted.Add(1)
-			s.logf("cluster: jobs: adopted %s from dead peer %s", id, dead)
-		}
+		// replicas stay dormant until the repair loop forwards or GCs
+		// them.
+		s.maybeAdoptReplica(id, rep)
 	}
 }

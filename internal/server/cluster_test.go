@@ -372,7 +372,9 @@ func TestClusterMetricsExposed(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("metrics: %d", status)
 	}
-	for _, want := range []string{`"cluster"`, `"scatters"`, `"alive"`, `"slices_served"`, `"steals"`, `"hedges"`} {
+	for _, want := range []string{`"cluster"`, `"scatters"`, `"alive"`, `"slices_served"`, `"steals"`, `"hedges"`,
+		`"breaker_trips"`, `"breaker_skips"`, `"breakers"`, `"replica_push_fails"`,
+		`"repair_runs"`, `"repair_pushes"`, `"repair_gcs"`, `"degraded_served"`} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Errorf("metrics missing %s", want)
 		}

@@ -86,6 +86,16 @@ type job struct {
 	total   int // work units overall (0 until known)
 	resumed int // work units restored from a snapshot instead of computed
 	result  json.RawMessage
+
+	// Replication tracking (cluster mode). A single worker goroutine
+	// per job drains replBody latest-wins, so snapshot pushes never
+	// reorder; the repair loop re-pushes any job whose last push
+	// failed or whose target moved.
+	replBody   []byte // newest replica frame awaiting push (nil: drained)
+	replWant   string // target of the queued frame
+	replActive bool   // the push worker goroutine is running
+	replPeer   string // target of the last completed push
+	replOK     bool   // the last completed push landed
 }
 
 func (j *job) setProgress(done, total int) {
@@ -502,13 +512,13 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 
 // adopt registers a dead peer's replicated job as this peer's own:
 // terminal jobs are re-listed with their result, interrupted ones re-run
-// from the last replicated snapshot. Reports false when the id is
+// from the last replicated snapshot. Returns nil when the id is
 // already tracked (a duplicate death notification).
-func (jm *jobManager) adopt(id string, rep jobReplica) bool {
+func (jm *jobManager) adopt(id string, rep jobReplica) *job {
 	var m jobManifest
 	if err := json.Unmarshal(rep.Manifest, &m); err != nil || m.ID != id {
 		jm.srv.logf("jobs: skipping malformed replica for %s", id)
-		return false
+		return nil
 	}
 	j := &job{id: id, state: m.State, errMsg: m.Error}
 	if t, err := time.Parse(time.RFC3339, m.Created); err == nil {
@@ -516,17 +526,17 @@ func (jm *jobManager) adopt(id string, rep jobReplica) bool {
 	}
 	if err := json.Unmarshal(m.Request, &j.req); err != nil {
 		jm.srv.logf("jobs: skipping replica %s: malformed request: %v", id, err)
-		return false
+		return nil
 	}
 
 	jm.mu.Lock()
 	if jm.closed {
 		jm.mu.Unlock()
-		return false
+		return nil
 	}
 	if _, ok := jm.jobs[id]; ok {
 		jm.mu.Unlock()
-		return false
+		return nil
 	}
 	// Adoption intentionally ignores the job-table cap: dropping a durable
 	// job on the floor is worse than briefly exceeding max.
@@ -558,7 +568,16 @@ func (jm *jobManager) adopt(id string, rep jobReplica) bool {
 		}
 		jm.run(j, resume)
 	}
-	return true
+	return j
+}
+
+// tracked reports whether id is a live (local) job without waiting for
+// recovery — the repair loop's cheap membership check.
+func (jm *jobManager) tracked(id string) bool {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	_, ok := jm.jobs[id]
+	return ok
 }
 
 // validateSweepJob rejects everything the job runner could only fail on

@@ -265,6 +265,26 @@ func (c *searchCache) get(ctx context.Context, key string, run func(ctx context.
 	return e.await(ctx)
 }
 
+// peek returns the completed payload for the key without joining the
+// entry — ready, successful runs only. See uncertaintyCache.peek.
+func (c *searchCache) peek(key string) (core.SearchJSON, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return core.SearchJSON{}, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return core.SearchJSON{}, false
+	}
+	if e.err != nil {
+		return core.SearchJSON{}, false
+	}
+	return e.out, true
+}
+
 // handleSearch serves synchronous design-space searches on the workload's
 // cached engine. Deterministic in everything but pool width, so completed
 // frontiers are memoized on the normalized config; concurrent identical

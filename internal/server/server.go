@@ -42,11 +42,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"accelwall/internal/cluster"
 	"accelwall/internal/core"
+	"accelwall/internal/resilience"
 	"accelwall/internal/sweep"
 )
 
@@ -123,6 +125,22 @@ type Options struct {
 	// duplicating it on another peer (<= 0: 2s).
 	HedgeDelay time.Duration
 
+	// BreakerThreshold is how many consecutive slice failures trip a
+	// peer's circuit breaker open, removing it from scatter candidate
+	// lists until a half-open probe succeeds (<= 0: 5).
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting its half-open probe (<= 0: 2s).
+	BreakerCooldown time.Duration
+
+	// RepairInterval is the anti-entropy repair cadence: each tick
+	// re-replicates local jobs whose ring successor changed or whose
+	// last push failed, and garbage-collects replicas the ring no
+	// longer assigns here (<= 0: 5s). Only runs with both cluster mode
+	// and JobsDir enabled.
+	RepairInterval time.Duration
+
 	// APIKeys enables per-tenant authentication and rate limiting on the
 	// heavy endpoints (sweep, uncertainty, search, job submission). Empty
 	// leaves them open.
@@ -158,6 +176,9 @@ func (o *Options) normalize() {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 64
 	}
+	if o.RepairInterval <= 0 {
+		o.RepairInterval = 5 * time.Second
+	}
 }
 
 // Server is the accelwalld HTTP server: routing plus the process-lifetime
@@ -176,6 +197,11 @@ type Server struct {
 	tenants     *tenantLimiter   // nil unless Options.APIKeys is set
 	draining    atomic.Bool      // set once a graceful drain begins; gates /readyz
 	handler     http.Handler
+
+	replRetry      resilience.Policy // bounded-retry schedule for replica pushes
+	repairStop     chan struct{}     // closes to halt the anti-entropy loop
+	repairDone     chan struct{}     // closed when the loop has exited
+	repairStopOnce sync.Once
 }
 
 // New builds a server; no model state is fitted until the first request
@@ -200,18 +226,21 @@ func New(opts Options) (*Server, error) {
 	// The cluster layer comes before the job manager so jobs can derive
 	// their peer-unique id prefix and open the replica store.
 	cl, err := cluster.New(cluster.Options{
-		Self:          opts.ClusterSelf,
-		Peers:         opts.ClusterPeers,
-		ProbeInterval: opts.ProbeInterval,
-		HedgeDelay:    opts.HedgeDelay,
-		SliceTimeout:  opts.RequestTimeout,
-		OnDeath:       s.adoptFrom,
-		Logger:        opts.Logger,
+		Self:             opts.ClusterSelf,
+		Peers:            opts.ClusterPeers,
+		ProbeInterval:    opts.ProbeInterval,
+		HedgeDelay:       opts.HedgeDelay,
+		SliceTimeout:     opts.RequestTimeout,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+		OnDeath:          s.adoptFrom,
+		Logger:           opts.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.cluster = cl
+	s.replRetry = resilience.Policy{Attempts: 3, Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: 1}
 	if opts.JobsDir != "" {
 		jm, err := newJobManager(s, opts.JobsDir, opts.MaxJobs)
 		if err != nil {
@@ -224,7 +253,22 @@ func New(opts Options) (*Server, error) {
 	if s.cluster != nil {
 		s.cluster.Start()
 	}
+	if s.cluster != nil && s.jobs != nil {
+		s.repairStop = make(chan struct{})
+		s.repairDone = make(chan struct{})
+		go s.repairLoop()
+	}
 	return s, nil
+}
+
+// stopRepair halts the anti-entropy loop and waits for it; idempotent,
+// a no-op when the loop never started.
+func (s *Server) stopRepair() {
+	if s.repairStop == nil {
+		return
+	}
+	s.repairStopOnce.Do(func() { close(s.repairStop) })
+	<-s.repairDone
 }
 
 // Close stops the job subsystem, if any: running jobs are interrupted
@@ -232,6 +276,7 @@ func New(opts Options) (*Server, error) {
 // out. Serve performs this itself during a graceful drain; Close is for
 // embedders and tests that use Handler directly.
 func (s *Server) Close() {
+	s.stopRepair()
 	if s.cluster != nil {
 		s.cluster.Stop()
 	}
@@ -335,6 +380,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// a final snapshot the next process resumes from — while the HTTP
 	// side drains in parallel.
 	s.draining.Store(true)
+	s.stopRepair()
 	if s.cluster != nil {
 		s.cluster.Stop()
 	}
