@@ -71,6 +71,9 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive slice failures that trip a peer's circuit breaker open (0 = 5); requires -peers")
 	repairInterval := fs.Duration("repair-interval", 0, "anti-entropy replica repair cadence (0 = 5s); requires -peers and -jobs")
 	apiKeysFile := fs.String("api-keys", "", "API key file (lines of name:key[:rps[:burst]]); enables per-tenant auth + quotas on heavy endpoints")
+	memBudget := fs.Int64("mem-budget", 0, "memory budget in bytes for admitted heavy requests and queued jobs (0 = half the Go memory limit, else 2 GiB; negative disables)")
+	maxBody := fs.Int64("max-body", 0, "max request body bytes before a 413 (0 = 8 MiB)")
+	watchdogDeadline := fs.Duration("watchdog-deadline", 0, "how long a worker-pool chunk or remote slice may stall before the watchdog dumps stacks and requeues it once (0 = 30s; negative disables)")
 	quiet := fs.Bool("quiet", false, "disable access logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +130,9 @@ func run(ctx context.Context, args []string, logDst io.Writer) error {
 		BreakerThreshold: *breakerThreshold,
 		RepairInterval:   *repairInterval,
 		APIKeys:          apiKeys,
+		MemBudget:        *memBudget,
+		MaxBodyBytes:     *maxBody,
+		WatchdogDeadline: *watchdogDeadline,
 		Logger:           logger,
 	})
 	if err != nil {

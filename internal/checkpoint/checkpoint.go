@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"accelwall/internal/faultinject"
 )
@@ -90,6 +91,15 @@ type Sink interface {
 // run.
 type Store struct {
 	dir string
+
+	// Degraded-disk state (see degraded.go): while the disk refuses
+	// writes with ENOSPC/EIO, snapshots are diverted into per-name
+	// in-memory rings instead of failing the run.
+	mu       sync.Mutex
+	degraded bool
+	since    time.Time
+	stash    map[string]*stashEntry
+	memSaves int64
 }
 
 // Open creates (0700) and write-probes dir, returning a store over it.
@@ -107,7 +117,7 @@ func Open(dir string) (*Store, error) {
 	}
 	f.Close()
 	os.Remove(probe)
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, stash: make(map[string]*stashEntry)}, nil
 }
 
 // Dir returns the store's directory.
@@ -136,20 +146,32 @@ func (s *Store) List() ([]string, error) {
 }
 
 // Remove deletes a snapshot log (and any stray temp file a crash left
-// beside it). Missing files are not an error: Remove is the "run
-// completed, forget the progress" path and must be idempotent.
+// beside it), along with any in-memory snapshots stashed for the name.
+// Missing files are not an error: Remove is the "run completed, forget
+// the progress" path and must be idempotent. The directory is fsynced
+// afterward — without it a crash can resurrect the just-forgotten log,
+// and a resurrected job manifest would re-run completed work.
 func (s *Store) Remove(name string) error {
+	s.dropStash(name)
 	os.Remove(s.Path(name) + ".tmp")
 	if err := os.Remove(s.Path(name)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("checkpoint: remove %s: %w", name, err)
+	}
+	if err := syncDir(s.dir); err != nil && !IsDiskFull(err) {
+		return err
 	}
 	return nil
 }
 
 // ReadLast returns the newest intact snapshot payload in the named log,
-// falling back across any torn or corrupt tail. The error, when non-nil,
-// wraps one of the named causes above.
+// falling back across any torn or corrupt tail. While the store is
+// degraded, an in-memory snapshot for the name wins: it is by
+// construction newer than anything on the refusing disk. The error,
+// when non-nil, wraps one of the named causes above.
 func (s *Store) ReadLast(name string) ([]byte, error) {
+	if p, ok := s.stashedPayload(name); ok {
+		return p, nil
+	}
 	b, err := os.ReadFile(s.Path(name))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -162,11 +184,32 @@ func (s *Store) ReadLast(name string) ([]byte, error) {
 
 // Write atomically replaces the named log with one holding only payload:
 // temp file (0600) + fsync + rename + directory fsync. This is the
-// single-record path for small atomic state like job manifests, and the
-// compaction path for grown logs. If the rename never lands (crash, or an
-// injected fs.rename fault) the previous file remains untouched and
-// valid.
+// single-record path for small atomic state like job manifests. A disk
+// refusing the write with ENOSPC/EIO does not fail the caller: the
+// payload is diverted to the in-memory stash, the store turns degraded,
+// and Flush lands it once space returns. If the rename never lands
+// (crash, or an injected fs.rename fault) the previous file remains
+// untouched and valid.
 func (s *Store) Write(name string, payload []byte) error {
+	err := s.writeDisk(name, payload)
+	switch {
+	case err == nil:
+		// The disk copy supersedes any stashed one.
+		s.dropStash(name)
+		return nil
+	case IsDiskFull(err):
+		s.degradeStash(name, payload, nil)
+		return nil
+	default:
+		return err
+	}
+}
+
+// writeDisk is the raw atomic-rewrite path: temp file + fsync + rename
+// + directory fsync, no degraded-mode diversion. Compaction and Flush
+// use it directly so a still-full disk surfaces as an error instead of
+// re-entering the stash.
+func (s *Store) writeDisk(name string, payload []byte) error {
 	path := s.Path(name)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, FilePerm)
@@ -264,6 +307,11 @@ type Log struct {
 	f        *os.File
 	size     int64
 	maxBytes int64
+	// torn is set when an append failed partway: the tail may hold a
+	// partial frame, and any record appended after it would be stranded
+	// behind the corruption (readers stop at the first bad frame). Once
+	// torn, saves go through the atomic rewrite until it heals.
+	torn bool
 }
 
 // OpenLog opens (creating if absent) the named snapshot log for
@@ -282,7 +330,20 @@ func (s *Store) OpenLog(name string) (*Log, error) {
 	}
 	size := st.Size()
 	if size == 0 {
-		if _, err := f.Write(appendHeader(nil)); err != nil {
+		// A brand-new log must be durable before the first Save relies
+		// on it: fsync the header AND the parent directory (the file's
+		// dirent is dir state — rename-path writes already sync it, but
+		// file creation needs the same treatment or a crash leaves a
+		// log that never existed).
+		if _, err := faultinject.WriteFile(f, appendHeader(nil)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: init log %s: %w", name, err)
+		}
+		if err := faultinject.SyncFile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: init log %s: %w", name, err)
+		}
+		if err := syncDir(s.dir); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("checkpoint: init log %s: %w", name, err)
 		}
@@ -307,33 +368,77 @@ func (s *Store) OpenLog(name string) (*Log, error) {
 
 // Save appends one snapshot record and fsyncs it durable. Once the log
 // outgrows its size bound it is compacted (atomically) to just this
-// newest record. An error means the snapshot may not be durable; the log
-// itself remains valid — prior records are untouched.
+// newest record. A disk-full failure does not error: the snapshot is
+// stashed in the store's memory ring and the log turns torn, routing
+// subsequent saves through the atomic rewrite until the disk heals. Any
+// other error means the snapshot may not be durable; the log itself
+// remains valid — prior records are untouched.
 func (l *Log) Save(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return fmt.Errorf("checkpoint: log %s is closed", l.name)
 	}
+	if l.torn || l.store.Degraded() {
+		return l.saveDegradedLocked(payload)
+	}
 	rec := appendFrame(nil, payload)
 	if _, err := faultinject.WriteFile(l.f, rec); err != nil {
+		if IsDiskFull(err) {
+			l.torn = true
+			l.store.degradeStash(l.name, payload, l)
+			return nil
+		}
 		return fmt.Errorf("checkpoint: append %s: %w", l.name, err)
 	}
 	l.size += int64(len(rec))
 	if err := faultinject.SyncFile(l.f); err != nil {
+		if IsDiskFull(err) {
+			l.torn = true
+			l.store.degradeStash(l.name, payload, l)
+			return nil
+		}
 		return fmt.Errorf("checkpoint: fsync %s: %w", l.name, err)
 	}
 	if l.size > l.maxBytes {
-		return l.compactLocked(payload)
+		if err := l.compactLocked(payload); err != nil {
+			if IsDiskFull(err) {
+				// The append above IS durable; only the compaction was
+				// refused. Stash so the heal path rewrites (and shrinks)
+				// the log once space returns.
+				l.store.degradeStash(l.name, payload, l)
+				return nil
+			}
+			return err
+		}
 	}
 	return nil
 }
 
-// compactLocked rewrites the log to just payload via the atomic Write
-// path and reopens the handle. On failure the grown (still valid) log
-// stays in place.
+// saveDegradedLocked is Save while the disk is (or was) refusing
+// writes: try the atomic rewrite — which both proves the disk healed
+// and repairs a torn tail in one stroke — and fall back to the memory
+// stash while it keeps refusing.
+func (l *Log) saveDegradedLocked(payload []byte) error {
+	if err := l.compactLocked(payload); err != nil {
+		if IsDiskFull(err) {
+			l.store.degradeStash(l.name, payload, l)
+			return nil
+		}
+		return err
+	}
+	l.torn = false
+	l.store.healName(l.name)
+	return nil
+}
+
+// compactLocked rewrites the log to just payload via the raw atomic
+// rewrite and reopens the handle. On failure the grown (still valid)
+// log stays in place. It bypasses the store's degraded diversion: a
+// compaction the disk refuses must surface as an error, not silently
+// claim durability.
 func (l *Log) compactLocked(payload []byte) error {
-	if err := l.store.Write(l.name, payload); err != nil {
+	if err := l.store.writeDisk(l.name, payload); err != nil {
 		return err
 	}
 	f, err := os.OpenFile(l.store.Path(l.name), os.O_RDWR, FilePerm)

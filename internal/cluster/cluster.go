@@ -70,6 +70,13 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker rejects before
 	// admitting its half-open probe (<= 0: 2s).
 	BreakerCooldown time.Duration
+	// WatchdogDeadline, when > 0, declares a remote slice attempt wedged
+	// once it has been in flight this long without answering: the peer's
+	// breaker is fed a failure immediately (instead of waiting out the
+	// full SliceTimeout), so candidate lists route around the wedged
+	// peer while the hedge/steal path re-runs the slice elsewhere. It
+	// should be set below SliceTimeout to have any effect.
+	WatchdogDeadline time.Duration
 	// OnDeath, when set, is called once per transition alive -> dead,
 	// from the prober goroutine. The server hooks job adoption here.
 	OnDeath func(peer string)
@@ -94,6 +101,7 @@ type Metrics struct {
 
 	BreakerTrips     atomic.Int64 // breaker transitions to open (incl. half-open reopens)
 	BreakerSkips     atomic.Int64 // candidate peers skipped because their breaker was open
+	WatchdogFires    atomic.Int64 // remote slices declared wedged past the watchdog deadline
 	ReplicaPushFails atomic.Int64 // job-replica pushes that exhausted their retries
 	RepairRuns       atomic.Int64 // anti-entropy repair sweeps completed
 	RepairPushes     atomic.Int64 // replicas re-pushed or forwarded by the repair loop
@@ -116,6 +124,7 @@ func (m *Metrics) Snapshot(c *Cluster) map[string]any {
 
 		"breaker_trips":      m.BreakerTrips.Load(),
 		"breaker_skips":      m.BreakerSkips.Load(),
+		"watchdog_fires":     m.WatchdogFires.Load(),
 		"replica_push_fails": m.ReplicaPushFails.Load(),
 		"repair_runs":        m.RepairRuns.Load(),
 		"repair_pushes":      m.RepairPushes.Load(),
@@ -478,8 +487,26 @@ func (c *Cluster) sendSlice(ctx context.Context, peer string, frame []byte) (*Sl
 		// the receiver needs no dedup for correctness.
 		c.postSlice(ctx, peer, frame) //nolint:errcheck // duplicate delivery
 	}
+	// The remote-slice watchdog: a peer that accepted the frame but
+	// never answers (wedged worker pool, half-open TCP connection) burns
+	// the full SliceTimeout before the breaker learns anything. With a
+	// deadline armed, the wedge is declared early and fed to the breaker
+	// so routing moves off the peer while this attempt keeps waiting.
+	var wdFired atomic.Bool
+	if d := c.opts.WatchdogDeadline; d > 0 {
+		wd := time.AfterFunc(d, func() {
+			wdFired.Store(true)
+			c.Metrics.WatchdogFires.Add(1)
+			c.noteSliceOutcome(peer, false)
+			c.logf("cluster: watchdog: slice to %s wedged past %s; counted a breaker failure", peer, d)
+		})
+		defer wd.Stop()
+	}
 	resp, err := c.postSlice(ctx, peer, frame)
 	switch {
+	case wdFired.Load():
+		// The breaker already absorbed this attempt as a failure; a
+		// late success must not erase evidence of the wedge.
 	case err == nil, errors.Is(err, errShed):
 		c.noteSliceOutcome(peer, true)
 	default:

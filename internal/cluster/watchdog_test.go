@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// wedgedCluster builds a two-peer cluster whose only remote is the given
+// test server, with a one-failure breaker so a single watchdog fire is
+// visible as an open breaker.
+func wedgedCluster(t *testing.T, peerURL string, deadline time.Duration) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Self:             "http://wd-self.invalid",
+		Peers:            []string{"http://wd-self.invalid", peerURL},
+		WatchdogDeadline: deadline,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		SliceTimeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWatchdogWedgedSliceTripsBreaker: a peer that accepts the frame but
+// answers long past the watchdog deadline is declared wedged early — the
+// breaker absorbs a failure while the attempt is still in flight, and
+// the late answer (a shed, which normally counts as breaker success)
+// must not erase that evidence.
+func TestWatchdogWedgedSliceTripsBreaker(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer peer.Close()
+	c := wedgedCluster(t, peer.URL, 50*time.Millisecond)
+
+	_, err := c.sendSlice(context.Background(), peer.URL, []byte("frame"))
+	if !errors.Is(err, errShed) {
+		t.Fatalf("wedged slice error = %v, want the peer's shed", err)
+	}
+	if got := c.Metrics.WatchdogFires.Load(); got != 1 {
+		t.Fatalf("watchdog fires = %d, want 1", got)
+	}
+	// The wedge counted as a breaker failure; with threshold 1 the next
+	// attempt is rejected locally without touching the network.
+	if _, err := c.sendSlice(context.Background(), peer.URL, []byte("frame")); !errors.Is(err, errBreakerOpen) {
+		t.Fatalf("post-wedge attempt error = %v, want open breaker", err)
+	}
+}
+
+// TestWatchdogPromptSliceNeverFires: a peer answering well inside the
+// deadline leaves the watchdog silent and the breaker closed (a shed is
+// a liveness signal, not a failure).
+func TestWatchdogPromptSliceNeverFires(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer peer.Close()
+	c := wedgedCluster(t, peer.URL, 5*time.Second)
+
+	if _, err := c.sendSlice(context.Background(), peer.URL, []byte("frame")); !errors.Is(err, errShed) {
+		t.Fatalf("prompt slice error = %v, want shed", err)
+	}
+	if got := c.Metrics.WatchdogFires.Load(); got != 0 {
+		t.Fatalf("watchdog fires = %d, want 0", got)
+	}
+	if _, err := c.sendSlice(context.Background(), peer.URL, []byte("frame")); errors.Is(err, errBreakerOpen) {
+		t.Fatal("breaker opened on a prompt shed")
+	}
+}

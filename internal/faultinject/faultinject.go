@@ -65,6 +65,12 @@ type Rule struct {
 	Every uint64
 	// Delay is the sleep of ModeDelay.
 	Delay time.Duration
+	// Err, when non-nil, is wrapped into the error a firing ModeError
+	// site returns, so chaos suites can model a specific failure —
+	// syscall.ENOSPC for a full disk, syscall.EIO for a dying one — and
+	// production errors.Is checks see exactly what the real syscall
+	// would have produced. ErrInjected is still wrapped alongside it.
+	Err error
 }
 
 // siteState is the armed rule plus its hit/fire counters.
@@ -169,6 +175,9 @@ func (inj *Injector) hit(site string) error {
 		time.Sleep(r.Delay)
 		return nil
 	default:
+		if r.Err != nil {
+			return fmt.Errorf("%w at %s (hit %d): %w", ErrInjected, site, n, r.Err)
+		}
 		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, site, n)
 	}
 }

@@ -1,0 +1,110 @@
+package resources
+
+import "testing"
+
+func TestMemBudgetReserveRelease(t *testing.T) {
+	b := NewBudget(1000)
+	if b.Limit() != 1000 {
+		t.Fatalf("Limit = %d, want 1000", b.Limit())
+	}
+	rel, ok := b.TryReserve(600)
+	if !ok {
+		t.Fatal("reservation under the limit refused")
+	}
+	if got := b.InFlight(); got != 600 {
+		t.Fatalf("InFlight = %d, want 600", got)
+	}
+	rel()
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+	// Release is idempotent: a double call must not go negative.
+	rel()
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("InFlight after double release = %d, want 0", got)
+	}
+}
+
+func TestMemBudgetShedsAtLimit(t *testing.T) {
+	b := NewBudget(1000)
+	rel, ok := b.TryReserve(800)
+	if !ok {
+		t.Fatal("first reservation refused")
+	}
+	if _, ok := b.TryReserve(300); ok {
+		t.Fatal("over-limit reservation admitted")
+	}
+	if b.Sheds() != 1 {
+		t.Fatalf("Sheds = %d, want 1", b.Sheds())
+	}
+	// Exactly filling the remaining headroom is admitted.
+	rel2, ok := b.TryReserve(200)
+	if !ok {
+		t.Fatal("reservation exactly at the limit refused")
+	}
+	rel()
+	rel2()
+}
+
+func TestMemBudgetDisabledStillTracks(t *testing.T) {
+	b := NewBudget(-1)
+	rel, ok := b.TryReserve(1 << 40)
+	if !ok {
+		t.Fatal("disabled budget refused a reservation")
+	}
+	if got := b.InFlight(); got != 1<<40 {
+		t.Fatalf("InFlight = %d, want %d", got, int64(1)<<40)
+	}
+	rel()
+	if b.Sheds() != 0 {
+		t.Fatalf("Sheds = %d, want 0", b.Sheds())
+	}
+}
+
+func TestMemBudgetNilSafe(t *testing.T) {
+	var b *Budget
+	rel, ok := b.TryReserve(123)
+	if !ok {
+		t.Fatal("nil budget refused a reservation")
+	}
+	rel()
+	if b.InFlight() != 0 || b.Sheds() != 0 || b.Limit() != -1 {
+		t.Fatal("nil budget accessors returned nonzero state")
+	}
+}
+
+func TestMemBudgetZeroCostFree(t *testing.T) {
+	b := NewBudget(10)
+	rel, ok := b.TryReserve(0)
+	if !ok {
+		t.Fatal("zero-cost reservation refused")
+	}
+	rel()
+	if b.InFlight() != 0 {
+		t.Fatalf("zero-cost reservation changed in-flight to %d", b.InFlight())
+	}
+}
+
+func TestMemBudgetDefaultPositive(t *testing.T) {
+	if DefaultBudget() <= 0 {
+		t.Fatalf("DefaultBudget = %d, want > 0", DefaultBudget())
+	}
+	if NewBudget(0).Limit() <= 0 {
+		t.Fatalf("NewBudget(0).Limit() = %d, want > 0", NewBudget(0).Limit())
+	}
+}
+
+// TestMemBudgetCostEstimators pins the estimators' shape: monotone in
+// every argument and strictly positive for real workloads, so admission
+// can never price a bigger request below a smaller one.
+func TestMemBudgetCostEstimators(t *testing.T) {
+	if SweepCost(100, 4) <= 0 || SweepCost(200, 4) <= SweepCost(100, 4) || SweepCost(100, 8) <= SweepCost(100, 4) {
+		t.Fatal("SweepCost not positive/monotone")
+	}
+	if MonteCarloCost(200, 2613) <= 0 || MonteCarloCost(400, 2613) <= MonteCarloCost(200, 2613) {
+		t.Fatal("MonteCarloCost not positive/monotone")
+	}
+	if SearchCost(48, 24) <= 0 || SearchCost(96, 24) <= SearchCost(48, 24) || SearchCost(48, 48) <= SearchCost(48, 24) {
+		t.Fatal("SearchCost not positive/monotone")
+	}
+}

@@ -1,0 +1,207 @@
+// Stuck-work watchdog for the chunked worker pools. The pools (sweep,
+// Monte Carlo, and — through the sweep engine — search) heartbeat every
+// chunk they claim; a chunk that stays in flight past the configured
+// deadline is presumed wedged (a pathological schedule, a hung syscall,
+// an injected delay in chaos runs). The watchdog then logs a full
+// goroutine stack dump for the post-mortem and requeues the chunk
+// exactly once on a rescue goroutine. Rescue and original race to a
+// per-chunk claim in the pool; the winner commits, the loser discards,
+// so a wedged worker that eventually wakes cannot double-write results.
+package resources
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// watchdogCfg is the process-wide watchdog arming, installed like a
+// faultinject plan: a single atomic pointer, nil meaning disabled, so
+// the per-chunk heartbeats cost one atomic load when off.
+type watchdogCfg struct {
+	deadline time.Duration
+	logf     func(format string, args ...any)
+}
+
+var wdActive atomic.Pointer[watchdogCfg]
+
+var (
+	wdFires    atomic.Int64
+	wdRequeues atomic.Int64
+)
+
+// EnableWatchdog arms the process-wide watchdog: any pool chunk in
+// flight longer than deadline is stack-dumped through logf (nil
+// discards the dump) and requeued once. A non-positive deadline
+// disables it.
+func EnableWatchdog(deadline time.Duration, logf func(format string, args ...any)) {
+	if deadline <= 0 {
+		DisableWatchdog()
+		return
+	}
+	wdActive.Store(&watchdogCfg{deadline: deadline, logf: logf})
+}
+
+// DisableWatchdog removes the arming. Pools already running keep the
+// config they started with.
+func DisableWatchdog() { wdActive.Store(nil) }
+
+// WatchdogDeadline reports the armed deadline, 0 when disabled.
+func WatchdogDeadline() time.Duration {
+	cfg := wdActive.Load()
+	if cfg == nil {
+		return 0
+	}
+	return cfg.deadline
+}
+
+// WatchdogFires reports how many chunks have been declared wedged.
+func WatchdogFires() int64 { return wdFires.Load() }
+
+// WatchdogRequeues reports how many wedged chunks were requeued.
+func WatchdogRequeues() int64 { return wdRequeues.Load() }
+
+// ResetWatchdogCounters zeroes the fire/requeue counters (tests).
+func ResetWatchdogCounters() {
+	wdFires.Store(0)
+	wdRequeues.Store(0)
+}
+
+// PoolWatch monitors one pool run. A nil *PoolWatch (watchdog disabled)
+// makes every method a no-op, so pools call Begin/End/Stop
+// unconditionally.
+type PoolWatch struct {
+	cfg   *watchdogCfg
+	rerun func(chunk int)
+
+	mu      sync.Mutex
+	started map[int]time.Time
+	fired   map[int]bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	rescues  sync.WaitGroup
+}
+
+// Watch starts monitoring a pool run, returning nil when the watchdog
+// is disabled. rerun re-executes one wedged chunk; it runs on a rescue
+// goroutine concurrently with the (possibly still wedged) original
+// worker, so it must commit through the pool's per-chunk claim.
+func Watch(rerun func(chunk int)) *PoolWatch {
+	cfg := wdActive.Load()
+	if cfg == nil {
+		return nil
+	}
+	w := &PoolWatch{
+		cfg:     cfg,
+		rerun:   rerun,
+		started: make(map[int]time.Time),
+		fired:   make(map[int]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.monitor()
+	return w
+}
+
+// Begin heartbeats that chunk is now in flight on a worker.
+func (w *PoolWatch) Begin(chunk int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.started[chunk] = time.Now()
+	w.mu.Unlock()
+}
+
+// End heartbeats that chunk left the worker (committed or discarded).
+func (w *PoolWatch) End(chunk int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	delete(w.started, chunk)
+	w.mu.Unlock()
+}
+
+// Stop shuts the monitor down and waits for any in-flight rescues, so
+// after Stop returns no watchdog goroutine can touch the pool's arrays.
+// Idempotent.
+func (w *PoolWatch) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+	w.rescues.Wait()
+}
+
+// Fired reports whether chunk was ever declared wedged (tests).
+func (w *PoolWatch) Fired(chunk int) bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired[chunk]
+}
+
+// monitor scans the in-flight chunks at a quarter of the deadline, so a
+// wedged chunk is declared within deadline..1.25*deadline of Begin.
+func (w *PoolWatch) monitor() {
+	defer close(w.done)
+	period := w.cfg.deadline / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.scan()
+		}
+	}
+}
+
+// scan declares overdue chunks wedged: stack-dump, count, requeue once.
+func (w *PoolWatch) scan() {
+	now := time.Now()
+	w.mu.Lock()
+	var wedged []int
+	for chunk, t0 := range w.started {
+		if w.fired[chunk] || now.Sub(t0) < w.cfg.deadline {
+			continue
+		}
+		w.fired[chunk] = true
+		delete(w.started, chunk)
+		wedged = append(wedged, chunk)
+	}
+	w.mu.Unlock()
+	for _, chunk := range wedged {
+		wdFires.Add(1)
+		w.dump(chunk)
+		wdRequeues.Add(1)
+		w.rescues.Add(1)
+		go func(chunk int) {
+			defer w.rescues.Done()
+			w.rerun(chunk)
+		}(chunk)
+	}
+}
+
+// dump logs the wedged-chunk diagnosis with a full goroutine stack dump
+// — the one artifact that explains where the original worker is stuck.
+func (w *PoolWatch) dump(chunk int) {
+	if w.cfg.logf == nil {
+		return
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	w.cfg.logf("resources: watchdog fired: chunk %d wedged past %s; requeueing once; goroutine dump:\n%s",
+		chunk, w.cfg.deadline, buf[:n])
+}

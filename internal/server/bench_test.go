@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"accelwall/internal/resources"
 )
 
 // BenchmarkSweepWarm measures served sweep throughput once the engine is
@@ -49,6 +51,62 @@ func BenchmarkSweepWarm(b *testing.B) {
 	if got := s.metrics.Compiles.Value(); got != 1 {
 		b.Fatalf("compiles = %d during steady state, want 1", got)
 	}
+}
+
+// BenchmarkResources quantifies the admission layer's price: "ledger" is
+// one cost-estimate + TryReserve/release round trip on the shared byte
+// budget — the only work memory-budgeted admission adds to a costed
+// request — and "warm-sweep" is the full served warm sweep it rides on.
+// scripts/bench.sh divides the two to report the estimator's share of a
+// steady-state request in BENCH_resources.json.
+func BenchmarkResources(b *testing.B) {
+	b.Run("ledger", func(b *testing.B) {
+		s, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cost := resources.SweepCost(1056, 32)
+			release, ok := s.budget.TryReserve(cost)
+			if !ok {
+				b.Fatal("reserve refused on an idle budget")
+			}
+			release()
+		}
+	})
+	b.Run("warm-sweep", func(b *testing.B) {
+		s, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body := `{"workload": "FFT", "preset": "reduced"}`
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warmup status %d", resp.StatusCode)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
 }
 
 // BenchmarkCaseStudy measures a stateless analytical endpoint.

@@ -1,15 +1,34 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 )
 
-// maxBodyBytes bounds request bodies; design lists are small and grids are
-// described intensionally, so 1 MiB is generous.
-const maxBodyBytes = 1 << 20
+// defaultMaxBodyBytes bounds request bodies when no server-configured
+// limit rides the request context (direct handler tests, fuzzers);
+// design lists are small and grids are described intensionally, so
+// 8 MiB is generous.
+const defaultMaxBodyBytes = 8 << 20
+
+// bodyLimitCtxKey carries Options.MaxBodyBytes from the instrument
+// middleware to decodeJSON, so every route shares one configured bound.
+type bodyLimitCtxKey struct{}
+
+// bodyLimit returns the effective request-body bound for this request.
+func bodyLimit(ctx context.Context) int64 {
+	if n, ok := ctx.Value(bodyLimitCtxKey{}).(int64); ok && n > 0 {
+		return n
+	}
+	return defaultMaxBodyBytes
+}
+
+// errBodyTooLarge marks a decode failure caused by the body-size bound,
+// so handlers can answer 413 instead of a generic 400.
+var errBodyTooLarge = errors.New("request body too large")
 
 // apiError is the uniform error envelope of every non-2xx response.
 type apiError struct {
@@ -38,16 +57,27 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, e)
 }
 
+// writeBodyError maps a decodeJSON failure onto its status: a named 413
+// for a body past the configured bound, 400 for everything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large: %v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
 // decodeJSON strictly decodes the request body into v: unknown fields,
-// trailing garbage, and bodies over maxBodyBytes are errors.
+// trailing garbage, and bodies over the configured bound (errBodyTooLarge)
+// are errors.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, bodyLimit(r.Context()))
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			return fmt.Errorf("body exceeds %d bytes", maxErr.Limit)
+			return fmt.Errorf("%w: body exceeds %d-byte limit", errBodyTooLarge, maxErr.Limit)
 		}
 		return err
 	}

@@ -51,6 +51,13 @@ func (s *Server) degradedSweep(w http.ResponseWriter, r *http.Request) bool {
 	if err := decodeJSON(w, r, &req); err != nil || req.Workload == "" || req.validate() != nil {
 		return false
 	}
+	return s.degradedSweepReq(w, &req)
+}
+
+// degradedSweepReq is the post-decode half of degradedSweep, shared with
+// the memory-budget gate (which runs after the handler has already
+// consumed the body).
+func (s *Server) degradedSweepReq(w http.ResponseWriter, req *sweepRequest) bool {
 	objective, err := core.ParseObjective(req.Objective)
 	if err != nil {
 		return false
@@ -80,6 +87,11 @@ func (s *Server) degradedUncertainty(w http.ResponseWriter, r *http.Request) boo
 	if err := decodeJSON(w, r, &req); err != nil || req.validate() != nil {
 		return false
 	}
+	return s.degradedUncertaintyReq(w, &req)
+}
+
+// degradedUncertaintyReq is the post-decode half of degradedUncertainty.
+func (s *Server) degradedUncertaintyReq(w http.ResponseWriter, req *uncertaintyRequest) bool {
 	cfg := req.config()
 	if cfg.Validate() != nil {
 		return false
@@ -100,6 +112,11 @@ func (s *Server) degradedSearch(w http.ResponseWriter, r *http.Request) bool {
 	if err := decodeJSON(w, r, &req); err != nil || req.Workload == "" || req.validate() != nil {
 		return false
 	}
+	return s.degradedSearchReq(w, &req)
+}
+
+// degradedSearchReq is the post-decode half of degradedSearch.
+func (s *Server) degradedSearchReq(w http.ResponseWriter, req *searchRequest) bool {
 	cfg, err := req.config()
 	if err != nil {
 		return false

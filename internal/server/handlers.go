@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"accelwall/internal/casestudy"
@@ -14,6 +15,7 @@ import (
 	"accelwall/internal/gains"
 	"accelwall/internal/montecarlo"
 	"accelwall/internal/projection"
+	"accelwall/internal/resources"
 	"accelwall/internal/sweep"
 	"accelwall/internal/workloads"
 )
@@ -57,6 +59,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "recovering persisted jobs")
 		return
 	}
+	// Degraded-disk durability stays 200: the process serves and computes
+	// correctly, it merely runs without crash-durability until the disk
+	// heals, and restarting it (what a failing readyz invites) would LOSE
+	// the in-memory snapshots a healthy restart preserves.
+	if s.jobs != nil && s.jobs.store.Degraded() {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":   "ready",
+			"degraded": "disk",
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
@@ -66,6 +79,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap["engines"] = s.engines.stats()
+	snap["resources"] = s.resourcesSnapshot()
 	if s.cluster != nil {
 		cl := s.cluster.Metrics.Snapshot(s.cluster)
 		cl["slices_served"] = s.metrics.ClusterSlicesServed.Value()
@@ -144,7 +158,7 @@ type csrRequest struct {
 func (s *Server) handleCSR(w http.ResponseWriter, r *http.Request) {
 	var req csrRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if err := req.validate(); err != nil {
@@ -368,7 +382,7 @@ type sweepResponse struct {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if req.Workload == "" {
@@ -412,14 +426,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Memory-budgeted admission: price the sweep's peak working set
+	// (memo table growth plus per-worker batch lanes) before compiling
+	// anything. A refusal still serves stale from the response cache
+	// when the identical grid sits there complete.
+	costPoints := len(req.Designs)
+	if grid != nil {
+		costPoints = len(grid.Nodes) * len(grid.Partitions) * len(grid.Simplifications) * len(grid.Fusion)
+	}
+	release, ok := s.reserveMemory(w, r, resources.SweepCost(costPoints, workers),
+		func() bool { return s.degradedSweepReq(w, &req) })
+	if !ok {
+		return
+	}
+	defer release()
+
 	eng, err := s.engines.get(engineKey(req.Workload, req.Size))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.opts.Workers
 	}
 
 	// Grid sweeps are deterministic in everything but pool width, so the
@@ -538,7 +571,7 @@ func (r *uncertaintyRequest) config() montecarlo.Config {
 func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 	var req uncertaintyRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if err := req.validate(); err != nil {
@@ -558,6 +591,19 @@ func (s *Server) handleUncertainty(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.opts.Workers
 	}
+	// Monte Carlo peak memory is one resampled corpus per worker plus the
+	// replicate output table; the corpus size is fixed by the synthetic
+	// generator, so admission prices it without building one.
+	reps := cfg.Replicates
+	if reps <= 0 {
+		reps = montecarlo.DefaultReplicates
+	}
+	release, ok := s.reserveMemory(w, r, resources.MonteCarloCost(reps, uncertaintyCorpusChips()),
+		func() bool { return s.degradedUncertaintyReq(w, &req) })
+	if !ok {
+		return
+	}
+	defer release()
 	out, err := s.uncertainty.get(r.Context(), cfg, func(runCtx context.Context, key montecarlo.Config) (core.UncertaintyJSON, error) {
 		// Cluster mode: scatter the replicate range; the merged result is
 		// bit-identical to a local run, so a scatter failure just falls

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"accelwall/internal/checkpoint"
 	"accelwall/internal/core"
 	"accelwall/internal/montecarlo"
+	"accelwall/internal/resources"
 	"accelwall/internal/search"
 	"accelwall/internal/sweep"
 )
@@ -79,13 +81,19 @@ type job struct {
 	req     jobRequest
 	created time.Time
 
-	mu      sync.Mutex
-	state   string
-	errMsg  string
-	done    int // completed work units per the newest snapshot
-	total   int // work units overall (0 until known)
-	resumed int // work units restored from a snapshot instead of computed
-	result  json.RawMessage
+	// release returns the job's memory-budget reservation; nil for
+	// recovered and adopted jobs (their memory is already committed —
+	// refusing re-admission would strand durable work). Idempotent.
+	release func()
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	done     int // completed work units per the newest snapshot
+	total    int // work units overall (0 until known)
+	resumed  int // work units restored from a snapshot instead of computed
+	degraded bool // newest snapshot was diverted to memory (disk full)
+	result   json.RawMessage
 
 	// Replication tracking (cluster mode). A single worker goroutine
 	// per job drains replBody latest-wins, so snapshot pushes never
@@ -110,6 +118,23 @@ func (j *job) setState(state string) {
 	j.mu.Unlock()
 }
 
+// setDegraded mirrors the checkpoint store's disk state onto the job
+// view, so manifests surface "degraded": "disk" while their snapshots
+// live in memory only.
+func (j *job) setDegraded(degraded bool) {
+	j.mu.Lock()
+	j.degraded = degraded
+	j.mu.Unlock()
+}
+
+// releaseBudget returns the job's memory reservation; safe to call
+// multiple times and on jobs that never held one.
+func (j *job) releaseBudget() {
+	if j.release != nil {
+		j.release()
+	}
+}
+
 // jobJSON is the wire form of one job; Result rides along only on the
 // single-job view.
 type jobJSON struct {
@@ -120,6 +145,7 @@ type jobJSON struct {
 	ProgressDone  int             `json:"progress_done"`
 	ProgressTotal int             `json:"progress_total"`
 	Resumed       int             `json:"resumed,omitempty"`
+	Degraded      string          `json:"degraded,omitempty"` // "disk": snapshots in memory only
 	Error         string          `json:"error,omitempty"`
 	Result        json.RawMessage `json:"result,omitempty"`
 }
@@ -136,6 +162,9 @@ func (j *job) json(withResult bool) jobJSON {
 		ProgressTotal: j.total,
 		Resumed:       j.resumed,
 		Error:         j.errMsg,
+	}
+	if j.degraded {
+		out.Degraded = "disk"
 	}
 	if withResult {
 		out.Result = j.result
@@ -420,6 +449,35 @@ func (jm *jobManager) snapshotProgress(kind string, payload []byte) (done, total
 	return montecarlo.SnapshotProgress(payload)
 }
 
+// jobCost prices a validated job request for memory-budgeted admission,
+// using the same per-kind estimators the synchronous handlers use.
+func (jm *jobManager) jobCost(req jobRequest) int64 {
+	switch req.Kind {
+	case "sweep":
+		grid, err := req.Sweep.gridParams()
+		if err != nil || grid == nil {
+			return 0
+		}
+		workers := req.Sweep.Workers
+		if workers <= 0 {
+			workers = jm.srv.opts.Workers
+		}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		points := len(grid.Nodes) * len(grid.Partitions) * len(grid.Simplifications) * len(grid.Fusion)
+		return resources.SweepCost(points, workers)
+	case "search":
+		cfg, err := req.Search.config()
+		if err != nil {
+			return 0
+		}
+		return resources.SearchCost(cfg.Population, cfg.Generations)
+	default: // uncertainty
+		return resources.MonteCarloCost(req.Uncertainty.config().Normalized().Replicates, uncertaintyCorpusChips())
+	}
+}
+
 // submit validates, persists, and enqueues a new job, returning it or an
 // HTTP status + error for the handler to relay.
 func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
@@ -474,20 +532,32 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown kind %q (want uncertainty, sweep, or search)", req.Kind)
 	}
 
+	// Memory-budgeted admission: a queued job commits future working set
+	// just like a synchronous request commits present working set, so
+	// both draw on the same ledger. The reservation is held until the
+	// job reaches a terminal state.
+	release, ok := jm.srv.budget.TryReserve(jm.jobCost(req))
+	if !ok {
+		return nil, http.StatusTooManyRequests,
+			errors.New("memory budget exhausted; retry after a running request or job finishes")
+	}
+
 	<-jm.recovered // ids are allocated only once recovery has fixed the sequence
 	jm.mu.Lock()
 	if jm.closed {
 		jm.mu.Unlock()
+		release()
 		return nil, http.StatusServiceUnavailable, errors.New("server is draining; job not accepted")
 	}
 	if len(jm.jobs) >= jm.max && !jm.evictTerminalLocked() {
 		jm.mu.Unlock()
+		release()
 		return nil, http.StatusTooManyRequests,
 			fmt.Errorf("job table full (%d jobs, none finished); retry after one completes", jm.max)
 	}
 	jm.seq++
 	id := fmt.Sprintf("job-%s%06d", jm.prefix, jm.seq)
-	j := &job{id: id, req: req, created: time.Now(), state: jobPending}
+	j := &job{id: id, req: req, created: time.Now(), state: jobPending, release: release}
 	if req.Kind == "uncertainty" {
 		j.total = req.Uncertainty.config().Normalized().Replicates
 	}
@@ -499,6 +569,7 @@ func (jm *jobManager) submit(req jobRequest) (*job, int, error) {
 	jm.mu.Unlock()
 
 	if err := jm.writeManifest(j); err != nil {
+		release()
 		return nil, http.StatusInternalServerError, fmt.Errorf("persisting job manifest: %w", err)
 	}
 	jm.mu.Lock()
@@ -569,6 +640,17 @@ func (jm *jobManager) adopt(id string, rep jobReplica) *job {
 		jm.run(j, resume)
 	}
 	return j
+}
+
+// clearDegraded resets every job's degraded marker once the disk has
+// healed and the stash is flushed: their snapshots and results are
+// durable again, so the manifests should stop advertising the outage.
+func (jm *jobManager) clearDegraded() {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	for _, j := range jm.jobs {
+		j.setDegraded(false)
+	}
 }
 
 // tracked reports whether id is a live (local) job without waiting for
@@ -689,11 +771,22 @@ func (jm *jobManager) execute(j *job, resume []byte) {
 	for attempt := 0; ; attempt++ {
 		log, err := jm.openProgress(j)
 		if err != nil {
-			jm.fail(j, err)
-			return
+			if !checkpoint.IsDiskFull(err) {
+				jm.fail(j, err)
+				return
+			}
+			// A disk too full to even create the progress log must not
+			// kill the job: run without durable progress (the job is
+			// simply not crash-resumable for the outage) and let the
+			// result land via the store's in-memory stash.
+			jm.srv.logf("jobs: %s: progress log unavailable (%v); running without durable progress", j.id, err)
+			j.setDegraded(true)
+			log = nil
 		}
 		payload, resumed, err := jm.runKind(j, resume, log)
-		log.Close()
+		if log != nil {
+			log.Close()
+		}
 		switch {
 		case err == nil:
 			j.mu.Lock()
@@ -753,8 +846,17 @@ type jobSink struct {
 }
 
 func (s *jobSink) Save(payload []byte) error {
-	if err := s.log.Save(payload); err != nil {
-		return err
+	// A nil log means the disk was too full to even create the progress
+	// file; the job runs on without durable snapshots, already marked
+	// degraded by execute.
+	if s.log != nil {
+		if err := s.log.Save(payload); err != nil {
+			return err
+		}
+		// A disk-full save succeeds by diverting to memory; mirror the
+		// store's durability state so GET /v1/jobs shows "degraded": "disk"
+		// for exactly as long as snapshots are memory-only.
+		s.j.setDegraded(s.jm.store.Degraded())
 	}
 	s.jm.srv.metrics.JobSnapshots.Add(1)
 	if done, total, err := s.jm.snapshotProgress(s.j.req.Kind, payload); err == nil {
@@ -857,6 +959,7 @@ func (jm *jobManager) runKind(j *job, resume []byte, log *checkpoint.Log) (json.
 // flip to done, then the progress log is dropped. A crash between any two
 // steps re-runs the job deterministically — never serves a half-state.
 func (jm *jobManager) finish(j *job, payload json.RawMessage) {
+	defer j.releaseBudget()
 	if err := jm.store.Write(resultName(j.id), payload); err != nil {
 		jm.fail(j, fmt.Errorf("persisting result: %w", err))
 		return
@@ -864,6 +967,7 @@ func (jm *jobManager) finish(j *job, payload json.RawMessage) {
 	j.mu.Lock()
 	j.state = jobDone
 	j.result = payload
+	j.degraded = jm.store.Degraded()
 	j.mu.Unlock()
 	if err := jm.writeManifest(j); err != nil {
 		jm.srv.logf("jobs: %s: done, but manifest write failed (will re-run on restart): %v", j.id, err)
@@ -876,6 +980,7 @@ func (jm *jobManager) finish(j *job, payload json.RawMessage) {
 
 // fail records a terminal failure.
 func (jm *jobManager) fail(j *job, err error) {
+	defer j.releaseBudget()
 	j.mu.Lock()
 	j.state = jobFailed
 	j.errMsg = err.Error()
@@ -897,11 +1002,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req jobRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	j, status, err := s.jobs.submit(req)
 	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, status, "%v", err)
 		return
 	}

@@ -57,7 +57,11 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // admission layer and handlers below.
 func (s *Server) instrument(route string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r = r.WithContext(context.WithValue(r.Context(), routeCtxKey{}, route))
+		ctx := context.WithValue(r.Context(), routeCtxKey{}, route)
+		if s.opts.MaxBodyBytes > 0 {
+			ctx = context.WithValue(ctx, bodyLimitCtxKey{}, s.opts.MaxBodyBytes)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		s.metrics.InFlight.Add(1)

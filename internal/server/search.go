@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"accelwall/internal/core"
+	"accelwall/internal/resources"
 	"accelwall/internal/search"
 )
 
@@ -293,7 +294,7 @@ func (c *searchCache) peek(key string) (core.SearchJSON, bool) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if req.Workload == "" {
@@ -309,6 +310,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Memory-budgeted admission: a search's working set is bounded by its
+	// evaluation budget (population × generations of memoized points).
+	// A refusal still serves a completed identical frontier stale.
+	release, reserved := s.reserveMemory(w, r, resources.SearchCost(cfg.Population, cfg.Generations),
+		func() bool { return s.degradedSearchReq(w, &req) })
+	if !reserved {
+		return
+	}
+	defer release()
 	eng, err := s.engines.get(engineKey(req.Workload, req.Size))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -49,6 +49,7 @@ import (
 	"accelwall/internal/cluster"
 	"accelwall/internal/core"
 	"accelwall/internal/resilience"
+	"accelwall/internal/resources"
 	"accelwall/internal/sweep"
 )
 
@@ -146,6 +147,23 @@ type Options struct {
 	// leaves them open.
 	APIKeys []APIKey
 
+	// MemBudget bounds the estimated peak working-set bytes of admitted
+	// heavy requests and queued jobs, summed; requests past it are offered
+	// to the degraded stale-serving path and otherwise shed with 429
+	// (0: half the Go runtime memory limit when one is set, else 2 GiB;
+	// negative: admission disabled, costs still tracked).
+	MemBudget int64
+
+	// MaxBodyBytes bounds every request body; larger bodies get a named
+	// 413 (<= 0: 8 MiB).
+	MaxBodyBytes int64
+
+	// WatchdogDeadline is how long a worker-pool chunk (or a remote
+	// cluster slice) may run without progress before the stuck-work
+	// watchdog dumps goroutine stacks and requeues it once
+	// (0: 30 s; negative: watchdog disabled).
+	WatchdogDeadline time.Duration
+
 	// Logger receives access logs and panics; nil silences logging.
 	Logger *log.Logger
 }
@@ -179,6 +197,12 @@ func (o *Options) normalize() {
 	if o.RepairInterval <= 0 {
 		o.RepairInterval = 5 * time.Second
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if o.WatchdogDeadline == 0 {
+		o.WatchdogDeadline = 30 * time.Second
+	}
 }
 
 // Server is the accelwalld HTTP server: routing plus the process-lifetime
@@ -192,16 +216,22 @@ type Server struct {
 	uncertainty *uncertaintyCache
 	searches    *searchCache
 	adm         *admission
-	jobs        *jobManager      // nil unless Options.JobsDir is set
-	cluster     *cluster.Cluster // nil unless Options.ClusterPeers has >= 2 entries
-	tenants     *tenantLimiter   // nil unless Options.APIKeys is set
-	draining    atomic.Bool      // set once a graceful drain begins; gates /readyz
+	budget      *resources.Budget // memory-budgeted admission ledger
+	jobs        *jobManager       // nil unless Options.JobsDir is set
+	cluster     *cluster.Cluster  // nil unless Options.ClusterPeers has >= 2 entries
+	tenants     *tenantLimiter    // nil unless Options.APIKeys is set
+	draining    atomic.Bool       // set once a graceful drain begins; gates /readyz
 	handler     http.Handler
 
 	replRetry      resilience.Policy // bounded-retry schedule for replica pushes
 	repairStop     chan struct{}     // closes to halt the anti-entropy loop
 	repairDone     chan struct{}     // closed when the loop has exited
 	repairStopOnce sync.Once
+
+	healRetry    resilience.Policy // bounded-retry schedule per degraded-disk flush tick
+	healStop     chan struct{}     // closes to halt the heal loop
+	healDone     chan struct{}     // closed when the loop has exited
+	healStopOnce sync.Once
 }
 
 // New builds a server; no model state is fitted until the first request
@@ -214,6 +244,15 @@ func New(opts Options) (*Server, error) {
 		opts:    opts,
 		metrics: NewMetrics(),
 		adm:     newAdmission(opts.MaxInflight, opts.MaxQueue),
+		budget:  resources.NewBudget(opts.MemBudget),
+	}
+	// The stuck-work watchdog is process-global (the worker pools consult
+	// it directly); the last server to configure it wins, which in the
+	// daemon is the only one.
+	if opts.WatchdogDeadline > 0 {
+		resources.EnableWatchdog(opts.WatchdogDeadline, s.logf)
+	} else {
+		resources.DisableWatchdog()
 	}
 	s.engines = newEngineCache(opts.EngineCacheSize, s.metrics, s.loadEngine)
 	s.responses = newRespCache(0)
@@ -231,6 +270,7 @@ func New(opts Options) (*Server, error) {
 		ProbeInterval:    opts.ProbeInterval,
 		HedgeDelay:       opts.HedgeDelay,
 		SliceTimeout:     opts.RequestTimeout,
+		WatchdogDeadline: max(0, opts.WatchdogDeadline),
 		BreakerThreshold: opts.BreakerThreshold,
 		BreakerCooldown:  opts.BreakerCooldown,
 		OnDeath:          s.adoptFrom,
@@ -258,7 +298,23 @@ func New(opts Options) (*Server, error) {
 		s.repairDone = make(chan struct{})
 		go s.repairLoop()
 	}
+	if s.jobs != nil {
+		s.healRetry = resilience.Policy{Attempts: 3, Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: 2}
+		s.healStop = make(chan struct{})
+		s.healDone = make(chan struct{})
+		go s.healLoop()
+	}
 	return s, nil
+}
+
+// stopHeal halts the degraded-disk flush loop and waits for it;
+// idempotent, a no-op when the loop never started.
+func (s *Server) stopHeal() {
+	if s.healStop == nil {
+		return
+	}
+	s.healStopOnce.Do(func() { close(s.healStop) })
+	<-s.healDone
 }
 
 // stopRepair halts the anti-entropy loop and waits for it; idempotent,
@@ -277,6 +333,7 @@ func (s *Server) stopRepair() {
 // embedders and tests that use Handler directly.
 func (s *Server) Close() {
 	s.stopRepair()
+	s.stopHeal()
 	if s.cluster != nil {
 		s.cluster.Stop()
 	}
@@ -364,9 +421,18 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // (bounded by Options.ShutdownTimeout), and Serve returns nil on a clean
 // drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Connection-level timeouts back the per-request policy: ReadTimeout
+	// bounds slow-loris bodies the handlers never drain, IdleTimeout
+	// reaps abandoned keep-alives, and WriteTimeout is a generous
+	// last-resort bound sized for the longest legitimate response — the
+	// SSE job-progress stream, which polls its job and ends on terminal
+	// state well inside it for any job a single checkpoint interval long.
 	srv := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -381,6 +447,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// side drains in parallel.
 	s.draining.Store(true)
 	s.stopRepair()
+	s.stopHeal()
 	if s.cluster != nil {
 		s.cluster.Stop()
 	}

@@ -12,6 +12,7 @@ import (
 	"accelwall/internal/checkpoint"
 	"accelwall/internal/dfg"
 	"accelwall/internal/faultinject"
+	"accelwall/internal/resources"
 )
 
 // chunkSize is how many unique design points one worker claims per fetch.
@@ -93,20 +94,98 @@ func simulateDesigns(ctx context.Context, c *aladdin.Compiled, designs []aladdin
 
 // simulatePool is the shared worker pool under simulateDesigns and the
 // checkpointed runs: it fills results/errs/done for designs[start:],
-// claiming chunks from an atomic counter that begins at start (slots
-// below it must already hold restored results), and reports each
-// successful slot to the (possibly nil) checkpoint tracker so resumable
-// runs can persist their completed prefix as it grows.
+// claiming fixed chunks from an atomic counter (slots below start must
+// already hold restored results), and reports each successful slot to
+// the (possibly nil) checkpoint tracker so resumable runs can persist
+// their completed prefix as it grows.
+//
+// When the resources watchdog is armed, every chunk heartbeats
+// Begin/End; a chunk wedged past the deadline is stack-dumped and
+// re-executed once on a rescue goroutine. Rescue and original compute
+// into chunk-local lanes and race to a per-chunk claim: the winner
+// commits to the shared arrays (and the tracker), the loser discards,
+// so a wedged worker that eventually wakes cannot double-write. The
+// pool returns as soon as every chunk is committed OR every worker has
+// exited — whichever is first — so one wedged worker no longer holds
+// the whole sweep hostage; rescues are always awaited before return.
 func simulatePool(ctx context.Context, c *aladdin.Compiled, designs []aladdin.Design,
 	results []aladdin.Result, errs []error, done []bool, start, workers int, tr *checkpoint.Tracker) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if remaining := len(designs) - start; workers > remaining {
+	remaining := len(designs) - start
+	if remaining <= 0 {
+		return
+	}
+	if workers > remaining {
 		workers = remaining
 	}
+	numChunks := (remaining + chunkSize - 1) / chunkSize
+	claims := make([]atomic.Bool, numChunks)
+	var committed atomic.Int64
+	allCommitted := make(chan struct{})
+
+	// runChunk executes one fixed chunk: the per-design admission pass
+	// (one SiteSimulate hit per design, cancellation checked between
+	// designs, injected faults failing exactly their design), then one
+	// batch call over stack-resident lanes, which allocates nothing in
+	// steady state. On cancellation mid-chunk the already-admitted
+	// designs still batch — their results are bit-identical to an
+	// uncancelled run's, so partial work stays keepable. Everything is
+	// computed locally and committed only after winning the chunk claim.
+	runChunk := func(chunk int) {
+		lo := start + chunk*chunkSize
+		hi := lo + chunkSize
+		if hi > len(designs) {
+			hi = len(designs)
+		}
+		var (
+			lanes  [chunkSize]int
+			batchD [chunkSize]aladdin.Design
+			batchR [chunkSize]aladdin.Result
+			batchE [chunkSize]error
+			admitE [chunkSize]error
+		)
+		k := 0
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			if err := admitDesign(designs[i]); err != nil {
+				admitE[i-lo] = err
+				continue
+			}
+			lanes[k] = i
+			batchD[k] = designs[i]
+			k++
+		}
+		c.SimulateBatchInto(batchD[:k], batchR[:k], batchE[:k])
+		if !claims[chunk].CompareAndSwap(false, true) {
+			return // a rescue (or the rescued original) already committed
+		}
+		for i := lo; i < hi; i++ {
+			if e := admitE[i-lo]; e != nil {
+				errs[i] = e
+			}
+		}
+		for j := 0; j < k; j++ {
+			i := lanes[j]
+			results[i], errs[i] = batchR[j], batchE[j]
+			done[i] = errs[i] == nil
+			if done[i] {
+				// Only successful slots checkpoint: an errored design
+				// must be retried by the resumed run, so it pins the
+				// durable prefix behind it.
+				tr.Complete(i)
+			}
+		}
+		if committed.Add(1) == int64(numChunks) {
+			close(allCommitted)
+		}
+	}
+
+	watch := resources.Watch(runChunk)
 	var next atomic.Int64
-	next.Store(int64(start))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -116,63 +195,29 @@ func simulatePool(ctx context.Context, c *aladdin.Compiled, designs []aladdin.De
 				if ctx.Err() != nil {
 					return
 				}
-				lo := int(next.Add(chunkSize)) - chunkSize
-				if lo >= len(designs) {
+				chunk := int(next.Add(1)) - 1
+				if chunk >= numChunks {
 					return
 				}
-				hi := lo + chunkSize
-				if hi > len(designs) {
-					hi = len(designs)
-				}
-				// Admission pass: the per-design seam semantics (one
-				// SiteSimulate hit per design, cancellation checked between
-				// designs, injected faults failing exactly their design) are
-				// unchanged from the pre-batch pool; survivors then advance
-				// in lockstep through one batch call over the worker's
-				// stack-resident lanes, which allocates nothing in steady
-				// state. On cancellation mid-chunk the already-admitted
-				// designs still batch — their results are bit-identical to
-				// an uncancelled run's, so partial work stays keepable.
-				var (
-					lanes  [chunkSize]int
-					batchD [chunkSize]aladdin.Design
-					batchR [chunkSize]aladdin.Result
-					batchE [chunkSize]error
-				)
-				k := 0
-				cancelled := false
-				for i := lo; i < hi; i++ {
-					if ctx.Err() != nil {
-						cancelled = true
-						break
-					}
-					if err := admitDesign(designs[i]); err != nil {
-						errs[i] = err
-						continue
-					}
-					lanes[k] = i
-					batchD[k] = designs[i]
-					k++
-				}
-				c.SimulateBatchInto(batchD[:k], batchR[:k], batchE[:k])
-				for j := 0; j < k; j++ {
-					i := lanes[j]
-					results[i], errs[i] = batchR[j], batchE[j]
-					done[i] = errs[i] == nil
-					if done[i] {
-						// Only successful slots checkpoint: an errored
-						// design must be retried by the resumed run, so it
-						// pins the durable prefix behind it.
-						tr.Complete(i)
-					}
-				}
-				if cancelled {
-					return
-				}
+				watch.Begin(chunk)
+				runChunk(chunk)
+				watch.End(chunk)
 			}
 		}()
 	}
-	wg.Wait()
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-allCommitted:
+	}
+	// After Stop no rescue goroutine can touch the shared arrays; a
+	// still-wedged original only ever writes its own locals once it
+	// loses the claim.
+	watch.Stop()
 }
 
 // uniqueDesigns reduces the grid to its distinct cache keys in the

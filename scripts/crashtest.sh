@@ -14,7 +14,12 @@
 #      uninterrupted `accelwall -uncertainty -json` reference run;
 #   6. repeat the same lifecycle for a design-space search job: SIGKILL
 #      the daemon mid-search, restart, and assert the resumed run's
-#      Pareto frontier is byte-identical to `accelwall -search -json`.
+#      Pareto frontier is byte-identical to `accelwall -search -json`;
+#   7. (needs root or passwordless sudo, otherwise skipped) mount a
+#      4 MiB tmpfs as the jobs directory, fill it to the brim, and run a
+#      job on the full disk: it must finish with a byte-identical result,
+#      advertise `degraded: disk` on the job and /readyz, and heal on
+#      every surface once the space is freed.
 #
 # Usage: scripts/crashtest.sh [port]   (default 18080)
 
@@ -27,9 +32,21 @@ REPLICATES=2000
 SEED=7
 
 WORK=$(mktemp -d)
+JOBS_DIR="$WORK/jobs"
 DAEMON_PID=""
+
+# as_root CMD... — run privileged mount/umount calls directly when we
+# already are root (containers), else through passwordless sudo (CI).
+as_root() {
+  if [ "$(id -u)" = 0 ]; then "$@"; else sudo -n "$@"; fi
+}
+can_root() { [ "$(id -u)" = 0 ] || sudo -n true 2> /dev/null; }
+
 cleanup() {
   [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  # Stage 3 mounts a tmpfs under $WORK; release it before the rm.
+  mountpoint -q "$WORK/fulldisk" 2> /dev/null &&
+    as_root umount "$WORK/fulldisk" 2> /dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -39,7 +56,7 @@ go build -o "$WORK/accelwalld" ./cmd/accelwalld
 go build -o "$WORK/accelwall" ./cmd/accelwall
 
 start_daemon() {
-  "$WORK/accelwalld" -addr "127.0.0.1:$PORT" -jobs "$WORK/jobs" -quiet &
+  "$WORK/accelwalld" -addr "127.0.0.1:$PORT" -jobs "$JOBS_DIR" -quiet &
   DAEMON_PID=$!
   disown "$DAEMON_PID" # suppress job-control noise when we kill -9 it
   for _ in $(seq 1 200); do
@@ -168,3 +185,80 @@ fi
 
 echo "PASS: killed daemon resumed search job $SJOB ($SRESUMED evaluations"
 echo "      restored) and recovered the identical Pareto frontier."
+
+# ---------------------------------------------------------------------------
+# Stage 3: disk-full degraded durability on a real (tiny) filesystem — the
+# in-process ENOSPC injection tests, replayed against an actual full disk.
+# Mounting a tmpfs needs root; on hosts with neither root nor passwordless
+# sudo the stage is skipped with a notice rather than failed.
+if ! can_root; then
+  echo "SKIP: disk-full stage needs root or passwordless sudo to mount a tmpfs."
+else
+  DISKFULL_REPLICATES=200
+
+  echo "== disk-full stage: 4 MiB tmpfs as the jobs directory =="
+  kill -9 "$DAEMON_PID"
+  while kill -0 "$DAEMON_PID" 2>/dev/null; do sleep 0.01; done
+  DAEMON_PID=""
+  MNT="$WORK/fulldisk"
+  mkdir -p "$MNT"
+  as_root mount -t tmpfs -o size=4m tmpfs "$MNT"
+  JOBS_DIR="$MNT/jobs"
+  start_daemon
+
+  # Fill the filesystem to the brim, so every durable write the job
+  # attempts is refused with a real ENOSPC from the kernel.
+  dd if=/dev/zero of="$MNT/fill" bs=1024 count=8192 2> /dev/null || true
+
+  echo "== submit a job onto the full disk =="
+  DJOB=$(curl -sf "$BASE/v1/jobs" -d "{
+    \"kind\": \"uncertainty\", \"checkpoint_every\": 20,
+    \"uncertainty\": {\"replicates\": $DISKFULL_REPLICATES, \"seed\": $SEED,
+                      \"corpus_seed\": $SEED, \"workers\": 1}
+  }" | jq -r .id)
+  echo "submitted $DJOB"
+
+  poll_job "$DJOB" '.state == "done"' 2400 || {
+    echo "disk-full job never finished"; curl -s "$BASE/v1/jobs/$DJOB"; exit 1
+  }
+  curl -s "$BASE/v1/jobs/$DJOB" | jq -e '.degraded == "disk"' > /dev/null || {
+    echo "FAIL: finished job does not advertise the disk outage" >&2
+    curl -s "$BASE/v1/jobs/$DJOB"; exit 1
+  }
+  curl -s "$BASE/readyz" | jq -e '.status == "ready" and .degraded == "disk"' > /dev/null || {
+    echo "FAIL: /readyz does not show ready+degraded during the outage" >&2
+    curl -s "$BASE/readyz"; exit 1
+  }
+
+  echo "== free the disk and wait for the heal loop =="
+  rm "$MNT/fill"
+  HEALED=0
+  for _ in $(seq 1 200); do
+    if curl -s "$BASE/readyz" | jq -e '.degraded == null' > /dev/null; then
+      HEALED=1
+      break
+    fi
+    sleep 0.05
+  done
+  if [ "$HEALED" != 1 ]; then
+    echo "FAIL: /readyz never healed after space was freed" >&2
+    curl -s "$BASE/readyz"; exit 1
+  fi
+  poll_job "$DJOB" '.degraded == null' 200 || {
+    echo "FAIL: job still marked degraded after the heal" >&2
+    curl -s "$BASE/v1/jobs/$DJOB"; exit 1
+  }
+
+  echo "== compare against a healthy reference run =="
+  curl -s "$BASE/v1/jobs/$DJOB" | jq -S .result > "$WORK/diskfull-job.json"
+  "$WORK/accelwall" -uncertainty -json -replicates "$DISKFULL_REPLICATES" \
+    -seed "$SEED" | jq -S . > "$WORK/diskfull-ref.json"
+  if ! diff -u "$WORK/diskfull-ref.json" "$WORK/diskfull-job.json"; then
+    echo "FAIL: disk-full job result differs from the healthy run" >&2
+    exit 1
+  fi
+
+  echo "PASS: job $DJOB ran to completion on a full disk, advertised the"
+  echo "      outage on the job and /readyz, healed once space returned,"
+  echo "      and matched a healthy run byte for byte."
+fi
